@@ -1,0 +1,29 @@
+//! Criterion bench: times one Figure 10 grid cell (both break-edge
+//! policies, VIP-interval SD metric).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mule_bench::fig10::run;
+use mule_bench::fig9::VipSweepParams;
+use std::hint::black_box;
+
+fn fig10_cell(c: &mut Criterion) {
+    let params = VipSweepParams {
+        targets: 15,
+        mules: 4,
+        vip_counts: vec![4],
+        vip_weights: vec![3],
+        replicas: 3,
+        horizon_s: 60_000.0,
+        seed: 100,
+    };
+    c.bench_function("fig10/one_cell_3_replicas", |b| {
+        b.iter(|| black_box(run(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig10_cell
+}
+criterion_main!(benches);

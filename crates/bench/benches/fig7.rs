@@ -1,0 +1,31 @@
+//! Criterion bench: times the Figure 7 pipeline (plan + simulate + DCDT
+//! series) for each compared mechanism at a reduced replica count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mule_bench::fig7::{run, Fig7Params};
+use std::hint::black_box;
+
+fn bench_params() -> Fig7Params {
+    Fig7Params {
+        targets: 10,
+        mules: 4,
+        visit_indices: 20,
+        replicas: 3,
+        horizon_s: 40_000.0,
+        seed: 70,
+    }
+}
+
+fn fig7_pipeline(c: &mut Criterion) {
+    let params = bench_params();
+    c.bench_function("fig7/all_planners_3_replicas", |b| {
+        b.iter(|| black_box(run(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig7_pipeline
+}
+criterion_main!(benches);

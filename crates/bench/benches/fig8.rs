@@ -1,0 +1,25 @@
+//! Criterion bench: times one Figure 8 grid cell (CHB + TCTP, SD metric).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mule_bench::fig8::{run, Fig8Params};
+use std::hint::black_box;
+
+fn fig8_cell(c: &mut Criterion) {
+    let params = Fig8Params {
+        target_counts: vec![20],
+        mule_counts: vec![4],
+        replicas: 3,
+        horizon_s: 40_000.0,
+        seed: 80,
+    };
+    c.bench_function("fig8/one_cell_3_replicas", |b| {
+        b.iter(|| black_box(run(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig8_cell
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: times one Figure 9 grid cell (both break-edge policies,
+//! DCDT metric).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mule_bench::fig9::{run, VipSweepParams};
+use std::hint::black_box;
+
+fn fig9_cell(c: &mut Criterion) {
+    let params = VipSweepParams {
+        targets: 15,
+        mules: 4,
+        vip_counts: vec![4],
+        vip_weights: vec![3],
+        replicas: 3,
+        horizon_s: 60_000.0,
+        seed: 90,
+    };
+    c.bench_function("fig9/one_cell_3_replicas", |b| {
+        b.iter(|| black_box(run(black_box(&params))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig9_cell
+}
+criterion_main!(benches);

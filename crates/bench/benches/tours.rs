@@ -1,0 +1,69 @@
+//! Criterion bench: Hamiltonian-circuit construction heuristics and the
+//! W-TCTP weighted-path construction, across instance sizes. This is the
+//! tour-construction ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mule_graph::{ChbConfig, TourConstruction};
+use mule_workload::{ScenarioConfig, WeightSpec};
+use patrol_core::{BreakEdgePolicy, WTctp};
+use std::hint::black_box;
+
+fn tour_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tour_construction");
+    for &targets in &[10usize, 25, 50] {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_seed(42)
+            .generate();
+        let points = scenario.patrolled_positions();
+        for construction in TourConstruction::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(construction.label(), targets),
+                &points,
+                |b, pts| b.iter(|| black_box(construction.build(black_box(pts)))),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("chb_polished", targets),
+            &points,
+            |b, pts| {
+                b.iter(|| {
+                    black_box(mule_graph::construct_circuit_with(
+                        black_box(pts),
+                        &ChbConfig::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn wpp_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wpp_construction");
+    for &vips in &[2usize, 6] {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(25)
+            .with_weights(WeightSpec::UniformVips { count: vips, weight: 4 })
+            .with_seed(43)
+            .generate();
+        for policy in BreakEdgePolicy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(policy.label(), vips),
+                &scenario,
+                |b, s| {
+                    let planner = WTctp::new(policy);
+                    b.iter(|| black_box(planner.build_wpp_waypoints(black_box(s)).unwrap()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = tour_constructions, wpp_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Recharge ablation: does the Eq. 4 schedule keep the fleet alive across a
+//! battery-capacity sweep, and what does the detour cost? `--quick` reduces
+//! the sweep; `--csv` emits CSV.
+
+use mule_bench::ablations::{recharge_ablation, RechargeAblationParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let params = if quick {
+        RechargeAblationParams {
+            battery_capacities_j: vec![40_000.0, 160_000.0],
+            replicas: 4,
+            horizon_s: 60_000.0,
+            ..RechargeAblationParams::default()
+        }
+    } else {
+        RechargeAblationParams::default()
+    };
+
+    eprintln!("RW-TCTP recharge ablation ({} replicas per row)", params.replicas);
+    let table = recharge_ablation(&params);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,32 @@
+//! Start-point-spreading ablation: B-TCTP with and without its phase-2
+//! location initialisation. `--quick` reduces the sweep; `--csv` emits CSV.
+
+use mule_bench::ablations::{spread_ablation, SpreadAblationParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let params = if quick {
+        SpreadAblationParams {
+            mule_counts: vec![2, 6],
+            replicas: 4,
+            horizon_s: 50_000.0,
+            ..SpreadAblationParams::default()
+        }
+    } else {
+        SpreadAblationParams::default()
+    };
+
+    eprintln!(
+        "B-TCTP start-point-spreading ablation ({} replicas per row)",
+        params.replicas
+    );
+    let table = spread_ablation(&params);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 10: SD of the VIPs' visiting intervals for the
+//! Shortest-Length vs Balancing-Length policies. `--quick` reduces the
+//! sweep; `--csv` emits CSV.
+
+use mule_bench::fig10;
+use mule_bench::fig9::VipSweepParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let params = if quick {
+        VipSweepParams {
+            vip_counts: vec![1, 4, 8],
+            vip_weights: vec![2, 4],
+            replicas: 5,
+            horizon_s: 80_000.0,
+            ..VipSweepParams::default()
+        }
+    } else {
+        VipSweepParams::default()
+    };
+
+    eprintln!(
+        "Figure 10: average SD of VIP visiting intervals vs #VIP × weight ({} replicas per cell)",
+        params.replicas
+    );
+    let cells = fig10::run(&params);
+    let table = fig10::table(&cells);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates Figure 7: DCDT per visit index for Random, Sweep, CHB and
+//! TCTP. Pass `--quick` for a reduced sweep (fewer replicas, shorter
+//! horizon) and `--csv` to emit CSV instead of an aligned table.
+
+use mule_bench::fig7::{self, Fig7Params};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let params = if quick {
+        Fig7Params {
+            replicas: 5,
+            horizon_s: 60_000.0,
+            ..Fig7Params::default()
+        }
+    } else {
+        Fig7Params::default()
+    };
+
+    eprintln!(
+        "Figure 7: DCDT vs visit index ({} targets, {} mules, {} replicas)",
+        params.targets, params.mules, params.replicas
+    );
+    let series = fig7::run(&params);
+    let table = fig7::table(&series);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+    eprintln!();
+    for s in &series {
+        eprintln!(
+            "{:<8} steady-state oscillation: {:.1} s",
+            s.planner,
+            s.oscillation()
+        );
+    }
+}

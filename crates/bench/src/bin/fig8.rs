@@ -1,0 +1,34 @@
+//! Regenerates Figure 8: SD of visiting intervals, CHB vs TCTP, swept over
+//! target and mule counts. `--quick` reduces the sweep; `--csv` emits CSV.
+
+use mule_bench::fig8::{self, Fig8Params};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let params = if quick {
+        Fig8Params {
+            target_counts: vec![10, 20],
+            mule_counts: vec![2, 4, 8],
+            replicas: 5,
+            horizon_s: 60_000.0,
+            ..Fig8Params::default()
+        }
+    } else {
+        Fig8Params::default()
+    };
+
+    eprintln!(
+        "Figure 8: SD of visiting interval, CHB vs TCTP ({} replicas per cell)",
+        params.replicas
+    );
+    let cells = fig8::run(&params);
+    let table = fig8::table(&cells);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 9: average DCDT for the Shortest-Length vs
+//! Balancing-Length policies over the VIP count × weight grid. `--quick`
+//! reduces the sweep; `--csv` emits CSV.
+
+use mule_bench::fig9::{self, VipSweepParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let params = if quick {
+        VipSweepParams {
+            vip_counts: vec![1, 4, 8],
+            vip_weights: vec![2, 4],
+            replicas: 5,
+            horizon_s: 80_000.0,
+            ..VipSweepParams::default()
+        }
+    } else {
+        VipSweepParams::default()
+    };
+
+    eprintln!(
+        "Figure 9: average DCDT vs #VIP × weight ({} targets, {} replicas per cell)",
+        params.targets, params.replicas
+    );
+    let cells = fig9::run(&params);
+    let table = fig9::table(&cells);
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates the path-length comparison (the §V text claim): circuit
+//! length per construction heuristic, WPP overhead per policy, and the WRP
+//! recharge-detour overhead. `--quick` reduces the sweep; `--csv` emits CSV.
+
+use mule_bench::pathlen::{self, PathLenParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let params = if quick {
+        PathLenParams {
+            target_counts: vec![10, 20, 30],
+            replicas: 5,
+            ..PathLenParams::default()
+        }
+    } else {
+        PathLenParams::default()
+    };
+
+    let emit = |title: &str, table: &mule_metrics::TextTable| {
+        eprintln!("{title}");
+        if csv {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.render());
+        }
+        println!();
+    };
+
+    emit(
+        "Hamiltonian-circuit length by construction heuristic (m)",
+        &pathlen::tour_length_table(&params),
+    );
+    emit(
+        "WPP length by break-edge policy (m)",
+        &pathlen::wpp_overhead_table(&params),
+    );
+    emit(
+        "WRP recharge-detour overhead (m)",
+        &pathlen::wrp_overhead_table(&params),
+    );
+}

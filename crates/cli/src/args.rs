@@ -1,0 +1,335 @@
+//! Command-line argument parsing for `patrolctl`.
+//!
+//! Hand-rolled (no external parser crates): flags are `--name value` pairs
+//! after a leading subcommand. Unknown flags and malformed values are
+//! reported as [`CliError`]s with a human-readable message.
+
+use std::fmt;
+
+/// Which planner a command should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerChoice {
+    /// B-TCTP (default).
+    BTctp,
+    /// W-TCTP with the Shortest-Length policy.
+    WTctpShortest,
+    /// W-TCTP with the Balancing-Length policy.
+    WTctpBalancing,
+    /// RW-TCTP (requires `--recharge`).
+    RwTctp,
+    /// The CHB baseline.
+    Chb,
+    /// The Sweep baseline.
+    Sweep,
+    /// The Random baseline.
+    Random,
+}
+
+impl PlannerChoice {
+    /// Parses a planner name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s.to_ascii_lowercase().as_str() {
+            "b-tctp" | "btctp" | "tctp" => Ok(PlannerChoice::BTctp),
+            "w-tctp" | "wtctp" | "w-tctp-shortest" | "shortest" => Ok(PlannerChoice::WTctpShortest),
+            "w-tctp-balancing" | "balancing" => Ok(PlannerChoice::WTctpBalancing),
+            "rw-tctp" | "rwtctp" => Ok(PlannerChoice::RwTctp),
+            "chb" => Ok(PlannerChoice::Chb),
+            "sweep" => Ok(PlannerChoice::Sweep),
+            "random" => Ok(PlannerChoice::Random),
+            other => Err(CliError::InvalidValue {
+                flag: "--planner".into(),
+                value: other.into(),
+            }),
+        }
+    }
+
+    /// Display name used in output tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlannerChoice::BTctp => "B-TCTP",
+            PlannerChoice::WTctpShortest => "W-TCTP (shortest)",
+            PlannerChoice::WTctpBalancing => "W-TCTP (balancing)",
+            PlannerChoice::RwTctp => "RW-TCTP",
+            PlannerChoice::Chb => "CHB",
+            PlannerChoice::Sweep => "Sweep",
+            PlannerChoice::Random => "Random",
+        }
+    }
+}
+
+/// Scenario + execution options shared by every subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Number of targets.
+    pub targets: usize,
+    /// Number of mules.
+    pub mules: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of VIP targets.
+    pub vips: usize,
+    /// Weight of each VIP.
+    pub vip_weight: u32,
+    /// Whether the scenario includes a recharge station.
+    pub recharge: bool,
+    /// Planner to use.
+    pub planner: PlannerChoice,
+    /// Simulation horizon in seconds.
+    pub horizon_s: f64,
+    /// Optional SVG output path.
+    pub svg_path: Option<String>,
+    /// Optional CSV trace prefix.
+    pub csv_prefix: Option<String>,
+    /// ASCII canvas width for `render`.
+    pub canvas_width: usize,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            targets: 10,
+            mules: 4,
+            seed: 1,
+            vips: 0,
+            vip_weight: 2,
+            recharge: false,
+            planner: PlannerChoice::BTctp,
+            horizon_s: 40_000.0,
+            svg_path: None,
+            csv_prefix: None,
+            canvas_width: 72,
+        }
+    }
+}
+
+/// A parsed `patrolctl` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// Print usage information.
+    Help,
+    /// Render the scenario and the planned route as ASCII art.
+    Render(CliOptions),
+    /// Simulate one planner and print its metric reports.
+    Simulate(CliOptions),
+    /// Run every planner on the same scenario and print a comparison table.
+    Compare(CliOptions),
+}
+
+/// Errors produced by the argument parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not recognised.
+    UnknownCommand(String),
+    /// A flag is not recognised.
+    UnknownFlag(String),
+    /// A flag is missing its value.
+    MissingValue(String),
+    /// A flag's value could not be parsed.
+    InvalidValue {
+        /// The offending flag.
+        flag: String,
+        /// The value that failed to parse.
+        value: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "missing subcommand (try `patrolctl help`)"),
+            CliError::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            CliError::MissingValue(flag) => write!(f, "flag `{flag}` is missing a value"),
+            CliError::InvalidValue { flag, value } => {
+                write!(f, "invalid value `{value}` for flag `{flag}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text printed by `patrolctl help`.
+pub const USAGE: &str = "\
+patrolctl — data-mule patrolling toolkit (B-TCTP / W-TCTP / RW-TCTP)
+
+USAGE:
+    patrolctl <render|simulate|compare|help> [flags]
+
+FLAGS (all subcommands):
+    --targets N        number of targets               [default: 10]
+    --mules N          number of data mules            [default: 4]
+    --seed S           scenario seed                   [default: 1]
+    --vips N           number of VIP targets           [default: 0]
+    --vip-weight W     weight of each VIP              [default: 2]
+    --recharge         add a recharge station
+    --planner P        b-tctp | shortest | balancing | rw-tctp | chb | sweep | random
+    --horizon SECONDS  simulation horizon              [default: 40000]
+    --svg FILE         write the plan as an SVG file   (simulate)
+    --csv PREFIX       write visit/mule CSV traces     (simulate)
+    --width CHARS      ASCII canvas width              (render, default 72)
+";
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
+    value.parse::<T>().map_err(|_| CliError::InvalidValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+    })
+}
+
+/// Parses the argument list (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
+    let command = args.first().ok_or(CliError::MissingCommand)?;
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        return Ok(CliCommand::Help);
+    }
+
+    let mut options = CliOptions::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+        };
+        match flag {
+            "--targets" => options.targets = parse_flag(flag, &take_value()?)?,
+            "--mules" => options.mules = parse_flag(flag, &take_value()?)?,
+            "--seed" => options.seed = parse_flag(flag, &take_value()?)?,
+            "--vips" => options.vips = parse_flag(flag, &take_value()?)?,
+            "--vip-weight" => options.vip_weight = parse_flag(flag, &take_value()?)?,
+            "--horizon" => options.horizon_s = parse_flag(flag, &take_value()?)?,
+            "--width" => options.canvas_width = parse_flag(flag, &take_value()?)?,
+            "--planner" => options.planner = PlannerChoice::parse(&take_value()?)?,
+            "--svg" => options.svg_path = Some(take_value()?),
+            "--csv" => options.csv_prefix = Some(take_value()?),
+            "--recharge" => options.recharge = true,
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+        i += 1;
+    }
+
+    // RW-TCTP needs a recharge station; turn it on implicitly so the obvious
+    // invocation works.
+    if options.planner == PlannerChoice::RwTctp {
+        options.recharge = true;
+    }
+
+    match command.as_str() {
+        "render" => Ok(CliCommand::Render(options)),
+        "simulate" => Ok(CliCommand::Simulate(options)),
+        "compare" => Ok(CliCommand::Compare(options)),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_missing_command() {
+        assert_eq!(parse_args(&argv("help")).unwrap(), CliCommand::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), CliCommand::Help);
+        assert_eq!(parse_args(&[]).unwrap_err(), CliError::MissingCommand);
+        assert!(matches!(
+            parse_args(&argv("frobnicate")).unwrap_err(),
+            CliError::UnknownCommand(_)
+        ));
+    }
+
+    #[test]
+    fn defaults_apply_when_no_flags_given() {
+        let CliCommand::Simulate(opts) = parse_args(&argv("simulate")).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(opts, CliOptions::default());
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let cmd = parse_args(&argv(
+            "simulate --targets 25 --mules 6 --seed 9 --vips 3 --vip-weight 4 \
+             --planner balancing --horizon 12345 --recharge",
+        ))
+        .unwrap();
+        let CliCommand::Simulate(opts) = cmd else { panic!() };
+        assert_eq!(opts.targets, 25);
+        assert_eq!(opts.mules, 6);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.vips, 3);
+        assert_eq!(opts.vip_weight, 4);
+        assert_eq!(opts.planner, PlannerChoice::WTctpBalancing);
+        assert_eq!(opts.horizon_s, 12345.0);
+        assert!(opts.recharge);
+    }
+
+    #[test]
+    fn planner_names_parse_case_insensitively() {
+        assert_eq!(PlannerChoice::parse("B-TCTP").unwrap(), PlannerChoice::BTctp);
+        assert_eq!(PlannerChoice::parse("ChB").unwrap(), PlannerChoice::Chb);
+        assert_eq!(
+            PlannerChoice::parse("rw-tctp").unwrap(),
+            PlannerChoice::RwTctp
+        );
+        assert!(PlannerChoice::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn rw_tctp_implies_a_recharge_station() {
+        let CliCommand::Simulate(opts) =
+            parse_args(&argv("simulate --planner rw-tctp")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(opts.recharge);
+    }
+
+    #[test]
+    fn malformed_and_unknown_flags_are_reported() {
+        assert!(matches!(
+            parse_args(&argv("render --bogus 1")).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            parse_args(&argv("render --targets")).unwrap_err(),
+            CliError::MissingValue(_)
+        ));
+        assert!(matches!(
+            parse_args(&argv("render --targets abc")).unwrap_err(),
+            CliError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(CliError::MissingCommand.to_string().contains("subcommand"));
+        assert!(CliError::UnknownFlag("--x".into()).to_string().contains("--x"));
+        assert!(CliError::InvalidValue {
+            flag: "--targets".into(),
+            value: "abc".into()
+        }
+        .to_string()
+        .contains("abc"));
+        assert!(USAGE.contains("patrolctl"));
+    }
+
+    #[test]
+    fn svg_and_csv_paths_are_captured() {
+        let CliCommand::Simulate(opts) =
+            parse_args(&argv("simulate --svg plan.svg --csv run1")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(opts.svg_path.as_deref(), Some("plan.svg"));
+        assert_eq!(opts.csv_prefix.as_deref(), Some("run1"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Implementations of the `patrolctl` subcommands.
+//!
+//! Every command returns a [`CommandOutput`] (text plus optional files
+//! written) instead of printing directly, so the logic is unit-testable.
+
+use crate::args::{CliCommand, CliError, CliOptions, PlannerChoice, USAGE};
+use mule_metrics::{
+    DcdtSeries, EnergyEfficiencyReport, FairnessReport, IntervalReport, TextTable,
+};
+use mule_sim::{Simulation, SimulationConfig, SimulationOutcome};
+use mule_viz::{plan_to_svg, render_plan, render_scenario, SvgStyle};
+use mule_workload::{Scenario, ScenarioConfig, WeightSpec};
+use patrol_core::baselines::{ChbPlanner, RandomPlanner, SweepPlanner};
+use patrol_core::{BTctp, BreakEdgePolicy, PatrolPlan, PlanError, Planner, RwTctp, WTctp};
+
+/// Result of running a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandOutput {
+    /// Text to print to stdout.
+    pub text: String,
+    /// Paths of any files the command wrote.
+    pub files_written: Vec<String>,
+}
+
+impl CommandOutput {
+    fn text_only(text: String) -> Self {
+        CommandOutput {
+            text,
+            files_written: Vec::new(),
+        }
+    }
+}
+
+/// Errors a command can produce.
+#[derive(Debug)]
+pub enum CommandError {
+    /// Argument-level problem.
+    Cli(CliError),
+    /// The selected planner rejected the scenario.
+    Plan(PlanError),
+    /// A file could not be written.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::Cli(e) => write!(f, "{e}"),
+            CommandError::Plan(e) => write!(f, "planning failed: {e}"),
+            CommandError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<PlanError> for CommandError {
+    fn from(e: PlanError) -> Self {
+        CommandError::Plan(e)
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+/// Builds the scenario described by the CLI options.
+pub fn build_scenario(options: &CliOptions) -> Scenario {
+    let weights = if options.vips > 0 {
+        WeightSpec::UniformVips {
+            count: options.vips,
+            weight: options.vip_weight.max(2),
+        }
+    } else {
+        WeightSpec::AllNormal
+    };
+    ScenarioConfig::paper_default()
+        .with_targets(options.targets)
+        .with_mules(options.mules)
+        .with_seed(options.seed)
+        .with_weights(weights)
+        .with_recharge_station(options.recharge)
+        .generate()
+}
+
+/// Instantiates the planner selected on the command line.
+pub fn build_planner(choice: PlannerChoice) -> Box<dyn Planner> {
+    match choice {
+        PlannerChoice::BTctp => Box::new(BTctp::new()),
+        PlannerChoice::WTctpShortest => Box::new(WTctp::new(BreakEdgePolicy::ShortestLength)),
+        PlannerChoice::WTctpBalancing => Box::new(WTctp::new(BreakEdgePolicy::BalancingLength)),
+        PlannerChoice::RwTctp => Box::new(RwTctp::default()),
+        PlannerChoice::Chb => Box::new(ChbPlanner::new()),
+        PlannerChoice::Sweep => Box::new(SweepPlanner::new()),
+        PlannerChoice::Random => Box::new(RandomPlanner::new()),
+    }
+}
+
+fn simulate(scenario: &Scenario, plan: &PatrolPlan, options: &CliOptions) -> SimulationOutcome {
+    let config = if options.recharge {
+        SimulationConfig::default()
+    } else {
+        SimulationConfig::timing_only()
+    };
+    Simulation::with_config(scenario, plan, config).run_for(options.horizon_s)
+}
+
+fn metrics_text(plan: &PatrolPlan, outcome: &SimulationOutcome) -> String {
+    let intervals = IntervalReport::from_outcome(outcome);
+    let dcdt = DcdtSeries::from_outcome(outcome);
+    let energy = EnergyEfficiencyReport::from_outcome(outcome);
+    let fairness = FairnessReport::from_outcome(outcome);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "planner: {}\ncycle length: {:.0} m (longest itinerary)\n",
+        plan.planner_name,
+        plan.max_cycle_length()
+    ));
+    out.push_str(&format!(
+        "visits: {}  distance: {:.1} km  delivered: {:.1} kB\n",
+        outcome.total_visits(),
+        outcome.total_distance_m() / 1000.0,
+        outcome.total_delivered_bytes() / 1000.0
+    ));
+    out.push_str(&format!(
+        "visiting interval: max {:.1} s  mean {:.1} s  avg per-target SD {:.2} s\n",
+        intervals.max_interval(),
+        intervals.mean_interval(),
+        intervals.average_sd()
+    ));
+    out.push_str(&format!(
+        "DCDT (post warm-up): mean {:.1} s  max {:.1} s\n",
+        dcdt.average_dcdt(2),
+        dcdt.max_dcdt(2)
+    ));
+    out.push_str(&format!(
+        "fairness: coverage {:.3}  fleet balance {:.3}\n",
+        fairness.coverage_fairness, fairness.fleet_balance
+    ));
+    out.push_str(&format!(
+        "energy: total {:.0} J  useful fraction {:.2}  recharges {}  fleet survived: {}\n",
+        energy.total_energy_j,
+        energy.useful_fraction(),
+        energy.recharges,
+        energy.fleet_survived()
+    ));
+    out
+}
+
+fn run_render(options: &CliOptions) -> Result<CommandOutput, CommandError> {
+    let scenario = build_scenario(options);
+    let planner = build_planner(options.planner);
+    let width = options.canvas_width.clamp(20, 200);
+    let height = width / 2;
+    let mut text = format!(
+        "scenario: {} targets, {} mules, seed {}\n\n",
+        options.targets, options.mules, options.seed
+    );
+    text.push_str(&render_scenario(&scenario, width, height));
+    text.push_str("\n\n");
+    match planner.plan(&scenario) {
+        Ok(plan) => {
+            text.push_str(&format!("{} route:\n", plan.planner_name));
+            text.push_str(&render_plan(&scenario, &plan, width, height));
+            text.push('\n');
+        }
+        Err(e) => return Err(e.into()),
+    }
+    Ok(CommandOutput::text_only(text))
+}
+
+fn run_simulate(options: &CliOptions) -> Result<CommandOutput, CommandError> {
+    let scenario = build_scenario(options);
+    let planner = build_planner(options.planner);
+    let plan = planner.plan(&scenario)?;
+    let outcome = simulate(&scenario, &plan, options);
+
+    let mut output = CommandOutput::text_only(metrics_text(&plan, &outcome));
+
+    if let Some(svg_path) = &options.svg_path {
+        let svg = plan_to_svg(&scenario, &plan, &SvgStyle::default());
+        std::fs::write(svg_path, svg)?;
+        output.files_written.push(svg_path.clone());
+    }
+    if let Some(prefix) = &options.csv_prefix {
+        let (visits, mules) =
+            mule_sim::write_csv_files(&outcome, std::path::Path::new(prefix))?;
+        output.files_written.push(visits.to_string_lossy().into_owned());
+        output.files_written.push(mules.to_string_lossy().into_owned());
+    }
+    Ok(output)
+}
+
+fn run_compare(options: &CliOptions) -> Result<CommandOutput, CommandError> {
+    let scenario = build_scenario(options);
+    let mut choices = vec![
+        PlannerChoice::Random,
+        PlannerChoice::Sweep,
+        PlannerChoice::Chb,
+        PlannerChoice::BTctp,
+    ];
+    if options.vips > 0 {
+        choices.push(PlannerChoice::WTctpShortest);
+        choices.push(PlannerChoice::WTctpBalancing);
+    }
+    if options.recharge {
+        choices.push(PlannerChoice::RwTctp);
+    }
+
+    let mut table = TextTable::new(vec![
+        "planner",
+        "max interval (s)",
+        "avg SD (s)",
+        "avg DCDT (s)",
+        "path (m)",
+        "survived",
+    ]);
+    for choice in choices {
+        let planner = build_planner(choice);
+        let plan = match planner.plan(&scenario) {
+            Ok(p) => p,
+            Err(e) => {
+                table.add_row(vec![choice.label().to_string(), format!("error: {e}")]);
+                continue;
+            }
+        };
+        let outcome = simulate(&scenario, &plan, options);
+        let intervals = IntervalReport::from_outcome(&outcome);
+        let dcdt = DcdtSeries::from_outcome(&outcome);
+        table.add_row(vec![
+            choice.label().to_string(),
+            format!("{:.0}", intervals.max_interval()),
+            format!("{:.1}", intervals.average_sd()),
+            format!("{:.0}", dcdt.average_dcdt(2)),
+            format!("{:.0}", plan.max_cycle_length()),
+            format!("{}", outcome.all_mules_survived()),
+        ]);
+    }
+    Ok(CommandOutput::text_only(table.render()))
+}
+
+/// Executes a parsed command.
+pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> {
+    match command {
+        CliCommand::Help => Ok(CommandOutput::text_only(USAGE.to_string())),
+        CliCommand::Render(options) => run_render(options),
+        CliCommand::Simulate(options) => run_simulate(options),
+        CliCommand::Compare(options) => run_compare(options),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options() -> CliOptions {
+        CliOptions {
+            targets: 8,
+            mules: 3,
+            seed: 4,
+            horizon_s: 15_000.0,
+            ..CliOptions::default()
+        }
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_command(&CliCommand::Help).unwrap();
+        assert!(out.text.contains("USAGE"));
+        assert!(out.files_written.is_empty());
+    }
+
+    #[test]
+    fn render_produces_ascii_maps_for_scenario_and_plan() {
+        let out = run_command(&CliCommand::Render(options())).unwrap();
+        assert!(out.text.contains('S'), "sink marker in the map");
+        assert!(out.text.contains("B-TCTP route"));
+        assert!(out.text.matches('+').count() >= 4, "two bordered canvases");
+    }
+
+    #[test]
+    fn simulate_reports_all_metric_sections() {
+        let out = run_command(&CliCommand::Simulate(options())).unwrap();
+        for needle in [
+            "planner: B-TCTP",
+            "visiting interval",
+            "DCDT",
+            "fairness",
+            "energy",
+        ] {
+            assert!(out.text.contains(needle), "missing `{needle}` in:\n{}", out.text);
+        }
+    }
+
+    #[test]
+    fn simulate_with_rwtctp_needs_and_gets_a_station() {
+        let mut opts = options();
+        opts.planner = PlannerChoice::RwTctp;
+        opts.recharge = true;
+        opts.vips = 1;
+        let out = run_command(&CliCommand::Simulate(opts)).unwrap();
+        assert!(out.text.contains("RW-TCTP"));
+        assert!(out.text.contains("fleet survived: true"));
+    }
+
+    #[test]
+    fn simulate_writes_requested_files() {
+        let dir = std::env::temp_dir().join("patrolctl_test_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut opts = options();
+        opts.svg_path = Some(dir.join("plan.svg").to_string_lossy().into_owned());
+        opts.csv_prefix = Some(dir.join("trace").to_string_lossy().into_owned());
+        let out = run_command(&CliCommand::Simulate(opts)).unwrap();
+        assert_eq!(out.files_written.len(), 3);
+        for f in &out.files_written {
+            assert!(std::path::Path::new(f).exists(), "{f} should exist");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_lists_the_baselines_and_tctp() {
+        let out = run_command(&CliCommand::Compare(options())).unwrap();
+        for planner in ["Random", "Sweep", "CHB", "B-TCTP"] {
+            assert!(out.text.contains(planner), "{planner} missing:\n{}", out.text);
+        }
+        // Weighted planners only appear when VIPs are requested.
+        assert!(!out.text.contains("W-TCTP"));
+        let mut with_vips = options();
+        with_vips.vips = 2;
+        let out2 = run_command(&CliCommand::Compare(with_vips)).unwrap();
+        assert!(out2.text.contains("W-TCTP (shortest)"));
+    }
+
+    #[test]
+    fn planning_errors_surface_as_command_errors() {
+        let mut opts = options();
+        opts.mules = 0;
+        let err = run_command(&CliCommand::Simulate(opts)).unwrap_err();
+        assert!(err.to_string().contains("planning failed"));
+    }
+}

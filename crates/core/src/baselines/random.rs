@@ -1,0 +1,150 @@
+//! The Random baseline.
+//!
+//! "The Random approach randomly selects the non-visited target as its next
+//! destination" (paper §V): within one round a mule visits every patrolled
+//! node exactly once but in a uniformly random order, and each round uses a
+//! fresh random order. We realise this as a static itinerary by
+//! pre-generating a fixed number of random permutations per mule
+//! (seeded from the scenario seed and the mule index, so plans stay
+//! deterministic and every mule wanders differently).
+
+use crate::plan::{MuleItinerary, PatrolPlan, PlanError, Waypoint};
+use crate::planner::{validate_common, Planner};
+use mule_workload::Scenario;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The Random baseline planner.
+#[derive(Debug, Clone)]
+pub struct RandomPlanner {
+    /// Number of random rounds pre-generated per mule. After the last
+    /// pre-generated round the itinerary repeats from the first, which in
+    /// practice is indistinguishable from fresh randomness for the horizons
+    /// the figures use.
+    pub rounds: usize,
+}
+
+impl Default for RandomPlanner {
+    fn default() -> Self {
+        // Fig. 7 tracks ~40 visits per target; 64 pre-generated rounds per
+        // mule comfortably exceeds any horizon the harness simulates.
+        RandomPlanner { rounds: 64 }
+    }
+}
+
+impl RandomPlanner {
+    /// Random baseline with the default number of pre-generated rounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Random baseline with an explicit number of pre-generated rounds.
+    pub fn with_rounds(rounds: usize) -> Self {
+        RandomPlanner {
+            rounds: rounds.max(1),
+        }
+    }
+}
+
+impl Planner for RandomPlanner {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
+        validate_common(scenario)?;
+        let positions = scenario.patrolled_positions();
+        let ids = scenario.patrolled_ids();
+        let waypoints: Vec<Waypoint> = ids
+            .iter()
+            .zip(positions.iter())
+            .map(|(id, p)| Waypoint::new(*id, *p))
+            .collect();
+
+        let itineraries = scenario
+            .mule_starts()
+            .iter()
+            .enumerate()
+            .map(|(m, start)| {
+                // Seed per (scenario, mule) so different mules wander
+                // independently but the whole plan stays reproducible.
+                let mut rng = StdRng::seed_from_u64(
+                    scenario
+                        .config()
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(m as u64),
+                );
+                let mut cycle =
+                    Vec::with_capacity(waypoints.len() * self.rounds.max(1));
+                for _ in 0..self.rounds.max(1) {
+                    let mut round = waypoints.clone();
+                    round.shuffle(&mut rng);
+                    cycle.extend(round);
+                }
+                MuleItinerary::new(m, *start, cycle)
+            })
+            .collect();
+
+        Ok(PatrolPlan::new(self.name(), itineraries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mule_workload::ScenarioConfig;
+
+    fn scenario(seed: u64) -> Scenario {
+        ScenarioConfig::paper_default().with_seed(seed).generate()
+    }
+
+    #[test]
+    fn every_round_visits_every_node_exactly_once() {
+        let s = scenario(2);
+        let planner = RandomPlanner::with_rounds(5);
+        let plan = planner.plan(&s).unwrap();
+        let node_count = s.patrolled_positions().len();
+        for it in &plan.itineraries {
+            assert_eq!(it.cycle.len(), node_count * 5);
+            // Each consecutive block of `node_count` waypoints is a
+            // permutation of the patrolled nodes.
+            for round in it.cycle.chunks(node_count) {
+                let mut ids: Vec<usize> = round.iter().map(|w| w.node.index()).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), node_count);
+            }
+        }
+    }
+
+    #[test]
+    fn different_mules_get_different_orders_but_plans_are_deterministic() {
+        let s = scenario(9);
+        let a = RandomPlanner::new().plan(&s).unwrap();
+        let b = RandomPlanner::new().plan(&s).unwrap();
+        assert_eq!(a, b, "same scenario, same plan");
+        assert_ne!(
+            a.itineraries[0].cycle, a.itineraries[1].cycle,
+            "mules wander independently"
+        );
+    }
+
+    #[test]
+    fn rounds_are_clamped_to_at_least_one() {
+        let s = scenario(3);
+        let plan = RandomPlanner::with_rounds(0).plan(&s).unwrap();
+        assert_eq!(
+            plan.itineraries[0].cycle.len(),
+            s.patrolled_positions().len()
+        );
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let s = ScenarioConfig::paper_default().with_mules(0).generate();
+        assert_eq!(RandomPlanner::new().plan(&s), Err(PlanError::NoMules));
+        assert_eq!(RandomPlanner::new().name(), "Random");
+    }
+}

@@ -1,0 +1,230 @@
+//! Patrol plans: the output of every planner and the input of the
+//! simulator.
+//!
+//! A [`PatrolPlan`] holds one [`MuleItinerary`] per mule. An itinerary is a
+//! *closed walk* over field nodes — the same node may appear several times,
+//! which is how weighted patrolling paths visit a VIP `w_i` times per
+//! traversal — plus the arc-length offset at which the mule enters the walk
+//! (the B-TCTP start-point spreading) and the mule's physical start
+//! position.
+
+use mule_geom::{Point, Polyline};
+use mule_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One stop of an itinerary: a field node and its position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waypoint {
+    /// The node visited at this stop.
+    pub node: NodeId,
+    /// Its location in the field.
+    pub position: Point,
+}
+
+impl Waypoint {
+    /// Creates a waypoint.
+    pub fn new(node: NodeId, position: Point) -> Self {
+        Waypoint { node, position }
+    }
+}
+
+/// The route of a single mule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MuleItinerary {
+    /// Index of the mule in the scenario's mule list.
+    pub mule_index: usize,
+    /// Where the mule is physically located before it starts patrolling.
+    pub start_position: Point,
+    /// The closed walk the mule repeats forever, in traversal order. The
+    /// walk is closed implicitly: after the last waypoint the mule returns
+    /// to the first.
+    pub cycle: Vec<Waypoint>,
+    /// Arc length along `cycle` (measured from its first waypoint) at which
+    /// the mule enters the walk. The mule first travels in a straight line
+    /// from `start_position` to that entry point, then patrols.
+    pub entry_offset_m: f64,
+}
+
+impl MuleItinerary {
+    /// Creates an itinerary entering the cycle at its first waypoint.
+    pub fn new(mule_index: usize, start_position: Point, cycle: Vec<Waypoint>) -> Self {
+        MuleItinerary {
+            mule_index,
+            start_position,
+            cycle,
+            entry_offset_m: 0.0,
+        }
+    }
+
+    /// Sets the entry offset (wrapped into the cycle length by the
+    /// simulator).
+    pub fn with_entry_offset(mut self, offset_m: f64) -> Self {
+        self.entry_offset_m = offset_m.max(0.0);
+        self
+    }
+
+    /// The closed polyline over the waypoint positions.
+    pub fn polyline(&self) -> Polyline {
+        Polyline::closed(self.cycle.iter().map(|w| w.position).collect())
+    }
+
+    /// Total length of one traversal of the cycle, in metres.
+    pub fn cycle_length(&self) -> f64 {
+        self.polyline().length()
+    }
+
+    /// The point on the cycle where the mule enters (at
+    /// [`MuleItinerary::entry_offset_m`]). Falls back to the start position
+    /// for an empty cycle.
+    pub fn entry_point(&self) -> Point {
+        self.polyline()
+            .point_at(self.entry_offset_m)
+            .unwrap_or(self.start_position)
+    }
+
+    /// Number of times `node` is visited in one complete traversal.
+    pub fn visits_per_round(&self, node: NodeId) -> usize {
+        self.cycle.iter().filter(|w| w.node == node).count()
+    }
+
+    /// The distinct nodes covered by the itinerary.
+    pub fn covered_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.cycle.iter().map(|w| w.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// A complete plan: one itinerary per mule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatrolPlan {
+    /// Human-readable planner name ("B-TCTP", "CHB", …) for reports.
+    pub planner_name: String,
+    /// One itinerary per mule, in mule-index order.
+    pub itineraries: Vec<MuleItinerary>,
+}
+
+impl PatrolPlan {
+    /// Creates a plan.
+    pub fn new(planner_name: impl Into<String>, itineraries: Vec<MuleItinerary>) -> Self {
+        PatrolPlan {
+            planner_name: planner_name.into(),
+            itineraries,
+        }
+    }
+
+    /// Number of mules covered by the plan.
+    pub fn mule_count(&self) -> usize {
+        self.itineraries.len()
+    }
+
+    /// Length of the longest per-mule cycle — the |P| that dominates the
+    /// visiting interval bound.
+    pub fn max_cycle_length(&self) -> f64 {
+        self.itineraries
+            .iter()
+            .map(MuleItinerary::cycle_length)
+            .fold(0.0, f64::max)
+    }
+
+    /// All distinct nodes covered by at least one itinerary.
+    pub fn covered_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .itineraries
+            .iter()
+            .flat_map(|i| i.covered_nodes())
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// Why a planner could not produce a plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// The scenario has no patrolled nodes at all.
+    NoTargets,
+    /// The scenario has no mules.
+    NoMules,
+    /// The planner requires a recharge station but the scenario has none.
+    MissingRechargeStation,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoTargets => write!(f, "scenario contains no targets to patrol"),
+            PlanError::NoMules => write!(f, "scenario contains no data mules"),
+            PlanError::MissingRechargeStation => {
+                write!(f, "planner requires a recharge station but the scenario has none")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_itinerary(mule: usize) -> MuleItinerary {
+        let cycle = vec![
+            Waypoint::new(NodeId(0), Point::new(0.0, 0.0)),
+            Waypoint::new(NodeId(1), Point::new(10.0, 0.0)),
+            Waypoint::new(NodeId(2), Point::new(10.0, 10.0)),
+            Waypoint::new(NodeId(1), Point::new(10.0, 0.0)),
+            Waypoint::new(NodeId(3), Point::new(0.0, 10.0)),
+        ];
+        MuleItinerary::new(mule, Point::new(-5.0, -5.0), cycle)
+    }
+
+    #[test]
+    fn cycle_length_and_polyline_agree() {
+        let it = square_itinerary(0);
+        assert!((it.cycle_length() - it.polyline().length()).abs() < 1e-12);
+        assert!(it.cycle_length() > 0.0);
+    }
+
+    #[test]
+    fn visits_per_round_counts_repeated_nodes() {
+        let it = square_itinerary(0);
+        assert_eq!(it.visits_per_round(NodeId(1)), 2);
+        assert_eq!(it.visits_per_round(NodeId(0)), 1);
+        assert_eq!(it.visits_per_round(NodeId(9)), 0);
+        assert_eq!(it.covered_nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn entry_point_walks_the_offset_and_clamps_empty_cycles() {
+        let it = square_itinerary(0).with_entry_offset(10.0);
+        // 10 m from (0,0) along the walk: exactly at (10, 0).
+        assert_eq!(it.entry_point(), Point::new(10.0, 0.0));
+        // Negative offsets are clamped to zero.
+        let zero = square_itinerary(0).with_entry_offset(-3.0);
+        assert_eq!(zero.entry_offset_m, 0.0);
+        let empty = MuleItinerary::new(1, Point::new(2.0, 3.0), vec![]);
+        assert_eq!(empty.entry_point(), Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn plan_aggregates_across_itineraries() {
+        let plan = PatrolPlan::new("test", vec![square_itinerary(0), square_itinerary(1)]);
+        assert_eq!(plan.mule_count(), 2);
+        assert!(plan.max_cycle_length() > 0.0);
+        assert_eq!(plan.covered_nodes().len(), 4);
+        assert_eq!(plan.planner_name, "test");
+    }
+
+    #[test]
+    fn plan_error_messages_are_informative() {
+        assert!(PlanError::NoTargets.to_string().contains("no targets"));
+        assert!(PlanError::NoMules.to_string().contains("no data mules"));
+        assert!(PlanError::MissingRechargeStation
+            .to_string()
+            .contains("recharge station"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The [`Planner`] trait every patrolling algorithm implements.
+
+use crate::plan::{PatrolPlan, PlanError};
+use mule_workload::Scenario;
+
+/// A patrolling planner: consumes a scenario, produces a plan.
+///
+/// Planners are deterministic functions of the scenario (including its
+/// seed); running the same planner twice on the same scenario yields the
+/// same plan. This mirrors the paper's distributed setting where every mule
+/// runs the same construction rules on the same shared knowledge and must
+/// arrive at the same path.
+pub trait Planner {
+    /// Short human-readable name used in reports ("B-TCTP", "CHB", …).
+    fn name(&self) -> &'static str;
+
+    /// Produces the patrol plan for `scenario`.
+    fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError>;
+}
+
+/// Blanket helper: validates the common preconditions shared by every
+/// planner (at least one patrolled node, at least one mule).
+pub(crate) fn validate_common(scenario: &Scenario) -> Result<(), PlanError> {
+    if scenario.patrolled_positions().is_empty() {
+        return Err(PlanError::NoTargets);
+    }
+    if scenario.mule_count() == 0 {
+        return Err(PlanError::NoMules);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mule_workload::ScenarioConfig;
+
+    #[test]
+    fn validate_common_rejects_empty_fleets() {
+        let no_mules = ScenarioConfig::paper_default().with_mules(0).generate();
+        assert_eq!(validate_common(&no_mules), Err(PlanError::NoMules));
+        let ok = ScenarioConfig::paper_default().generate();
+        assert_eq!(validate_common(&ok), Ok(()));
+    }
+}

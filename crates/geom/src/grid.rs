@@ -1,0 +1,239 @@
+//! A uniform bucket grid for fast range queries over mostly-static points.
+//!
+//! The radio substrate asks, every simulation tick, "which targets are
+//! within communication range (20 m) of this mule?". Targets never move, so
+//! a uniform grid with cells sized to the query radius answers that in
+//! `O(1)` expected time and is simpler and faster than the kd-tree for this
+//! fixed-radius workload.
+
+use crate::bbox::BoundingBox;
+use crate::point::Point;
+use std::collections::HashMap;
+
+/// A uniform grid spatial index over a fixed set of points.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    points: Vec<Point>,
+    bounds: Option<BoundingBox>,
+}
+
+impl UniformGrid {
+    /// Builds a grid over `points` with square cells of side `cell_size`
+    /// metres. `cell_size` must be positive; it is clamped to a small
+    /// positive value otherwise so construction is total.
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        let cell_size = if cell_size > 0.0 { cell_size } else { 1.0 };
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells.entry(Self::key(p, cell_size)).or_default().push(i);
+        }
+        UniformGrid {
+            cell_size,
+            cells,
+            points: points.to_vec(),
+            bounds: BoundingBox::containing(points),
+        }
+    }
+
+    #[inline]
+    fn key(p: &Point, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the grid indexes no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Bounding box of the indexed points (`None` when empty).
+    #[inline]
+    pub fn bounds(&self) -> Option<BoundingBox> {
+        self.bounds
+    }
+
+    /// The stored point for an index.
+    #[inline]
+    pub fn point(&self, index: usize) -> Option<Point> {
+        self.points.get(index).copied()
+    }
+
+    /// Indices of all points within `radius` metres of `query` (inclusive),
+    /// ascending.
+    pub fn within_radius(&self, query: &Point, radius: f64) -> Vec<usize> {
+        if radius < 0.0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let r2 = radius * radius;
+        let span = (radius / self.cell_size).ceil() as i64;
+        let (cx, cy) = Self::key(query, self.cell_size);
+        let mut out = Vec::new();
+        for gx in (cx - span)..=(cx + span) {
+            for gy in (cy - span)..=(cy + span) {
+                if let Some(bucket) = self.cells.get(&(gx, gy)) {
+                    for &i in bucket {
+                        if self.points[i].distance_squared(query) <= r2 {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Index and distance of the nearest point to `query`, searched in
+    /// expanding rings of cells. `None` when the grid is empty.
+    pub fn nearest(&self, query: &Point) -> Option<(usize, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let (cx, cy) = Self::key(query, self.cell_size);
+        let mut best: Option<(usize, f64)> = None;
+        let mut ring = 0i64;
+        // The maximum useful ring must reach from the query cell to the
+        // farthest corner of the indexed extent (the query itself may lie
+        // well outside the bounds).
+        let max_ring = self
+            .bounds
+            .map(|b| {
+                let far_x = (query.x - b.min_x).abs().max((query.x - b.max_x).abs());
+                let far_y = (query.y - b.min_y).abs().max((query.y - b.max_y).abs());
+                ((far_x.max(far_y) / self.cell_size).ceil() as i64 + 1).max(1)
+            })
+            .unwrap_or(1);
+        loop {
+            for gx in (cx - ring)..=(cx + ring) {
+                for gy in (cy - ring)..=(cy + ring) {
+                    // Only the boundary of the ring is new.
+                    if ring > 0 && (gx - cx).abs() != ring && (gy - cy).abs() != ring {
+                        continue;
+                    }
+                    if let Some(bucket) = self.cells.get(&(gx, gy)) {
+                        for &i in bucket {
+                            let d2 = self.points[i].distance_squared(query);
+                            if best.map(|(_, b)| d2 < b).unwrap_or(true) {
+                                best = Some((i, d2));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((_, d2)) = best {
+                // Once a hit is found, one extra ring guarantees correctness
+                // (a closer point can hide in the next ring at most).
+                let safe_rings = (d2.sqrt() / self.cell_size).ceil() as i64 + 1;
+                if ring >= safe_rings {
+                    break;
+                }
+            }
+            ring += 1;
+            if ring > max_ring + 1 {
+                break;
+            }
+        }
+        best.map(|(i, d2)| (i, d2.sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn pts() -> Vec<Point> {
+        vec![
+            Point::new(5.0, 5.0),
+            Point::new(25.0, 5.0),
+            Point::new(5.0, 25.0),
+            Point::new(25.0, 25.0),
+            Point::new(400.0, 400.0),
+        ]
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let points = pts();
+        let grid = UniformGrid::build(&points, 20.0);
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(15.0, 15.0),
+            Point::new(399.0, 401.0),
+        ] {
+            for r in [0.0, 10.0, 30.0, 600.0] {
+                let got = grid.within_radius(&q, r);
+                let want: Vec<usize> = points
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.distance(&q) <= r)
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(got, want, "query {q} radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let points = pts();
+        let grid = UniformGrid::build(&points, 10.0);
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(26.0, 24.0),
+            Point::new(200.0, 200.0),
+            Point::new(500.0, 500.0),
+        ] {
+            let (gi, gd) = grid.nearest(&q).unwrap();
+            let (bi, bp) = points
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1.distance(&q).partial_cmp(&b.1.distance(&q)).unwrap()
+                })
+                .unwrap();
+            assert!(approx_eq(gd, bp.distance(&q)), "query {q}");
+            assert!(approx_eq(points[gi].distance(&q), points[bi].distance(&q)));
+        }
+    }
+
+    #[test]
+    fn empty_grid_behaves_totally() {
+        let grid = UniformGrid::build(&[], 10.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        assert!(grid.nearest(&Point::ORIGIN).is_none());
+        assert!(grid.within_radius(&Point::ORIGIN, 100.0).is_empty());
+        assert!(grid.bounds().is_none());
+    }
+
+    #[test]
+    fn non_positive_cell_size_is_clamped() {
+        let grid = UniformGrid::build(&pts(), -5.0);
+        assert_eq!(grid.len(), 5);
+        assert!(grid.nearest(&Point::new(5.0, 5.0)).is_some());
+    }
+
+    #[test]
+    fn negative_radius_returns_nothing() {
+        let grid = UniformGrid::build(&pts(), 10.0);
+        assert!(grid.within_radius(&Point::new(5.0, 5.0), -1.0).is_empty());
+    }
+
+    #[test]
+    fn point_lookup_round_trips() {
+        let points = pts();
+        let grid = UniformGrid::build(&points, 10.0);
+        assert_eq!(grid.point(3), Some(Point::new(25.0, 25.0)));
+        assert_eq!(grid.point(99), None);
+        assert!(grid.bounds().unwrap().contains(&Point::new(25.0, 25.0)));
+    }
+}

@@ -1,0 +1,237 @@
+//! Convex hulls.
+//!
+//! The CHB Hamiltonian-circuit heuristic (reference [5] of the paper, and
+//! the "Hamiltonian_CycleConstruct" step of every TCTP planner) starts from
+//! the convex hull of the target set and inserts the interior targets one by
+//! one. This module provides the hull itself (Andrew's monotone chain,
+//! `O(n log n)`), plus the convexity and containment predicates the tests
+//! and the insertion heuristic rely on.
+
+use crate::angle::orientation;
+use crate::point::Point;
+
+/// Computes the convex hull of `points` and returns the hull vertices in
+/// **counter-clockwise** order, starting from the lexicographically smallest
+/// point. Collinear points on hull edges are *not* included.
+///
+/// Degenerate inputs are handled totally:
+/// * 0, 1 or 2 points → the input (deduplicated) is returned as-is;
+/// * all points collinear → the two extreme points.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.lexicographic_cmp(b));
+    pts.dedup_by(|a, b| a.distance_squared(b) <= f64::EPSILON);
+
+    if pts.len() <= 2 {
+        return pts;
+    }
+
+    let n = pts.len();
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+
+    // Lower hull.
+    for p in &pts {
+        while hull.len() >= 2
+            && orientation(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orientation(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+
+    // The last point is the same as the first one; drop it.
+    hull.pop();
+
+    // Fully collinear input collapses to the two extremes.
+    if hull.len() < 3 {
+        hull.truncate(2);
+    }
+    hull
+}
+
+/// Returns `true` when `polygon` (given in order, either orientation) is a
+/// convex polygon. Polygons with fewer than 3 vertices are trivially
+/// considered convex.
+pub fn is_convex_polygon(polygon: &[Point]) -> bool {
+    let n = polygon.len();
+    if n < 3 {
+        return true;
+    }
+    let mut sign = 0.0_f64;
+    for i in 0..n {
+        let o = orientation(&polygon[i], &polygon[(i + 1) % n], &polygon[(i + 2) % n]);
+        if o.abs() <= f64::EPSILON {
+            continue; // collinear corner does not break convexity
+        }
+        if sign == 0.0 {
+            sign = o.signum();
+        } else if o.signum() != sign {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` when `p` lies inside or on the boundary of the convex
+/// polygon `hull` given in counter-clockwise order.
+pub fn point_in_convex_polygon(p: &Point, hull: &[Point]) -> bool {
+    let n = hull.len();
+    match n {
+        0 => false,
+        1 => hull[0].distance_squared(p) <= crate::EPSILON,
+        2 => {
+            let seg = crate::Segment::new(hull[0], hull[1]);
+            seg.distance_to_point(p) <= crate::EPSILON
+        }
+        _ => {
+            for i in 0..n {
+                if orientation(&hull[i], &hull[(i + 1) % n], p) < -crate::EPSILON {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Signed area of a simple polygon given in order (positive when
+/// counter-clockwise). Uses the shoelace formula.
+pub fn signed_area(polygon: &[Point]) -> f64 {
+    let n = polygon.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut twice_area = 0.0;
+    for i in 0..n {
+        let a = &polygon[i];
+        let b = &polygon[(i + 1) % n];
+        twice_area += a.x * b.y - b.x * a.y;
+    }
+    twice_area * 0.5
+}
+
+/// Perimeter of a closed polygon given in order.
+pub fn perimeter(polygon: &[Point]) -> f64 {
+    let n = polygon.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        total += polygon[i].distance(&polygon[(i + 1) % n]);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points_is_the_square() {
+        let mut pts = square();
+        pts.push(Point::new(2.0, 2.0));
+        pts.push(Point::new(1.0, 3.0));
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        for corner in square() {
+            assert!(hull.contains(&corner), "missing corner {corner}");
+        }
+        assert!(is_convex_polygon(&hull));
+        assert!(signed_area(&hull) > 0.0, "hull must be CCW");
+    }
+
+    #[test]
+    fn hull_of_degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = convex_hull(&[Point::new(1.0, 1.0)]);
+        assert_eq!(single, vec![Point::new(1.0, 1.0)]);
+        let duplicated = convex_hull(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)]);
+        assert_eq!(duplicated.len(), 1);
+    }
+
+    #[test]
+    fn hull_of_collinear_points_is_the_two_extremes() {
+        let pts: Vec<Point> = (0..7).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 2);
+        assert!(hull.contains(&Point::new(0.0, 0.0)));
+        assert!(hull.contains(&Point::new(6.0, 12.0)));
+    }
+
+    #[test]
+    fn hull_excludes_collinear_boundary_points() {
+        let mut pts = square();
+        pts.push(Point::new(2.0, 0.0)); // on the bottom edge
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn point_in_convex_polygon_boundary_and_interior() {
+        let hull = convex_hull(&square());
+        assert!(point_in_convex_polygon(&Point::new(2.0, 2.0), &hull));
+        assert!(point_in_convex_polygon(&Point::new(0.0, 0.0), &hull));
+        assert!(point_in_convex_polygon(&Point::new(2.0, 0.0), &hull));
+        assert!(!point_in_convex_polygon(&Point::new(5.0, 2.0), &hull));
+        assert!(!point_in_convex_polygon(&Point::new(-0.1, 2.0), &hull));
+    }
+
+    #[test]
+    fn point_in_degenerate_hulls() {
+        assert!(!point_in_convex_polygon(&Point::ORIGIN, &[]));
+        assert!(point_in_convex_polygon(
+            &Point::new(1.0, 1.0),
+            &[Point::new(1.0, 1.0)]
+        ));
+        let segment_hull = vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)];
+        assert!(point_in_convex_polygon(&Point::new(2.0, 0.0), &segment_hull));
+        assert!(!point_in_convex_polygon(&Point::new(2.0, 1.0), &segment_hull));
+    }
+
+    #[test]
+    fn is_convex_polygon_detects_reflex_vertices() {
+        assert!(is_convex_polygon(&square()));
+        let dented = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 1.0), // dent
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        assert!(!is_convex_polygon(&dented));
+        assert!(is_convex_polygon(&[Point::ORIGIN, Point::new(1.0, 1.0)]));
+    }
+
+    #[test]
+    fn signed_area_and_perimeter_of_square() {
+        let sq = square();
+        assert!(approx_eq(signed_area(&sq), 16.0));
+        let cw: Vec<Point> = sq.iter().rev().copied().collect();
+        assert!(approx_eq(signed_area(&cw), -16.0));
+        assert!(approx_eq(perimeter(&sq), 16.0));
+        assert!(approx_eq(perimeter(&[Point::ORIGIN]), 0.0));
+    }
+}

@@ -1,0 +1,154 @@
+//! The packaged CHB Hamiltonian-circuit pipeline.
+//!
+//! Every TCTP planner (and the CHB baseline itself) needs "an efficient
+//! Hamiltonian Circuit constructed from the convex hull" (paper §2.2,
+//! reference [5]). This module packages the full pipeline the rest of the
+//! workspace calls:
+//!
+//! 1. convex-hull insertion construction,
+//! 2. 2-opt polishing,
+//! 3. Or-opt polishing,
+//!
+//! with a small config to disable the polishing passes for ablation.
+//! Because all data mules run the same deterministic code on the same
+//! target list, they all obtain *the same* circuit — the distributed-
+//! agreement property the paper relies on.
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::insertion::convex_hull_insertion;
+use crate::or_opt::or_opt;
+use crate::tour::Tour;
+use crate::two_opt::two_opt;
+use mule_geom::Point;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the CHB circuit-construction pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChbConfig {
+    /// Maximum number of full 2-opt sweeps (0 disables 2-opt).
+    pub two_opt_passes: usize,
+    /// Maximum number of full Or-opt sweeps (0 disables Or-opt).
+    pub or_opt_passes: usize,
+}
+
+impl Default for ChbConfig {
+    fn default() -> Self {
+        // Enough passes to converge at the paper's instance sizes (≤ 50
+        // targets) while keeping construction instantaneous.
+        ChbConfig {
+            two_opt_passes: 30,
+            or_opt_passes: 30,
+        }
+    }
+}
+
+impl ChbConfig {
+    /// A configuration with all polishing disabled — raw convex-hull
+    /// insertion, used by the ablation bench.
+    pub fn construction_only() -> Self {
+        ChbConfig {
+            two_opt_passes: 0,
+            or_opt_passes: 0,
+        }
+    }
+}
+
+/// Builds the CHB Hamiltonian circuit over `points` with the default
+/// configuration.
+pub fn construct_circuit(points: &[Point]) -> Tour {
+    construct_circuit_with(points, &ChbConfig::default())
+}
+
+/// Builds the CHB Hamiltonian circuit with an explicit configuration.
+pub fn construct_circuit_with(points: &[Point], config: &ChbConfig) -> Tour {
+    let dm = DistanceMatrix::from_points(points);
+    construct_circuit_with_matrix(points, &dm, config)
+}
+
+/// Builds the CHB Hamiltonian circuit reusing a precomputed distance matrix.
+pub fn construct_circuit_with_matrix(
+    points: &[Point],
+    dm: &DistanceMatrix,
+    config: &ChbConfig,
+) -> Tour {
+    let mut tour = convex_hull_insertion(points, dm);
+    if config.two_opt_passes > 0 {
+        two_opt(&mut tour, dm, config.two_opt_passes);
+    }
+    if config.or_opt_passes > 0 {
+        or_opt(&mut tour, dm, config.or_opt_passes);
+        // A final 2-opt pass cleans up crossings introduced by relocations.
+        if config.two_opt_passes > 0 {
+            two_opt(&mut tour, dm, config.two_opt_passes);
+        }
+    }
+    tour
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_points(n: usize, salt: u64) -> Vec<Point> {
+        (0..n as u64)
+            .map(|i| {
+                let h = i.wrapping_mul(6364136223846793005).wrapping_add(salt);
+                Point::new((h % 800) as f64, ((h >> 17) % 800) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn circuit_is_a_valid_hamiltonian_cycle() {
+        let pts = pseudo_random_points(30, 12345);
+        let tour = construct_circuit(&pts);
+        assert!(tour.is_valid());
+        assert_eq!(tour.len(), pts.len());
+    }
+
+    #[test]
+    fn polishing_never_hurts() {
+        let pts = pseudo_random_points(40, 777);
+        let raw = construct_circuit_with(&pts, &ChbConfig::construction_only());
+        let polished = construct_circuit(&pts);
+        assert!(polished.length(&pts) <= raw.length(&pts) + 1e-9);
+    }
+
+    #[test]
+    fn construction_is_deterministic_across_calls() {
+        // The distributed-agreement property: every mule computes the same
+        // circuit from the same target list.
+        let pts = pseudo_random_points(25, 42);
+        let a = construct_circuit(&pts);
+        let b = construct_circuit(&pts);
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    fn circuit_length_is_within_twice_the_mst_bound() {
+        let pts = pseudo_random_points(35, 9001);
+        let dm = DistanceMatrix::from_points(&pts);
+        let mst = crate::minimum_spanning_tree(&pts, &dm);
+        let tour = construct_circuit(&pts);
+        assert!(tour.length(&pts) <= 2.0 * mst.weight + 1e-9);
+    }
+
+    #[test]
+    fn degenerate_target_counts_are_handled() {
+        for n in 0..4 {
+            let pts = pseudo_random_points(n, 5);
+            let tour = construct_circuit(&pts);
+            assert_eq!(tour.len(), n);
+            assert!(tour.is_valid());
+        }
+    }
+
+    #[test]
+    fn default_config_enables_both_polishers() {
+        let c = ChbConfig::default();
+        assert!(c.two_opt_passes > 0 && c.or_opt_passes > 0);
+        let raw = ChbConfig::construction_only();
+        assert_eq!(raw.two_opt_passes, 0);
+        assert_eq!(raw.or_opt_passes, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Dense pairwise Euclidean distance matrix.
+//!
+//! All tour heuristics and the WPP/WRP break-edge searches are expressed in
+//! terms of inter-target distances. Computing them once per scenario and
+//! sharing the matrix keeps the heuristics allocation-free in their inner
+//! loops.
+
+use mule_geom::Point;
+
+/// A symmetric `n × n` matrix of Euclidean distances, stored row-major in a
+/// single flat allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix from a point slice.
+    pub fn from_points(points: &[Point]) -> Self {
+        let n = points.len();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            // The matrix is symmetric; fill both triangles in one pass.
+            for j in (i + 1)..n {
+                let d = points[i].distance(&points[j]);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of points the matrix was built from.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for a 0 × 0 matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between points `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics when either index is out of range (matching slice indexing
+    /// semantics — an out-of-range target index is a programming error).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// The nearest other point to `i` that satisfies `accept`, as
+    /// `(index, distance)`. Returns `None` when no acceptable point exists.
+    pub fn nearest_to<F: Fn(usize) -> bool>(&self, i: usize, accept: F) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.n {
+            if j == i || !accept(j) {
+                continue;
+            }
+            let d = self.get(i, j);
+            if best.map(|(_, b)| d < b).unwrap_or(true) {
+                best = Some((j, d));
+            }
+        }
+        best
+    }
+
+    /// The pair of distinct points with the largest separation, as
+    /// `(i, j, distance)`. Returns `None` for fewer than two points.
+    pub fn farthest_pair(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let d = self.get(i, j);
+                if best.map(|(_, _, b)| d > b).unwrap_or(true) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        best
+    }
+
+    /// Total length of a closed tour visiting `order` (indices into the
+    /// original point slice) and returning to its first entry.
+    pub fn cycle_length(&self, order: &[usize]) -> f64 {
+        if order.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for w in order.windows(2) {
+            total += self.get(w[0], w[1]);
+        }
+        total + self.get(*order.last().unwrap(), order[0])
+    }
+
+    /// Total length of an open path visiting `order` in sequence.
+    pub fn path_length(&self, order: &[usize]) -> f64 {
+        order.windows(2).map(|w| self.get(w[0], w[1])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let dm = DistanceMatrix::from_points(&unit_square());
+        assert_eq!(dm.len(), 4);
+        for i in 0..4 {
+            assert_eq!(dm.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(dm.get(i, j), dm.get(j, i));
+            }
+        }
+        assert!((dm.get(0, 2) - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(dm.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn empty_and_single_point_matrices() {
+        let empty = DistanceMatrix::from_points(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.cycle_length(&[]), 0.0);
+        let single = DistanceMatrix::from_points(&[Point::new(3.0, 3.0)]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.get(0, 0), 0.0);
+        assert_eq!(single.cycle_length(&[0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_access_panics() {
+        let dm = DistanceMatrix::from_points(&unit_square());
+        let _ = dm.get(0, 10);
+    }
+
+    #[test]
+    fn nearest_to_respects_the_filter() {
+        let dm = DistanceMatrix::from_points(&unit_square());
+        let (j, d) = dm.nearest_to(0, |_| true).unwrap();
+        assert!(j == 1 || j == 3);
+        assert_eq!(d, 1.0);
+        let (j2, d2) = dm.nearest_to(0, |k| k == 2).unwrap();
+        assert_eq!(j2, 2);
+        assert!((d2 - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!(dm.nearest_to(0, |_| false).is_none());
+    }
+
+    #[test]
+    fn farthest_pair_is_the_diagonal_of_the_square() {
+        let dm = DistanceMatrix::from_points(&unit_square());
+        let (i, j, d) = dm.farthest_pair().unwrap();
+        assert!((d - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((i == 0 && j == 2) || (i == 1 && j == 3));
+        assert!(DistanceMatrix::from_points(&[Point::ORIGIN])
+            .farthest_pair()
+            .is_none());
+    }
+
+    #[test]
+    fn cycle_and_path_lengths() {
+        let dm = DistanceMatrix::from_points(&unit_square());
+        assert!((dm.cycle_length(&[0, 1, 2, 3]) - 4.0).abs() < 1e-12);
+        assert!((dm.path_length(&[0, 1, 2, 3]) - 3.0).abs() < 1e-12);
+        assert_eq!(dm.cycle_length(&[2]), 0.0);
+        assert_eq!(dm.path_length(&[2]), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Insertion-based tour construction.
+//!
+//! Two variants:
+//!
+//! * [`convex_hull_insertion`] — the "CHB" construction of reference [5]
+//!   that every TCTP planner starts from: begin with the convex hull of the
+//!   targets (already a tour of the boundary points) and repeatedly insert
+//!   the interior point whose cheapest insertion position is cheapest.
+//! * [`cheapest_insertion`] — classic cheapest insertion seeded with the
+//!   farthest-apart pair; used for cross-checking and the ablation bench.
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::tour::Tour;
+use mule_geom::{convex_hull, Point};
+
+/// Cost of inserting point `k` between consecutive tour points `i` and `j`:
+/// `d(i,k) + d(k,j) − d(i,j)`.
+#[inline]
+fn insertion_cost(dm: &DistanceMatrix, i: usize, j: usize, k: usize) -> f64 {
+    dm.get(i, k) + dm.get(k, j) - dm.get(i, j)
+}
+
+/// Finds the cheapest position (edge index in the current order) at which to
+/// insert `k`, returning `(position, cost)`.
+fn cheapest_position(dm: &DistanceMatrix, order: &[usize], k: usize) -> (usize, f64) {
+    let n = order.len();
+    debug_assert!(n >= 1);
+    if n == 1 {
+        return (0, 2.0 * dm.get(order[0], k));
+    }
+    let mut best_pos = 0;
+    let mut best_cost = f64::INFINITY;
+    for pos in 0..n {
+        let i = order[pos];
+        let j = order[(pos + 1) % n];
+        let c = insertion_cost(dm, i, j, k);
+        if c < best_cost {
+            best_cost = c;
+            best_pos = pos;
+        }
+    }
+    (best_pos, best_cost)
+}
+
+/// Convex-hull insertion ("CHB" construction).
+///
+/// 1. The convex hull of the points forms the initial sub-tour.
+/// 2. While interior points remain, pick the (point, edge) pair with the
+///    globally cheapest insertion cost and splice the point into that edge.
+///
+/// Returns a trivial tour for fewer than two points.
+pub fn convex_hull_insertion(points: &[Point], dm: &DistanceMatrix) -> Tour {
+    let n = points.len();
+    if n <= 2 {
+        return Tour::identity(n);
+    }
+
+    let hull = convex_hull(points);
+    // Map hull vertices back to their indices in `points`. The hull returns
+    // coordinates, so match by proximity (points are deduplicated by the
+    // hull, so ties pick the first matching index deterministically).
+    let mut in_tour = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for hp in &hull {
+        if let Some(idx) = points
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| !in_tour[*i] && p.distance_squared(hp) <= 1e-18)
+            .map(|(i, _)| i)
+            .next()
+        {
+            in_tour[idx] = true;
+            order.push(idx);
+        }
+    }
+    // Degenerate hulls (all points collinear) may cover < 3 points; fall
+    // back to seeding with whatever the hull gave us (at least 2 extremes).
+    if order.is_empty() {
+        order.push(0);
+        in_tour[0] = true;
+    }
+
+    // Repeatedly insert the remaining point with the cheapest insertion.
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| !in_tour[i]).collect();
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, usize, f64)> = None; // (remaining slot, pos, cost)
+        for (slot, &k) in remaining.iter().enumerate() {
+            let (pos, cost) = cheapest_position(dm, &order, k);
+            if best.map(|(_, _, b)| cost < b).unwrap_or(true) {
+                best = Some((slot, pos, cost));
+            }
+        }
+        let (slot, pos, _) = best.expect("remaining is non-empty");
+        let k = remaining.swap_remove(slot);
+        order.insert((pos + 1).min(order.len()), k);
+    }
+
+    Tour::new(order)
+}
+
+/// Cheapest insertion seeded with the farthest-apart pair of points.
+pub fn cheapest_insertion(points: &[Point], dm: &DistanceMatrix) -> Tour {
+    let n = points.len();
+    if n <= 2 {
+        return Tour::identity(n);
+    }
+    let (a, b, _) = dm.farthest_pair().expect("n >= 2");
+    let mut order = vec![a, b];
+    let mut in_tour = vec![false; n];
+    in_tour[a] = true;
+    in_tour[b] = true;
+
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| !in_tour[i]).collect();
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (slot, &k) in remaining.iter().enumerate() {
+            let (pos, cost) = cheapest_position(dm, &order, k);
+            if best.map(|(_, _, b)| cost < b).unwrap_or(true) {
+                best = Some((slot, pos, cost));
+            }
+        }
+        let (slot, pos, _) = best.expect("remaining is non-empty");
+        let k = remaining.swap_remove(slot);
+        order.insert((pos + 1).min(order.len()), k);
+    }
+    Tour::new(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_center() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(0.0, 100.0),
+            Point::new(50.0, 50.0),
+        ]
+    }
+
+    #[test]
+    fn hull_insertion_yields_valid_tour_covering_all_points() {
+        let pts = square_with_center();
+        let dm = DistanceMatrix::from_points(&pts);
+        let tour = convex_hull_insertion(&pts, &dm);
+        assert!(tour.is_valid());
+        assert_eq!(tour.len(), 5);
+    }
+
+    #[test]
+    fn hull_insertion_on_pure_hull_matches_hull_perimeter() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(0.0, 100.0),
+        ];
+        let dm = DistanceMatrix::from_points(&pts);
+        let tour = convex_hull_insertion(&pts, &dm);
+        assert!((tour.length(&pts) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheapest_insertion_yields_valid_tour() {
+        let pts = square_with_center();
+        let dm = DistanceMatrix::from_points(&pts);
+        let tour = cheapest_insertion(&pts, &dm);
+        assert!(tour.is_valid());
+        assert_eq!(tour.len(), 5);
+        // Both heuristics should be close on this tiny instance.
+        let chb = convex_hull_insertion(&pts, &dm).length(&pts);
+        assert!(tour.length(&pts) <= chb * 1.5);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_trivial_tours() {
+        for pts in [vec![], vec![Point::ORIGIN], vec![Point::ORIGIN, Point::new(1.0, 0.0)]] {
+            let dm = DistanceMatrix::from_points(&pts);
+            let a = convex_hull_insertion(&pts, &dm);
+            let b = cheapest_insertion(&pts, &dm);
+            assert_eq!(a.len(), pts.len());
+            assert_eq!(b.len(), pts.len());
+            assert!(a.is_valid() && b.is_valid());
+        }
+    }
+
+    #[test]
+    fn collinear_points_are_still_all_visited() {
+        let pts: Vec<Point> = (0..6).map(|i| Point::new(10.0 * i as f64, 5.0)).collect();
+        let dm = DistanceMatrix::from_points(&pts);
+        let tour = convex_hull_insertion(&pts, &dm);
+        assert!(tour.is_valid());
+        assert_eq!(tour.len(), 6);
+        // Optimal "tour" over a line is out-and-back: 2 × 50 m.
+        assert!((tour.length(&pts) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_are_all_visited() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 8.0),
+        ];
+        let dm = DistanceMatrix::from_points(&pts);
+        let tour = convex_hull_insertion(&pts, &dm);
+        assert!(tour.is_valid());
+        assert_eq!(tour.len(), 4);
+    }
+
+    #[test]
+    fn insertion_cost_is_the_detour_cost() {
+        let pts = square_with_center();
+        let dm = DistanceMatrix::from_points(&pts);
+        // Inserting the centre (index 4) between corners 0 and 1.
+        let cost = super::insertion_cost(&dm, 0, 1, 4);
+        let expected = pts[0].distance(&pts[4]) + pts[4].distance(&pts[1]) - pts[0].distance(&pts[1]);
+        assert!((cost - expected).abs() < 1e-12);
+        assert!(cost > 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Hamiltonian cycles over point indices.
+//!
+//! A [`Tour`] is an ordering of the indices `0..n` interpreted as a closed
+//! cycle: the mule visits `order[0], order[1], …, order[n-1]` and then
+//! returns to `order[0]`. Planners manipulate tours by index so that target
+//! metadata (weights, identities) stays attached to its original slot.
+
+use crate::distance_matrix::DistanceMatrix;
+use mule_geom::{Point, Polyline};
+use serde::{Deserialize, Serialize};
+
+/// An ordered Hamiltonian cycle over the point indices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tour {
+    order: Vec<usize>,
+}
+
+impl Tour {
+    /// Creates a tour from an explicit visiting order.
+    pub fn new(order: Vec<usize>) -> Self {
+        Tour { order }
+    }
+
+    /// The identity tour `0, 1, …, n-1`.
+    pub fn identity(n: usize) -> Self {
+        Tour {
+            order: (0..n).collect(),
+        }
+    }
+
+    /// The visiting order (without the implicit closing edge).
+    #[inline]
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of visited points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` for an empty tour.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Returns `true` when the tour is a permutation of `0..n` — every index
+    /// appears exactly once.
+    pub fn is_valid(&self) -> bool {
+        let n = self.order.len();
+        let mut seen = vec![false; n];
+        for &i in &self.order {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        true
+    }
+
+    /// Total length of the closed tour over `points`.
+    pub fn length(&self, points: &[Point]) -> f64 {
+        if self.order.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for w in self.order.windows(2) {
+            total += points[w[0]].distance(&points[w[1]]);
+        }
+        total + points[*self.order.last().unwrap()].distance(&points[self.order[0]])
+    }
+
+    /// Total length using a precomputed distance matrix.
+    pub fn length_with_matrix(&self, dm: &DistanceMatrix) -> f64 {
+        dm.cycle_length(&self.order)
+    }
+
+    /// The successor of position `pos` in cyclic order.
+    #[inline]
+    pub fn next_pos(&self, pos: usize) -> usize {
+        (pos + 1) % self.order.len()
+    }
+
+    /// The predecessor of position `pos` in cyclic order.
+    #[inline]
+    pub fn prev_pos(&self, pos: usize) -> usize {
+        (pos + self.order.len() - 1) % self.order.len()
+    }
+
+    /// Position of point index `target` within the tour, if present.
+    pub fn position_of(&self, target: usize) -> Option<usize> {
+        self.order.iter().position(|&i| i == target)
+    }
+
+    /// The directed edges of the tour as `(from_index, to_index)` pairs,
+    /// including the closing edge.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let n = self.order.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| (self.order[i], self.order[(i + 1) % n]))
+            .collect()
+    }
+
+    /// Rotates the tour (in place) so that traversal starts at the point
+    /// index `start`. No-op when `start` is not in the tour.
+    pub fn rotate_to_start(&mut self, start: usize) {
+        if let Some(pos) = self.position_of(start) {
+            self.order.rotate_left(pos);
+        }
+    }
+
+    /// Reverses the sub-sequence of positions `[i, j]` (inclusive), the
+    /// 2-opt move primitive. Indices are positions in the tour, not point
+    /// indices; `i <= j` is required.
+    pub fn reverse_segment(&mut self, i: usize, j: usize) {
+        if i < j && j < self.order.len() {
+            self.order[i..=j].reverse();
+        }
+    }
+
+    /// Removes the point at tour position `pos` and returns its index.
+    pub fn remove_at(&mut self, pos: usize) -> Option<usize> {
+        if pos < self.order.len() {
+            Some(self.order.remove(pos))
+        } else {
+            None
+        }
+    }
+
+    /// Inserts point index `target` so that it is visited after position
+    /// `pos` (or at the front when the tour is empty).
+    pub fn insert_after(&mut self, pos: usize, target: usize) {
+        if self.order.is_empty() {
+            self.order.push(target);
+        } else {
+            let at = (pos + 1).min(self.order.len());
+            self.order.insert(at, target);
+        }
+    }
+
+    /// Converts the tour into the closed [`Polyline`] over the actual
+    /// coordinates, ready to hand to the simulator.
+    pub fn to_polyline(&self, points: &[Point]) -> Polyline {
+        Polyline::closed(self.order.iter().map(|&i| points[i]).collect())
+    }
+
+    /// Consumes the tour and returns the underlying order.
+    pub fn into_order(self) -> Vec<usize> {
+        self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_points() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn identity_tour_is_valid_and_has_square_perimeter() {
+        let pts = square_points();
+        let tour = Tour::identity(4);
+        assert!(tour.is_valid());
+        assert_eq!(tour.len(), 4);
+        assert!((tour.length(&pts) - 40.0).abs() < 1e-12);
+        let dm = DistanceMatrix::from_points(&pts);
+        assert!((tour.length_with_matrix(&dm) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity_rejects_duplicates_and_out_of_range() {
+        assert!(!Tour::new(vec![0, 1, 1, 3]).is_valid());
+        assert!(!Tour::new(vec![0, 1, 2, 4]).is_valid());
+        assert!(Tour::new(vec![]).is_valid());
+        assert!(Tour::new(vec![2, 0, 1]).is_valid());
+    }
+
+    #[test]
+    fn edges_wrap_around() {
+        let tour = Tour::new(vec![2, 0, 3, 1]);
+        assert_eq!(tour.edges(), vec![(2, 0), (0, 3), (3, 1), (1, 2)]);
+        assert!(Tour::new(vec![7]).edges().is_empty());
+    }
+
+    #[test]
+    fn cyclic_navigation_helpers() {
+        let tour = Tour::identity(4);
+        assert_eq!(tour.next_pos(3), 0);
+        assert_eq!(tour.prev_pos(0), 3);
+        assert_eq!(tour.position_of(2), Some(2));
+        assert_eq!(tour.position_of(9), None);
+    }
+
+    #[test]
+    fn rotation_preserves_validity_and_length() {
+        let pts = square_points();
+        let mut tour = Tour::identity(4);
+        tour.rotate_to_start(2);
+        assert_eq!(tour.order()[0], 2);
+        assert!(tour.is_valid());
+        assert!((tour.length(&pts) - 40.0).abs() < 1e-12);
+        // Rotating to an unknown index leaves the tour unchanged.
+        let before = tour.clone();
+        tour.rotate_to_start(99);
+        assert_eq!(tour, before);
+    }
+
+    #[test]
+    fn reverse_segment_performs_a_two_opt_move() {
+        // A crossed square: 0-2-1-3 has crossing diagonals; reversing
+        // positions 1..=2 uncrosses it.
+        let pts = square_points();
+        let mut tour = Tour::new(vec![0, 2, 1, 3]);
+        let before = tour.length(&pts);
+        tour.reverse_segment(1, 2);
+        assert_eq!(tour.order(), &[0, 1, 2, 3]);
+        assert!(tour.length(&pts) < before);
+        assert!(tour.is_valid());
+    }
+
+    #[test]
+    fn insert_and_remove_round_trip() {
+        let mut tour = Tour::new(vec![0, 1, 2]);
+        tour.insert_after(1, 3);
+        assert_eq!(tour.order(), &[0, 1, 3, 2]);
+        let removed = tour.remove_at(2).unwrap();
+        assert_eq!(removed, 3);
+        assert_eq!(tour.order(), &[0, 1, 2]);
+        assert!(tour.remove_at(17).is_none());
+
+        let mut empty = Tour::new(vec![]);
+        empty.insert_after(5, 0);
+        assert_eq!(empty.order(), &[0]);
+    }
+
+    #[test]
+    fn to_polyline_is_closed_with_matching_length() {
+        let pts = square_points();
+        let tour = Tour::identity(4);
+        let poly = tour.to_polyline(&pts);
+        assert!(poly.is_closed());
+        assert!((poly.length() - tour.length(&pts)).abs() < 1e-12);
+        assert_eq!(poly.points().len(), 4);
+    }
+
+    #[test]
+    fn into_order_returns_the_backing_vector() {
+        let tour = Tour::new(vec![3, 1, 0, 2]);
+        assert_eq!(tour.into_order(), vec![3, 1, 0, 2]);
+    }
+}

@@ -1,0 +1,135 @@
+//! 2-opt local search.
+//!
+//! Repeatedly removes two edges of the tour and reconnects the two resulting
+//! paths the other way (reversing one of them) whenever that shortens the
+//! tour. Applied after the convex-hull insertion to polish the Hamiltonian
+//! circuit the planners patrol.
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::tour::Tour;
+
+/// Improves `tour` in place with 2-opt moves until no improving move exists
+/// or `max_passes` full sweeps have been made. Returns the number of
+/// improving moves applied.
+///
+/// The tour is never lengthened: each accepted move strictly decreases the
+/// length by more than the `1e-10` acceptance threshold (which guards
+/// against floating-point churn on already-optimal tours).
+pub fn two_opt(tour: &mut Tour, dm: &DistanceMatrix, max_passes: usize) -> usize {
+    let n = tour.len();
+    if n < 4 {
+        return 0;
+    }
+    let mut moves = 0;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for i in 0..n - 1 {
+            for j in i + 1..n {
+                // Edge A: (order[i-1], order[i]); Edge B: (order[j], order[j+1]).
+                // Reversing order[i..=j] replaces them with (order[i-1], order[j])
+                // and (order[i], order[j+1]).
+                let prev = if i == 0 { n - 1 } else { i - 1 };
+                let next = (j + 1) % n;
+                if prev == j || next == i {
+                    continue; // adjacent edges — reversal is a no-op
+                }
+                let order = tour.order();
+                let a0 = order[prev];
+                let a1 = order[i];
+                let b0 = order[j];
+                let b1 = order[next];
+                let current = dm.get(a0, a1) + dm.get(b0, b1);
+                let candidate = dm.get(a0, b0) + dm.get(a1, b1);
+                if candidate + 1e-10 < current {
+                    tour.reverse_segment(i, j);
+                    moves += 1;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mule_geom::Point;
+
+    fn square_points() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn uncrosses_a_crossed_square() {
+        let pts = square_points();
+        let dm = DistanceMatrix::from_points(&pts);
+        let mut tour = Tour::new(vec![0, 2, 1, 3]); // crossed
+        let before = tour.length(&pts);
+        let moves = two_opt(&mut tour, &dm, 10);
+        assert!(moves >= 1);
+        assert!(tour.is_valid());
+        assert!(tour.length(&pts) < before);
+        assert!((tour.length(&pts) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaves_an_optimal_tour_untouched() {
+        let pts = square_points();
+        let dm = DistanceMatrix::from_points(&pts);
+        let mut tour = Tour::identity(4);
+        let moves = two_opt(&mut tour, &dm, 10);
+        assert_eq!(moves, 0);
+        assert_eq!(tour.order(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn never_lengthens_random_like_tours() {
+        // Deterministic pseudo-random points via integer hashing.
+        let pts: Vec<Point> = (0..30u64)
+            .map(|i| {
+                let x = (i.wrapping_mul(2654435761) % 800) as f64;
+                let y = (i.wrapping_mul(40503) % 800) as f64;
+                Point::new(x, y)
+            })
+            .collect();
+        let dm = DistanceMatrix::from_points(&pts);
+        let mut tour = Tour::identity(pts.len());
+        let before = tour.length(&pts);
+        two_opt(&mut tour, &dm, 50);
+        assert!(tour.is_valid());
+        assert!(tour.length(&pts) <= before + 1e-9);
+    }
+
+    #[test]
+    fn tiny_tours_are_untouched() {
+        let pts = vec![Point::ORIGIN, Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
+        let dm = DistanceMatrix::from_points(&pts);
+        let mut tour = Tour::identity(3);
+        assert_eq!(two_opt(&mut tour, &dm, 5), 0);
+        assert_eq!(tour.order(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn respects_the_pass_budget() {
+        let pts: Vec<Point> = (0..20u64)
+            .map(|i| {
+                let x = (i.wrapping_mul(97) % 500) as f64;
+                let y = (i.wrapping_mul(61) % 500) as f64;
+                Point::new(x, y)
+            })
+            .collect();
+        let dm = DistanceMatrix::from_points(&pts);
+        let mut zero_pass = Tour::identity(pts.len());
+        assert_eq!(two_opt(&mut zero_pass, &dm, 0), 0);
+        assert_eq!(zero_pass.order(), Tour::identity(pts.len()).order());
+    }
+}

@@ -1,0 +1,33 @@
+//! # mule-metrics
+//!
+//! Evaluation metrics matching the paper's §V:
+//!
+//! * [`IntervalReport`] — visiting intervals per target, their maximum and
+//!   their standard deviation (the SD of Figures 8 and 10).
+//! * [`DcdtSeries`] — Data Collection Delay Time per visit index (the
+//!   series of Figure 7) and its averages (Figure 9).
+//! * [`EnergyEfficiencyReport`] — joules per delivered byte, useful-energy
+//!   fraction and fleet survival, for the energy discussion of §IV/§V.
+//! * [`FairnessReport`] — Jain's fairness index over target coverage and
+//!   per-mule workload balance.
+//! * [`SummaryStatistics`] — min / max / mean / standard deviation of any
+//!   sample, shared by all the reports.
+//! * [`table`] — plain-text table rendering for the figure-regeneration
+//!   binaries.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dcdt;
+pub mod energy_eff;
+pub mod fairness;
+pub mod intervals;
+pub mod summary;
+pub mod table;
+
+pub use dcdt::DcdtSeries;
+pub use energy_eff::EnergyEfficiencyReport;
+pub use fairness::{jain_index, FairnessReport};
+pub use intervals::IntervalReport;
+pub use summary::SummaryStatistics;
+pub use table::TextTable;

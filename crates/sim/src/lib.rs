@@ -1,0 +1,34 @@
+//! # mule-sim
+//!
+//! A deterministic discrete-event simulator for data-mule patrolling.
+//!
+//! The planners in `patrol-core` output a [`patrol_core::PatrolPlan`]; this
+//! crate executes it against the scenario's field: mules move at constant
+//! speed along their itineraries, collect the data buffered at each target
+//! they reach, deliver it when they pass the sink, spend energy per metre
+//! and per collection, recharge at the recharge station, and die if their
+//! battery empties. Every visit is recorded as a [`VisitRecord`] so the
+//! metrics crate can compute visiting intervals, DCDT and their standard
+//! deviations exactly as the paper's evaluation does.
+//!
+//! * [`SimulationConfig`] — speed, energy model, dwell times, horizon.
+//! * [`Simulation`] / [`SimulationOutcome`] — the engine and its results.
+//! * [`montecarlo`] — rayon-parallel replication sweeps ("average of 20
+//!   simulations", §5.1).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod engine;
+pub mod montecarlo;
+pub mod mule;
+pub mod outcome;
+pub mod trace;
+
+pub use config::SimulationConfig;
+pub use engine::Simulation;
+pub use montecarlo::{run_replicated, ReplicatedOutcome};
+pub use mule::{MuleReport, MuleStatus};
+pub use outcome::{SimulationOutcome, VisitRecord};
+pub use trace::{mules_to_csv, visits_to_csv, write_csv_files};

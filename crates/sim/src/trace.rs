@@ -1,0 +1,124 @@
+//! Trace export: CSV serialisation of the visit log and the per-mule
+//! reports, for offline analysis and plotting outside the workspace.
+
+use crate::mule::MuleStatus;
+use crate::outcome::SimulationOutcome;
+use mule_energy::EnergyCause;
+
+/// Serialises the visit log as CSV with the columns
+/// `time_s,mule,node,data_age_s,bytes`.
+pub fn visits_to_csv(outcome: &SimulationOutcome) -> String {
+    let mut out = String::from("time_s,mule,node,data_age_s,bytes\n");
+    for v in &outcome.visits {
+        out.push_str(&format!(
+            "{:.3},{},{},{:.3},{:.1}\n",
+            v.time_s,
+            v.mule_index,
+            v.node.index(),
+            v.data_age_s,
+            v.bytes
+        ));
+    }
+    out
+}
+
+/// Serialises the per-mule reports as CSV with the columns
+/// `mule,status,distance_m,visits,recharges,remaining_j,patrol_j,recharge_j,collection_j,delivered_bytes`.
+pub fn mules_to_csv(outcome: &SimulationOutcome) -> String {
+    let mut out = String::from(
+        "mule,status,distance_m,visits,recharges,remaining_j,patrol_j,recharge_j,collection_j,delivered_bytes\n",
+    );
+    for m in &outcome.mules {
+        let status = match m.status {
+            MuleStatus::Active => "active".to_string(),
+            MuleStatus::Idle => "idle".to_string(),
+            MuleStatus::Depleted { at_s } => format!("depleted@{at_s:.1}"),
+        };
+        out.push_str(&format!(
+            "{},{},{:.1},{},{},{:.1},{:.1},{:.1},{:.3},{:.1}\n",
+            m.mule_index,
+            status,
+            m.distance_m,
+            m.visits,
+            m.recharges,
+            m.remaining_energy_j,
+            m.ledger.get(EnergyCause::PatrolMovement),
+            m.ledger.get(EnergyCause::RechargeMovement),
+            m.ledger.get(EnergyCause::Collection),
+            m.delivered_bytes
+        ));
+    }
+    out
+}
+
+/// Writes both CSV files (`<prefix>_visits.csv`, `<prefix>_mules.csv`) to
+/// disk and returns the two paths.
+pub fn write_csv_files(
+    outcome: &SimulationOutcome,
+    prefix: &std::path::Path,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    let visits_path = prefix.with_file_name(format!(
+        "{}_visits.csv",
+        prefix.file_name().and_then(|s| s.to_str()).unwrap_or("trace")
+    ));
+    let mules_path = prefix.with_file_name(format!(
+        "{}_mules.csv",
+        prefix.file_name().and_then(|s| s.to_str()).unwrap_or("trace")
+    ));
+    std::fs::write(&visits_path, visits_to_csv(outcome))?;
+    std::fs::write(&mules_path, mules_to_csv(outcome))?;
+    Ok((visits_path, mules_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimulationConfig;
+    use crate::engine::Simulation;
+    use mule_workload::ScenarioConfig;
+    use patrol_core::{BTctp, Planner};
+
+    fn outcome() -> SimulationOutcome {
+        let scenario = ScenarioConfig::paper_default().with_targets(6).with_seed(2).generate();
+        let plan = BTctp::new().plan(&scenario).unwrap();
+        Simulation::with_config(&scenario, &plan, SimulationConfig::timing_only())
+            .run_for(10_000.0)
+    }
+
+    #[test]
+    fn visits_csv_has_one_line_per_visit_plus_header() {
+        let o = outcome();
+        let csv = visits_to_csv(&o);
+        assert_eq!(csv.lines().count(), o.visits.len() + 1);
+        assert!(csv.starts_with("time_s,mule,node,"));
+        // Every data row has exactly five columns.
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 5, "row: {line}");
+        }
+    }
+
+    #[test]
+    fn mules_csv_lists_every_mule_with_status() {
+        let o = outcome();
+        let csv = mules_to_csv(&o);
+        assert_eq!(csv.lines().count(), o.mules.len() + 1);
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 10, "row: {line}");
+            assert!(line.contains("active") || line.contains("idle") || line.contains("depleted"));
+        }
+    }
+
+    #[test]
+    fn csv_files_round_trip_to_disk() {
+        let o = outcome();
+        let dir = std::env::temp_dir().join("mule_sim_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("run1");
+        let (visits, mules) = write_csv_files(&o, &prefix).unwrap();
+        assert!(visits.to_string_lossy().ends_with("run1_visits.csv"));
+        assert!(mules.to_string_lossy().ends_with("run1_mules.csv"));
+        let read_back = std::fs::read_to_string(&visits).unwrap();
+        assert_eq!(read_back, visits_to_csv(&o));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the simulation engine.
+
+use mule_sim::{Simulation, SimulationConfig};
+use mule_workload::{ScenarioConfig, WeightSpec};
+use patrol_core::baselines::ChbPlanner;
+use patrol_core::{BTctp, BreakEdgePolicy, Planner, WTctp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The steady-state visiting interval of B-TCTP equals |P| / (n·v) for
+    /// every target, on any scenario.
+    #[test]
+    fn btctp_steady_state_interval_matches_theory(
+        seed in 0u64..20_000,
+        targets in 3usize..16,
+        mules in 1usize..6,
+    ) {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_mules(mules)
+            .with_seed(seed)
+            .generate();
+        let plan = BTctp::new().plan(&scenario).unwrap();
+        let cycle = plan.itineraries[0].cycle_length();
+        prop_assume!(cycle > 50.0);
+        let expected = cycle / (mules as f64 * 2.0);
+        // Long enough for at least six visits of every node after warm-up.
+        let horizon = expected * 8.0 + 4_000.0;
+        let outcome =
+            Simulation::with_config(&scenario, &plan, SimulationConfig::timing_only())
+                .run_for(horizon);
+        for (_, times) in outcome.visit_times_per_node() {
+            prop_assume!(times.len() >= 4);
+            for w in times[2..].windows(2) {
+                prop_assert!(((w[1] - w[0]) - expected).abs() < 1.0,
+                    "interval {} vs expected {expected}", w[1] - w[0]);
+            }
+        }
+    }
+
+    /// Fleet distance is consistent with elapsed time: no mule can travel
+    /// further than speed × horizon (plus its deployment leg).
+    #[test]
+    fn distance_is_bounded_by_speed_times_time(
+        seed in 0u64..20_000,
+        targets in 3usize..14,
+        mules in 1usize..5,
+        horizon in 2_000.0f64..40_000.0,
+    ) {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_mules(mules)
+            .with_seed(seed)
+            .generate();
+        let plan = ChbPlanner::new().plan(&scenario).unwrap();
+        let outcome =
+            Simulation::with_config(&scenario, &plan, SimulationConfig::timing_only())
+                .run_for(horizon);
+        // The engine pre-charges each leg when it is scheduled, so a mule
+        // may have "committed" up to one extra cycle beyond the horizon.
+        let slack = plan.max_cycle_length() + 1_200.0;
+        for m in &outcome.mules {
+            prop_assert!(m.distance_m <= 2.0 * horizon + slack,
+                "mule {} travelled {} m in {horizon} s", m.mule_index, m.distance_m);
+        }
+    }
+
+    /// Doubling the fleet never increases the steady-state maximum visiting
+    /// interval under B-TCTP.
+    #[test]
+    fn more_mules_never_hurt_btctp(
+        seed in 0u64..20_000,
+        targets in 4usize..14,
+        mules in 1usize..4,
+    ) {
+        let horizon = 90_000.0;
+        let interval_for = |n: usize| {
+            let scenario = ScenarioConfig::paper_default()
+                .with_targets(targets)
+                .with_mules(n)
+                .with_seed(seed)
+                .generate();
+            let plan = BTctp::new().plan(&scenario).unwrap();
+            let outcome =
+                Simulation::with_config(&scenario, &plan, SimulationConfig::timing_only())
+                    .run_for(horizon);
+            mule_metrics::IntervalReport::from_outcome(&outcome).max_interval()
+        };
+        let small_fleet = interval_for(mules);
+        let big_fleet = interval_for(mules * 2);
+        prop_assert!(big_fleet <= small_fleet + 1.0,
+            "{mules} mules: {small_fleet}, {} mules: {big_fleet}", mules * 2);
+    }
+
+    /// Weighted plans deliver proportional service: over a long horizon a
+    /// VIP of weight w receives at least (w−1)× the visits of the least
+    /// visited NTP.
+    #[test]
+    fn vip_service_scales_with_weight(
+        seed in 0u64..20_000,
+        targets in 8usize..16,
+        weight in 2u32..5,
+    ) {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_mules(2)
+            .with_weights(WeightSpec::UniformVips { count: 2, weight })
+            .with_seed(seed)
+            .generate();
+        let plan = WTctp::new(BreakEdgePolicy::BalancingLength).plan(&scenario).unwrap();
+        let horizon = plan.itineraries[0].cycle_length() * 3.0;
+        let outcome =
+            Simulation::with_config(&scenario, &plan, SimulationConfig::timing_only())
+                .run_for(horizon);
+        let per_node = outcome.visit_times_per_node();
+        let min_ntp = scenario
+            .field()
+            .patrolled_nodes()
+            .iter()
+            .filter(|n| !n.is_vip())
+            .map(|n| per_node.get(&n.id).map(Vec::len).unwrap_or(0))
+            .min()
+            .unwrap_or(0);
+        for vip in scenario.field().vips() {
+            let vip_visits = per_node.get(&vip.id).map(Vec::len).unwrap_or(0);
+            prop_assert!(
+                vip_visits + 1 >= min_ntp * (weight as usize - 1),
+                "VIP {} got {vip_visits} visits, min NTP {min_ntp}, weight {weight}",
+                vip.id
+            );
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! ASCII rendering of fields and patrol plans.
+//!
+//! The canvas maps the monitoring field onto a character grid. Node glyphs:
+//! `S` sink, `R` recharge station, `o` normal target, digits `2`–`9` VIP
+//! weight, `*` route waypoints, `.` route edges (sampled).
+
+use mule_geom::{BoundingBox, Point};
+use mule_net::NodeKind;
+use mule_workload::Scenario;
+use patrol_core::PatrolPlan;
+
+/// A fixed-size character canvas over a bounding box.
+#[derive(Debug, Clone)]
+pub struct AsciiCanvas {
+    width: usize,
+    height: usize,
+    bounds: BoundingBox,
+    cells: Vec<char>,
+}
+
+impl AsciiCanvas {
+    /// Creates an empty canvas of `width × height` characters covering
+    /// `bounds`. Width and height are clamped to at least 2.
+    pub fn new(bounds: BoundingBox, width: usize, height: usize) -> Self {
+        let width = width.max(2);
+        let height = height.max(2);
+        AsciiCanvas {
+            width,
+            height,
+            bounds,
+            cells: vec![' '; width * height],
+        }
+    }
+
+    /// Canvas width in characters.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Canvas height in characters.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Maps a field point to a cell coordinate, or `None` when it falls
+    /// outside the canvas bounds.
+    pub fn cell_of(&self, p: &Point) -> Option<(usize, usize)> {
+        if !self.bounds.contains(p) {
+            return None;
+        }
+        let w = self.bounds.width().max(1e-9);
+        let h = self.bounds.height().max(1e-9);
+        let x = ((p.x - self.bounds.min_x) / w * (self.width - 1) as f64).round() as usize;
+        // The y axis is flipped: north (large y) is the top row.
+        let y_frac = (p.y - self.bounds.min_y) / h;
+        let y = ((1.0 - y_frac) * (self.height - 1) as f64).round() as usize;
+        Some((x.min(self.width - 1), y.min(self.height - 1)))
+    }
+
+    /// Plots a glyph at a field point. Points outside the bounds are
+    /// ignored. Later plots overwrite earlier ones.
+    pub fn plot(&mut self, p: &Point, glyph: char) {
+        if let Some((x, y)) = self.cell_of(p) {
+            self.cells[y * self.width + x] = glyph;
+        }
+    }
+
+    /// Plots a glyph only when the target cell is currently empty, so node
+    /// markers are not clobbered by route dots.
+    pub fn plot_if_empty(&mut self, p: &Point, glyph: char) {
+        if let Some((x, y)) = self.cell_of(p) {
+            let cell = &mut self.cells[y * self.width + x];
+            if *cell == ' ' {
+                *cell = glyph;
+            }
+        }
+    }
+
+    /// Draws a straight segment by sampling points every half cell.
+    pub fn draw_segment(&mut self, a: &Point, b: &Point, glyph: char) {
+        let length = a.distance(b);
+        let step = (self.bounds.width() / self.width as f64)
+            .min(self.bounds.height() / self.height as f64)
+            .max(1e-9)
+            * 0.5;
+        let samples = (length / step).ceil() as usize;
+        for i in 0..=samples.max(1) {
+            let t = i as f64 / samples.max(1) as f64;
+            self.plot_if_empty(&a.lerp(b, t), glyph);
+        }
+    }
+
+    /// Renders the canvas into a newline-separated string with a border.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.width + 3) * (self.height + 2));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push_str("+\n");
+        for y in 0..self.height {
+            out.push('|');
+            for x in 0..self.width {
+                out.push(self.cells[y * self.width + x]);
+            }
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('+');
+        out
+    }
+}
+
+fn node_glyph(kind: NodeKind, weight: u32) -> char {
+    match kind {
+        NodeKind::Sink => 'S',
+        NodeKind::RechargeStation => 'R',
+        NodeKind::Target => {
+            if weight >= 2 {
+                char::from_digit(weight.min(9), 10).unwrap_or('V')
+            } else {
+                'o'
+            }
+        }
+    }
+}
+
+/// Renders the nodes of a scenario onto a canvas of the given size.
+pub fn render_scenario(scenario: &Scenario, width: usize, height: usize) -> String {
+    let mut canvas = AsciiCanvas::new(scenario.field().bounds(), width, height);
+    for node in scenario.field().nodes() {
+        canvas.plot(&node.position, node_glyph(node.kind, node.weight.value()));
+    }
+    canvas.render()
+}
+
+/// Renders a plan on top of the scenario: route edges as `.`, waypoints as
+/// `*`, nodes with their glyphs. Only the first mule's itinerary is drawn
+/// (all TCTP mules share the same route).
+pub fn render_plan(scenario: &Scenario, plan: &PatrolPlan, width: usize, height: usize) -> String {
+    let mut canvas = AsciiCanvas::new(scenario.field().bounds(), width, height);
+    // Nodes first so they keep their glyphs.
+    for node in scenario.field().nodes() {
+        canvas.plot(&node.position, node_glyph(node.kind, node.weight.value()));
+    }
+    if let Some(it) = plan.itineraries.first() {
+        let points: Vec<Point> = it.cycle.iter().map(|w| w.position).collect();
+        let n = points.len();
+        for i in 0..n {
+            let a = points[i];
+            let b = points[(i + 1) % n.max(1)];
+            canvas.draw_segment(&a, &b, '.');
+        }
+        for p in &points {
+            canvas.plot_if_empty(p, '*');
+        }
+    }
+    canvas.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mule_workload::{ScenarioConfig, WeightSpec};
+    use patrol_core::{BTctp, Planner};
+
+    fn scenario() -> Scenario {
+        ScenarioConfig::paper_default()
+            .with_targets(10)
+            .with_weights(WeightSpec::UniformVips { count: 2, weight: 3 })
+            .with_recharge_station(true)
+            .with_seed(5)
+            .generate()
+    }
+
+    #[test]
+    fn canvas_maps_corners_to_corner_cells() {
+        let c = AsciiCanvas::new(BoundingBox::square(800.0), 40, 20);
+        assert_eq!(c.cell_of(&Point::new(0.0, 0.0)), Some((0, 19)));
+        assert_eq!(c.cell_of(&Point::new(800.0, 800.0)), Some((39, 0)));
+        assert_eq!(c.cell_of(&Point::new(0.0, 800.0)), Some((0, 0)));
+        assert_eq!(c.cell_of(&Point::new(900.0, 0.0)), None);
+        assert_eq!(c.width(), 40);
+        assert_eq!(c.height(), 20);
+    }
+
+    #[test]
+    fn north_is_rendered_on_the_top_row() {
+        let mut c = AsciiCanvas::new(BoundingBox::square(100.0), 10, 10);
+        c.plot(&Point::new(50.0, 99.0), 'N');
+        c.plot(&Point::new(50.0, 1.0), 'X');
+        let rendered = c.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[1].contains('N'), "north marker on the first data row");
+        assert!(lines[lines.len() - 2].contains('X'));
+    }
+
+    #[test]
+    fn plot_if_empty_does_not_clobber_markers() {
+        let mut c = AsciiCanvas::new(BoundingBox::square(100.0), 10, 10);
+        c.plot(&Point::new(50.0, 50.0), 'S');
+        c.plot_if_empty(&Point::new(50.0, 50.0), '.');
+        assert!(c.render().contains('S'));
+        assert!(!c.render().contains('.'));
+    }
+
+    #[test]
+    fn scenario_rendering_contains_all_node_glyphs() {
+        let s = scenario();
+        let art = render_scenario(&s, 60, 30);
+        assert!(art.contains('S'), "sink glyph");
+        assert!(art.contains('R'), "recharge station glyph");
+        assert!(art.contains('o'), "normal target glyph");
+        assert!(art.contains('3'), "VIP weight glyph");
+        // Bordered output: every line starts and ends with the frame.
+        for line in art.lines() {
+            assert!(line.starts_with('|') || line.starts_with('+'));
+        }
+    }
+
+    #[test]
+    fn plan_rendering_draws_route_edges() {
+        let s = scenario();
+        let plan = BTctp::new().plan(&s).unwrap();
+        let art = render_plan(&s, &plan, 60, 30);
+        assert!(art.contains('.'), "route edges are drawn");
+        assert!(art.contains('S'), "sink still visible");
+        assert_eq!(art.lines().count(), 32, "30 rows plus two border rows");
+    }
+
+    #[test]
+    fn degenerate_canvas_sizes_are_clamped() {
+        let c = AsciiCanvas::new(BoundingBox::square(10.0), 0, 0);
+        assert!(c.width() >= 2 && c.height() >= 2);
+        assert!(!c.render().is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Scenario configuration: every knob the paper's evaluation sweeps.
+
+use serde::{Deserialize, Serialize};
+
+/// How targets are laid out in the field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LayoutKind {
+    /// Uniformly random positions over the whole field (the paper's base
+    /// setup: "the locations of targets are randomly distributed over the
+    /// monitoring region").
+    Uniform,
+    /// Targets grouped into `clusters` disconnected areas whose centres are
+    /// spread across the field and whose members lie within
+    /// `cluster_radius_m` of the centre. This realises the "targets may be
+    /// distributed over several disconnected areas" motivation.
+    DisconnectedClusters {
+        /// Number of disconnected areas.
+        clusters: usize,
+        /// Radius of each area in metres.
+        cluster_radius_m: f64,
+    },
+}
+
+impl Default for LayoutKind {
+    fn default() -> Self {
+        LayoutKind::Uniform
+    }
+}
+
+/// How VIP weights are assigned to targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WeightSpec {
+    /// Every target is a Normal Target Point (weight 1).
+    AllNormal,
+    /// Exactly `count` targets (chosen at random) are VIPs with the given
+    /// uniform weight; the rest are NTPs. This matches the Fig. 9/10 sweep
+    /// axes "number of VIP" and "weighted value".
+    UniformVips {
+        /// How many VIPs to create.
+        count: usize,
+        /// The weight value assigned to each VIP (≥ 2 to be a real VIP).
+        weight: u32,
+    },
+    /// Each target independently becomes a VIP with probability `p`, with a
+    /// weight drawn uniformly from `min_weight..=max_weight`.
+    RandomVips {
+        /// Probability that a target is a VIP.
+        p: f64,
+        /// Smallest VIP weight.
+        min_weight: u32,
+        /// Largest VIP weight.
+        max_weight: u32,
+    },
+}
+
+impl Default for WeightSpec {
+    fn default() -> Self {
+        WeightSpec::AllNormal
+    }
+}
+
+/// Where the mules start before location initialisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MuleStartKind {
+    /// All mules start at the sink (the common deployment story: mules are
+    /// launched from the base station).
+    AtSink,
+    /// Mules start at uniformly random positions in the field, which is the
+    /// situation B-TCTP's "move to the closest start point" initialisation
+    /// is designed for.
+    Random,
+}
+
+impl Default for MuleStartKind {
+    fn default() -> Self {
+        MuleStartKind::AtSink
+    }
+}
+
+/// Full configuration of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Side length of the square monitoring field, metres.
+    pub field_side_m: f64,
+    /// Number of targets (excluding the sink).
+    pub target_count: usize,
+    /// Number of data mules.
+    pub mule_count: usize,
+    /// Target layout.
+    pub layout: LayoutKind,
+    /// VIP weight assignment.
+    pub weights: WeightSpec,
+    /// Mule starting positions.
+    pub mule_start: MuleStartKind,
+    /// Whether the scenario includes a recharge station (required by
+    /// RW-TCTP).
+    pub with_recharge_station: bool,
+    /// Per-target data generation rate, bytes per second (only affects the
+    /// byte-level reporting, not the timing metrics).
+    pub data_rate_bps: f64,
+    /// RNG seed. Scenarios with equal configs and seeds are identical.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig::paper_default()
+    }
+}
+
+impl ScenarioConfig {
+    /// The paper's §5.1 setup: 800 m × 800 m field, uniformly random
+    /// targets, 10 targets, 4 mules, no VIPs, no recharge station.
+    pub fn paper_default() -> Self {
+        ScenarioConfig {
+            field_side_m: 800.0,
+            target_count: 10,
+            mule_count: 4,
+            layout: LayoutKind::Uniform,
+            weights: WeightSpec::AllNormal,
+            mule_start: MuleStartKind::AtSink,
+            with_recharge_station: false,
+            data_rate_bps: 64.0,
+            seed: 1,
+        }
+    }
+
+    /// Builder-style override of the target count.
+    pub fn with_targets(mut self, count: usize) -> Self {
+        self.target_count = count;
+        self
+    }
+
+    /// Builder-style override of the mule count.
+    pub fn with_mules(mut self, count: usize) -> Self {
+        self.mule_count = count;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the layout.
+    pub fn with_layout(mut self, layout: LayoutKind) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Builder-style override of the weight specification.
+    pub fn with_weights(mut self, weights: WeightSpec) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Builder-style override of the mule start positions.
+    pub fn with_mule_start(mut self, start: MuleStartKind) -> Self {
+        self.mule_start = start;
+        self
+    }
+
+    /// Builder-style toggle for the recharge station.
+    pub fn with_recharge_station(mut self, enabled: bool) -> Self {
+        self.with_recharge_station = enabled;
+        self
+    }
+
+    /// Generates the scenario described by this configuration.
+    pub fn generate(&self) -> crate::Scenario {
+        crate::Scenario::generate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_5_1() {
+        let c = ScenarioConfig::paper_default();
+        assert_eq!(c.field_side_m, 800.0);
+        assert_eq!(c.target_count, 10);
+        assert_eq!(c.mule_count, 4);
+        assert_eq!(c.layout, LayoutKind::Uniform);
+        assert_eq!(c.weights, WeightSpec::AllNormal);
+        assert!(!c.with_recharge_station);
+        assert_eq!(ScenarioConfig::default(), c);
+    }
+
+    #[test]
+    fn builder_methods_override_individual_fields() {
+        let c = ScenarioConfig::paper_default()
+            .with_targets(25)
+            .with_mules(6)
+            .with_seed(99)
+            .with_layout(LayoutKind::DisconnectedClusters {
+                clusters: 3,
+                cluster_radius_m: 50.0,
+            })
+            .with_weights(WeightSpec::UniformVips { count: 2, weight: 3 })
+            .with_mule_start(MuleStartKind::Random)
+            .with_recharge_station(true);
+        assert_eq!(c.target_count, 25);
+        assert_eq!(c.mule_count, 6);
+        assert_eq!(c.seed, 99);
+        assert!(matches!(c.layout, LayoutKind::DisconnectedClusters { clusters: 3, .. }));
+        assert!(matches!(c.weights, WeightSpec::UniformVips { count: 2, weight: 3 }));
+        assert_eq!(c.mule_start, MuleStartKind::Random);
+        assert!(c.with_recharge_station);
+    }
+
+    #[test]
+    fn defaults_for_enums_are_the_paper_base_case() {
+        assert_eq!(LayoutKind::default(), LayoutKind::Uniform);
+        assert_eq!(WeightSpec::default(), WeightSpec::AllNormal);
+        assert_eq!(MuleStartKind::default(), MuleStartKind::AtSink);
+    }
+}

@@ -1,0 +1,156 @@
+//! Target layout generators.
+//!
+//! Two layouts: uniformly random over the field (the paper's stated setup)
+//! and disconnected clusters (the motivating situation where static sensor
+//! networks cannot stay connected).
+
+use mule_geom::{BoundingBox, Point};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Draws `count` points uniformly at random inside `bounds`.
+pub fn uniform_layout(rng: &mut StdRng, bounds: &BoundingBox, count: usize) -> Vec<Point> {
+    (0..count)
+        .map(|_| {
+            Point::new(
+                rng.random_range(bounds.min_x..=bounds.max_x),
+                rng.random_range(bounds.min_y..=bounds.max_y),
+            )
+        })
+        .collect()
+}
+
+/// Draws `count` points grouped into `clusters` disconnected areas.
+///
+/// Cluster centres are drawn uniformly but rejected until they are at least
+/// `4 × cluster_radius_m + separation_floor` apart, which (for radii well
+/// above the 20 m communication range) guarantees the resulting target set
+/// is disconnected at that range. Points are then scattered uniformly in a
+/// disc of radius `cluster_radius_m` around their cluster centre and clamped
+/// to the field.
+pub fn clustered_layout(
+    rng: &mut StdRng,
+    bounds: &BoundingBox,
+    count: usize,
+    clusters: usize,
+    cluster_radius_m: f64,
+) -> Vec<Point> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let clusters = clusters.max(1).min(count);
+    let radius = cluster_radius_m.max(1.0);
+    let separation = 4.0 * radius + 40.0;
+
+    // Rejection-sample well separated cluster centres; fall back to a
+    // deterministic grid when the field is too small to honour the
+    // separation (so generation always terminates).
+    let mut centers: Vec<Point> = Vec::with_capacity(clusters);
+    let mut attempts = 0;
+    while centers.len() < clusters && attempts < 10_000 {
+        attempts += 1;
+        let margin = radius.min(bounds.width() / 2.0).min(bounds.height() / 2.0);
+        let c = Point::new(
+            rng.random_range((bounds.min_x + margin)..=(bounds.max_x - margin)),
+            rng.random_range((bounds.min_y + margin)..=(bounds.max_y - margin)),
+        );
+        if centers.iter().all(|existing| existing.distance(&c) >= separation) {
+            centers.push(c);
+        }
+    }
+    while centers.len() < clusters {
+        // Deterministic fallback: spread remaining centres on a diagonal.
+        let i = centers.len();
+        let t = (i as f64 + 0.5) / clusters as f64;
+        centers.push(Point::new(
+            bounds.min_x + bounds.width() * t,
+            bounds.min_y + bounds.height() * t,
+        ));
+    }
+
+    // Round-robin the targets over the clusters so every cluster is
+    // non-empty when count >= clusters.
+    (0..count)
+        .map(|i| {
+            let center = centers[i % clusters];
+            // Uniform point in a disc via rejection-free polar sampling.
+            let theta = rng.random_range(0.0..std::f64::consts::TAU);
+            let r = radius * rng.random_range(0.0..1.0f64).sqrt();
+            let p = Point::new(center.x + r * theta.cos(), center.y + r * theta.sin());
+            bounds.clamp(&p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mule_net::connectivity::is_disconnected;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_layout_stays_in_bounds_and_has_requested_count() {
+        let bounds = BoundingBox::square(800.0);
+        let pts = uniform_layout(&mut rng(7), &bounds, 50);
+        assert_eq!(pts.len(), 50);
+        assert!(pts.iter().all(|p| bounds.contains(p)));
+        assert!(uniform_layout(&mut rng(7), &bounds, 0).is_empty());
+    }
+
+    #[test]
+    fn uniform_layout_is_seed_deterministic() {
+        let bounds = BoundingBox::square(800.0);
+        let a = uniform_layout(&mut rng(42), &bounds, 20);
+        let b = uniform_layout(&mut rng(42), &bounds, 20);
+        let c = uniform_layout(&mut rng(43), &bounds, 20);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustered_layout_produces_disconnected_groups_at_comm_range() {
+        let bounds = BoundingBox::square(800.0);
+        for seed in 0..5 {
+            let pts = clustered_layout(&mut rng(seed), &bounds, 24, 3, 60.0);
+            assert_eq!(pts.len(), 24);
+            assert!(pts.iter().all(|p| bounds.contains(p)));
+            assert!(
+                is_disconnected(&pts, 20.0),
+                "seed {seed}: clusters should be disconnected at 20 m"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_layout_handles_degenerate_parameters() {
+        let bounds = BoundingBox::square(800.0);
+        assert!(clustered_layout(&mut rng(1), &bounds, 0, 3, 50.0).is_empty());
+        // More clusters than targets collapses to one target per cluster.
+        let pts = clustered_layout(&mut rng(1), &bounds, 2, 10, 50.0);
+        assert_eq!(pts.len(), 2);
+        // Zero clusters is clamped to one.
+        let one_cluster = clustered_layout(&mut rng(1), &bounds, 10, 0, 50.0);
+        assert_eq!(one_cluster.len(), 10);
+        // Zero radius is clamped to a small positive disc.
+        let tight = clustered_layout(&mut rng(1), &bounds, 10, 2, 0.0);
+        assert_eq!(tight.len(), 10);
+    }
+
+    #[test]
+    fn cluster_members_are_near_some_common_center() {
+        let bounds = BoundingBox::square(800.0);
+        let radius = 50.0;
+        let pts = clustered_layout(&mut rng(11), &bounds, 30, 3, radius);
+        // Every point must be within `radius` of at least 9 other points
+        // (its cluster mates), since 30 points round-robin into 3 clusters
+        // of 10 and the cluster diameter is 2 × radius.
+        for p in &pts {
+            let mates = pts.iter().filter(|q| p.distance(q) <= 2.0 * radius).count();
+            assert!(mates >= 10, "point {p} has only {mates} nearby mates");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # mule-workload
+//!
+//! Scenario generation for the patrolling experiments.
+//!
+//! The paper evaluates on randomly placed targets in an 800 m × 800 m field
+//! (averaging 20 random topologies per data point), with optional VIP
+//! weights and a recharge station. This crate turns those prose parameters
+//! into reproducible, seeded [`Scenario`] values:
+//!
+//! * [`ScenarioConfig`] — the knobs (field size, target/mule counts, layout,
+//!   weights, seed) with [`ScenarioConfig::paper_default`] matching §5.1.
+//! * [`layout`] — uniform and disconnected-cluster target placements.
+//! * [`weights`] — VIP weight assignment strategies.
+//! * [`Scenario`] — the generated instance: a [`mule_net::Field`] plus mule
+//!   start positions.
+//! * [`replication`] — seed fans for "average of 20 simulations" sweeps.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod layout;
+pub mod replication;
+pub mod scenario;
+pub mod weights;
+
+pub use config::{LayoutKind, MuleStartKind, ScenarioConfig, WeightSpec};
+pub use replication::{seed_fan, ReplicationPlan};
+pub use scenario::Scenario;

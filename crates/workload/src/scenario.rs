@@ -1,0 +1,232 @@
+//! The generated scenario: a concrete field plus mule start positions.
+
+use crate::config::{LayoutKind, MuleStartKind, ScenarioConfig};
+use crate::layout::{clustered_layout, uniform_layout};
+use crate::weights::assign_weights;
+use mule_geom::{BoundingBox, Point};
+use mule_net::{Field, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fully instantiated problem instance: the monitoring field (targets,
+/// sink, optional recharge station, weights) and where each mule starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    config: ScenarioConfig,
+    field: Field,
+    mule_starts: Vec<Point>,
+}
+
+impl Scenario {
+    /// Generates the scenario described by `config`. Equal configs (same
+    /// seed included) generate identical scenarios.
+    pub fn generate(config: &ScenarioConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let bounds = BoundingBox::square(config.field_side_m.max(1.0));
+
+        // Target positions according to the layout.
+        let targets = match config.layout {
+            LayoutKind::Uniform => uniform_layout(&mut rng, &bounds, config.target_count),
+            LayoutKind::DisconnectedClusters {
+                clusters,
+                cluster_radius_m,
+            } => clustered_layout(
+                &mut rng,
+                &bounds,
+                config.target_count,
+                clusters,
+                cluster_radius_m,
+            ),
+        };
+
+        // VIP weights, aligned with the target order.
+        let weights = assign_weights(&mut rng, targets.len(), &config.weights);
+
+        // Assemble the field. The sink is placed at the field centre; the
+        // paper treats it as an ordinary target on the patrolling path.
+        let mut builder = Field::builder(bounds);
+        let sink_position = bounds.center();
+        builder.add_sink(sink_position);
+        for (pos, w) in targets.iter().zip(weights.iter()) {
+            builder.add_target(*pos, *w);
+        }
+        if config.with_recharge_station {
+            // The recharge station sits at a random field location, away
+            // from the sink so the WRP detour is non-trivial.
+            let station = Point::new(
+                rng.random_range(bounds.min_x..=bounds.max_x),
+                rng.random_range(bounds.min_y..=bounds.max_y),
+            );
+            builder.add_recharge_station(station);
+        }
+        let field = builder.build();
+
+        // Mule start positions.
+        let mule_starts = match config.mule_start {
+            MuleStartKind::AtSink => vec![sink_position; config.mule_count],
+            MuleStartKind::Random => (0..config.mule_count)
+                .map(|_| {
+                    Point::new(
+                        rng.random_range(bounds.min_x..=bounds.max_x),
+                        rng.random_range(bounds.min_y..=bounds.max_y),
+                    )
+                })
+                .collect(),
+        };
+
+        Scenario {
+            config: *config,
+            field,
+            mule_starts,
+        }
+    }
+
+    /// The configuration this scenario was generated from.
+    #[inline]
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The monitoring field.
+    #[inline]
+    pub fn field(&self) -> &Field {
+        &self.field
+    }
+
+    /// Mule start positions (one per mule).
+    #[inline]
+    pub fn mule_starts(&self) -> &[Point] {
+        &self.mule_starts
+    }
+
+    /// Number of mules.
+    #[inline]
+    pub fn mule_count(&self) -> usize {
+        self.mule_starts.len()
+    }
+
+    /// Positions of the patrolled nodes (sink + targets) in node-id order —
+    /// the point set handed to the planners.
+    pub fn patrolled_positions(&self) -> Vec<Point> {
+        self.field.patrolled_positions()
+    }
+
+    /// Node ids of the patrolled nodes, aligned with
+    /// [`Scenario::patrolled_positions`].
+    pub fn patrolled_ids(&self) -> Vec<NodeId> {
+        self.field.patrolled_ids()
+    }
+
+    /// Per-target data generation rate.
+    #[inline]
+    pub fn data_rate_bps(&self) -> f64 {
+        self.config.data_rate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WeightSpec;
+    use mule_net::NodeKind;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = ScenarioConfig::paper_default().with_seed(5);
+        let a = Scenario::generate(&cfg);
+        let b = Scenario::generate(&cfg);
+        assert_eq!(a, b);
+        let c = Scenario::generate(&cfg.with_seed(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_default_scenario_has_expected_shape() {
+        let s = ScenarioConfig::paper_default().with_seed(3).generate();
+        // Sink + 10 targets, no recharge station.
+        assert_eq!(s.field().len(), 11);
+        assert_eq!(s.field().target_count(), 10);
+        assert!(s.field().recharge_station().is_none());
+        assert_eq!(s.mule_count(), 4);
+        assert_eq!(s.patrolled_positions().len(), 11);
+        assert_eq!(s.patrolled_ids().len(), 11);
+        // All mules start at the sink.
+        let sink = s.field().sink().unwrap().position;
+        assert!(s.mule_starts().iter().all(|p| *p == sink));
+    }
+
+    #[test]
+    fn recharge_station_is_added_when_requested() {
+        let s = ScenarioConfig::paper_default()
+            .with_recharge_station(true)
+            .with_seed(8)
+            .generate();
+        let station = s.field().recharge_station().unwrap();
+        assert_eq!(station.kind, NodeKind::RechargeStation);
+        // The station is not part of the patrolled set.
+        assert_eq!(s.patrolled_positions().len(), 11);
+        assert_eq!(s.field().len(), 12);
+    }
+
+    #[test]
+    fn random_mule_starts_lie_in_the_field() {
+        let s = ScenarioConfig::paper_default()
+            .with_mule_start(MuleStartKind::Random)
+            .with_mules(7)
+            .with_seed(12)
+            .generate();
+        assert_eq!(s.mule_count(), 7);
+        let bounds = s.field().bounds();
+        assert!(s.mule_starts().iter().all(|p| bounds.contains(p)));
+        // Random starts should not all coincide.
+        let first = s.mule_starts()[0];
+        assert!(s.mule_starts().iter().any(|p| *p != first));
+    }
+
+    #[test]
+    fn vip_weights_flow_into_the_field() {
+        let s = ScenarioConfig::paper_default()
+            .with_targets(20)
+            .with_weights(WeightSpec::UniformVips { count: 5, weight: 4 })
+            .with_seed(21)
+            .generate();
+        let vips = s.field().vips();
+        assert_eq!(vips.len(), 5);
+        assert!(vips.iter().all(|v| v.weight.value() == 4));
+    }
+
+    #[test]
+    fn clustered_layout_flows_through_generation() {
+        let s = ScenarioConfig::paper_default()
+            .with_targets(24)
+            .with_layout(LayoutKind::DisconnectedClusters {
+                clusters: 3,
+                cluster_radius_m: 60.0,
+            })
+            .with_seed(33)
+            .generate();
+        assert_eq!(s.field().target_count(), 24);
+        let target_positions: Vec<Point> = s
+            .field()
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == NodeKind::Target)
+            .map(|n| n.position)
+            .collect();
+        assert!(mule_net::is_disconnected(&target_positions, 20.0));
+    }
+
+    #[test]
+    fn zero_targets_and_zero_mules_are_representable() {
+        let s = ScenarioConfig::paper_default()
+            .with_targets(0)
+            .with_mules(0)
+            .with_seed(2)
+            .generate();
+        assert_eq!(s.field().target_count(), 0);
+        assert_eq!(s.mule_count(), 0);
+        // The sink is always present.
+        assert_eq!(s.patrolled_positions().len(), 1);
+    }
+}

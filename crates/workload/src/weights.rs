@@ -1,0 +1,122 @@
+//! VIP weight assignment.
+
+use crate::config::WeightSpec;
+use mule_net::Weight;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+/// Assigns a weight to each of `target_count` targets according to `spec`.
+/// The returned vector is aligned with the target index order used by the
+/// layout generator.
+pub fn assign_weights(rng: &mut StdRng, target_count: usize, spec: &WeightSpec) -> Vec<Weight> {
+    match *spec {
+        WeightSpec::AllNormal => vec![Weight::NORMAL; target_count],
+        WeightSpec::UniformVips { count, weight } => {
+            let mut weights = vec![Weight::NORMAL; target_count];
+            let vip_count = count.min(target_count);
+            let mut indices: Vec<usize> = (0..target_count).collect();
+            indices.shuffle(rng);
+            for &idx in indices.iter().take(vip_count) {
+                weights[idx] = Weight::new(weight.max(2));
+            }
+            weights
+        }
+        WeightSpec::RandomVips {
+            p,
+            min_weight,
+            max_weight,
+        } => {
+            let p = p.clamp(0.0, 1.0);
+            let lo = min_weight.max(2);
+            let hi = max_weight.max(lo);
+            (0..target_count)
+                .map(|_| {
+                    if rng.random_range(0.0..1.0f64) < p {
+                        Weight::new(rng.random_range(lo..=hi))
+                    } else {
+                        Weight::NORMAL
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn all_normal_gives_weight_one_everywhere() {
+        let w = assign_weights(&mut rng(1), 12, &WeightSpec::AllNormal);
+        assert_eq!(w.len(), 12);
+        assert!(w.iter().all(|x| x.value() == 1));
+    }
+
+    #[test]
+    fn uniform_vips_creates_exactly_the_requested_count() {
+        let spec = WeightSpec::UniformVips { count: 4, weight: 3 };
+        let w = assign_weights(&mut rng(2), 20, &spec);
+        let vips: Vec<&Weight> = w.iter().filter(|x| x.is_vip()).collect();
+        assert_eq!(vips.len(), 4);
+        assert!(vips.iter().all(|x| x.value() == 3));
+        assert_eq!(w.iter().filter(|x| !x.is_vip()).count(), 16);
+    }
+
+    #[test]
+    fn uniform_vips_count_is_clamped_to_the_target_count() {
+        let spec = WeightSpec::UniformVips { count: 50, weight: 2 };
+        let w = assign_weights(&mut rng(3), 8, &spec);
+        assert_eq!(w.iter().filter(|x| x.is_vip()).count(), 8);
+    }
+
+    #[test]
+    fn uniform_vip_weight_below_two_is_promoted_to_two() {
+        let spec = WeightSpec::UniformVips { count: 3, weight: 1 };
+        let w = assign_weights(&mut rng(4), 10, &spec);
+        assert_eq!(w.iter().filter(|x| x.value() == 2).count(), 3);
+    }
+
+    #[test]
+    fn random_vips_respect_probability_extremes_and_weight_bounds() {
+        let none = assign_weights(
+            &mut rng(5),
+            30,
+            &WeightSpec::RandomVips { p: 0.0, min_weight: 2, max_weight: 5 },
+        );
+        assert!(none.iter().all(|x| !x.is_vip()));
+
+        let all = assign_weights(
+            &mut rng(6),
+            30,
+            &WeightSpec::RandomVips { p: 1.0, min_weight: 2, max_weight: 5 },
+        );
+        assert!(all.iter().all(|x| x.is_vip()));
+        assert!(all.iter().all(|x| (2..=5).contains(&x.value())));
+    }
+
+    #[test]
+    fn random_vips_handle_inverted_weight_bounds() {
+        let w = assign_weights(
+            &mut rng(7),
+            20,
+            &WeightSpec::RandomVips { p: 1.0, min_weight: 6, max_weight: 3 },
+        );
+        // min > max: the range collapses to min..=min.
+        assert!(w.iter().all(|x| x.value() == 6));
+    }
+
+    #[test]
+    fn assignment_is_seed_deterministic() {
+        let spec = WeightSpec::UniformVips { count: 5, weight: 4 };
+        let a = assign_weights(&mut rng(9), 25, &spec);
+        let b = assign_weights(&mut rng(9), 25, &spec);
+        assert_eq!(a, b);
+    }
+}

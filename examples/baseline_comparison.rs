@@ -1,0 +1,62 @@
+//! Head-to-head comparison of every planner on one scenario: Random, Sweep,
+//! CHB and B-TCTP — the comparison behind Figures 7 and 8 of the paper.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example baseline_comparison
+//! ```
+
+use wmdm_patrol::metrics::TextTable;
+use wmdm_patrol::prelude::*;
+use wmdm_patrol::sim::SimulationConfig;
+
+fn main() {
+    let scenario = ScenarioConfig::paper_default()
+        .with_targets(12)
+        .with_mules(4)
+        .with_seed(314)
+        .generate();
+
+    let planners: Vec<(&str, Box<dyn Planner>)> = vec![
+        ("Random", Box::new(RandomPlanner::new())),
+        ("Sweep", Box::new(SweepPlanner::new())),
+        ("CHB", Box::new(ChbPlanner::new())),
+        ("B-TCTP", Box::new(BTctp::new())),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "planner",
+        "max interval (s)",
+        "mean interval (s)",
+        "avg SD (s)",
+        "avg DCDT (s)",
+        "distance (km)",
+    ]);
+
+    for (name, planner) in planners {
+        let plan = planner.plan(&scenario).expect("plannable scenario");
+        let outcome = Simulation::with_config(
+            &scenario,
+            &plan,
+            SimulationConfig::timing_only(),
+        )
+        .run_for(80_000.0);
+        let intervals = IntervalReport::from_outcome(&outcome);
+        let dcdt = DcdtSeries::from_outcome(&outcome);
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.0}", intervals.max_interval()),
+            format!("{:.0}", intervals.mean_interval()),
+            format!("{:.1}", intervals.average_sd()),
+            format!("{:.0}", dcdt.average_dcdt(2)),
+            format!("{:.1}", outcome.total_distance_m() / 1000.0),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper §V): B-TCTP has the smallest and most stable visiting \
+         intervals (SD ≈ 0); CHB shares the circuit but bunches its mules; Sweep suffers \
+         from unequal group sizes; Random is the worst and noisiest."
+    );
+}

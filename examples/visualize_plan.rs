@@ -1,0 +1,39 @@
+//! Visualise a weighted, recharge-aware patrol: ASCII map on stdout plus an
+//! SVG file with every mule's route.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example visualize_plan
+//! ```
+
+use wmdm_patrol::patrol::rwtctp::RwTctp;
+use wmdm_patrol::prelude::*;
+use wmdm_patrol::workload::{LayoutKind, WeightSpec};
+
+fn main() {
+    let scenario = ScenarioConfig::paper_default()
+        .with_targets(18)
+        .with_mules(3)
+        .with_layout(LayoutKind::DisconnectedClusters {
+            clusters: 3,
+            cluster_radius_m: 40.0,
+        })
+        .with_weights(WeightSpec::UniformVips { count: 3, weight: 3 })
+        .with_recharge_station(true)
+        .with_seed(42)
+        .generate();
+
+    println!("Field ('S' sink, 'R' recharge station, 'o' target, digits = VIP weight):\n");
+    println!("{}", mule_viz::render_scenario(&scenario, 76, 34));
+
+    let plan = RwTctp::default().plan(&scenario).expect("plannable scenario");
+    println!("\nRW-TCTP route ('.' edges, '*' waypoints):\n");
+    println!("{}", mule_viz::render_plan(&scenario, &plan, 76, 34));
+
+    let svg = mule_viz::plan_to_svg(&scenario, &plan, &mule_viz::SvgStyle::default());
+    let path = std::env::temp_dir().join("wmdm_patrol_plan.svg");
+    match std::fs::write(&path, svg) {
+        Ok(()) => println!("\nSVG with per-mule routes written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write SVG: {e}"),
+    }
+}

@@ -1,0 +1,50 @@
+//! # wmdm-patrol — facade crate
+//!
+//! One-stop re-export of the whole workspace: geometry, tours, the wireless
+//! field substrate, the energy model, scenario generation, the simulator,
+//! the TCTP planners and the evaluation metrics.
+//!
+//! Most applications only need:
+//!
+//! ```rust
+//! use wmdm_patrol::prelude::*;
+//!
+//! // A small scenario: 10 targets in an 800 m × 800 m field, 4 mules.
+//! let scenario = ScenarioConfig::paper_default()
+//!     .with_targets(10)
+//!     .with_mules(4)
+//!     .with_seed(7)
+//!     .generate();
+//!
+//! let plan = BTctp::new().plan(&scenario).expect("plannable scenario");
+//! let outcome = Simulation::new(&scenario, &plan).run_for(20_000.0);
+//! let report = IntervalReport::from_outcome(&outcome);
+//! assert!(report.max_interval() > 0.0);
+//! ```
+//!
+//! See the `examples/` directory for richer end-to-end programs and the
+//! `mule-bench` crate for the figure-regeneration harness.
+
+pub use mule_energy as energy;
+pub use mule_geom as geom;
+pub use mule_graph as graph;
+pub use mule_metrics as metrics;
+pub use mule_net as net;
+pub use mule_sim as sim;
+pub use mule_workload as workload;
+pub use patrol_core as patrol;
+
+/// Convenient glob-import surface covering the common end-to-end workflow.
+pub mod prelude {
+    pub use mule_energy::{Battery, EnergyModel, PatrolRounds};
+    pub use mule_geom::{Point, Polyline};
+    pub use mule_graph::{Tour, TourConstruction};
+    pub use mule_metrics::{DcdtSeries, IntervalReport, SummaryStatistics};
+    pub use mule_net::{Field, NodeKind};
+    pub use mule_sim::{Simulation, SimulationOutcome};
+    pub use mule_workload::{Scenario, ScenarioConfig};
+    pub use patrol_core::{
+        baselines::{ChbPlanner, RandomPlanner, SweepPlanner},
+        BTctp, BreakEdgePolicy, PatrolPlan, Planner, RwTctp, WTctp,
+    };
+}

@@ -1,0 +1,221 @@
+//! End-to-end integration tests: scenario generation → planning →
+//! simulation → metrics, for every planner in the workspace.
+
+use wmdm_patrol::prelude::*;
+use wmdm_patrol::sim::SimulationConfig;
+use wmdm_patrol::workload::WeightSpec;
+
+fn paper_scenario(seed: u64) -> Scenario {
+    ScenarioConfig::paper_default()
+        .with_targets(12)
+        .with_mules(4)
+        .with_seed(seed)
+        .generate()
+}
+
+fn simulate(scenario: &Scenario, plan: &wmdm_patrol::patrol::PatrolPlan, horizon: f64) -> SimulationOutcome {
+    Simulation::with_config(scenario, plan, SimulationConfig::timing_only()).run_for(horizon)
+}
+
+#[test]
+fn every_planner_covers_every_target() {
+    let scenario = paper_scenario(101);
+    let planners: Vec<Box<dyn Planner>> = vec![
+        Box::new(BTctp::new()),
+        Box::new(WTctp::new(BreakEdgePolicy::ShortestLength)),
+        Box::new(WTctp::new(BreakEdgePolicy::BalancingLength)),
+        Box::new(ChbPlanner::new()),
+        Box::new(SweepPlanner::new()),
+        Box::new(RandomPlanner::new()),
+    ];
+    for planner in planners {
+        let plan = planner.plan(&scenario).expect("plan");
+        let outcome = simulate(&scenario, &plan, 60_000.0);
+        let per_node = outcome.visit_times_per_node();
+        for id in scenario.patrolled_ids() {
+            assert!(
+                per_node.get(&id).map(|v| !v.is_empty()).unwrap_or(false),
+                "{}: node {id} never visited",
+                plan.planner_name
+            );
+        }
+    }
+}
+
+#[test]
+fn btctp_interval_sd_is_zero_and_beats_chb() {
+    // The core comparison behind Figures 7 and 8.
+    let mut btctp_max = Vec::new();
+    let mut chb_sd = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let scenario = paper_scenario(seed);
+        let btctp_plan = BTctp::new().plan(&scenario).unwrap();
+        let chb_plan = ChbPlanner::new().plan(&scenario).unwrap();
+
+        let btctp_outcome = simulate(&scenario, &btctp_plan, 80_000.0);
+        let chb_outcome = simulate(&scenario, &chb_plan, 80_000.0);
+
+        let btctp_report = IntervalReport::from_outcome(&btctp_outcome);
+        let chb_report = IntervalReport::from_outcome(&chb_outcome);
+
+        // B-TCTP: per-target SD numerically zero, max interval ≈ |P|/(n·v).
+        assert!(
+            btctp_report.average_sd() < 1.0,
+            "seed {seed}: B-TCTP SD {}",
+            btctp_report.average_sd()
+        );
+        let expected = btctp_plan.itineraries[0].cycle_length()
+            / (btctp_plan.mule_count() as f64 * 2.0);
+        assert!(
+            (btctp_report.max_interval() - expected).abs() < 2.0,
+            "seed {seed}: max interval {} vs |P|/(n·v) {expected}",
+            btctp_report.max_interval()
+        );
+
+        // CHB (bunched mules) is never better on either metric.
+        assert!(chb_report.average_sd() >= btctp_report.average_sd());
+        assert!(chb_report.max_interval() >= btctp_report.max_interval() - 1.0);
+
+        btctp_max.push(btctp_report.max_interval());
+        chb_sd.push(chb_report.average_sd());
+    }
+    // CHB's SD is clearly positive on at least one topology.
+    assert!(chb_sd.iter().any(|&s| s > 10.0), "CHB SDs: {chb_sd:?}");
+    assert!(btctp_max.iter().all(|&m| m > 0.0));
+}
+
+#[test]
+fn wtctp_vip_visit_rate_scales_with_weight() {
+    let scenario = ScenarioConfig::paper_default()
+        .with_targets(16)
+        .with_mules(2)
+        .with_weights(WeightSpec::UniformVips { count: 3, weight: 3 })
+        .with_seed(55)
+        .generate();
+    let plan = WTctp::new(BreakEdgePolicy::BalancingLength)
+        .plan(&scenario)
+        .unwrap();
+    let outcome = simulate(&scenario, &plan, 120_000.0);
+    let per_node = outcome.visit_times_per_node();
+
+    // VIPs (weight 3) must be visited roughly three times as often as NTPs.
+    let vip_ids: Vec<_> = scenario.field().vips().iter().map(|v| v.id).collect();
+    let vip_visits: f64 = vip_ids
+        .iter()
+        .map(|id| per_node.get(id).map(Vec::len).unwrap_or(0) as f64)
+        .sum::<f64>()
+        / vip_ids.len() as f64;
+    let ntp_ids: Vec<_> = scenario
+        .field()
+        .patrolled_nodes()
+        .iter()
+        .filter(|n| !n.is_vip())
+        .map(|n| n.id)
+        .collect();
+    let ntp_visits: f64 = ntp_ids
+        .iter()
+        .map(|id| per_node.get(id).map(Vec::len).unwrap_or(0) as f64)
+        .sum::<f64>()
+        / ntp_ids.len() as f64;
+    let ratio = vip_visits / ntp_visits;
+    assert!(
+        (2.0..=4.0).contains(&ratio),
+        "VIP/NTP visit ratio {ratio} should be close to the weight 3 (vip {vip_visits}, ntp {ntp_visits})"
+    );
+}
+
+#[test]
+fn shortest_policy_builds_shorter_paths_balancing_builds_steadier_vips() {
+    let scenario = ScenarioConfig::paper_default()
+        .with_targets(18)
+        .with_mules(1)
+        .with_weights(WeightSpec::UniformVips { count: 3, weight: 3 })
+        .with_seed(77)
+        .generate();
+
+    let shortest_plan = WTctp::new(BreakEdgePolicy::ShortestLength)
+        .plan(&scenario)
+        .unwrap();
+    let balancing_plan = WTctp::new(BreakEdgePolicy::BalancingLength)
+        .plan(&scenario)
+        .unwrap();
+
+    // Path-length claim (Fig. 9 driver).
+    assert!(
+        shortest_plan.itineraries[0].cycle_length()
+            <= balancing_plan.itineraries[0].cycle_length() + 1e-6
+    );
+
+    // VIP interval-stability claim (Fig. 10 driver), single-mule setting.
+    let vip_ids: Vec<_> = scenario.field().vips().iter().map(|v| v.id).collect();
+    let vip_sd = |plan: &wmdm_patrol::patrol::PatrolPlan| {
+        let outcome = simulate(&scenario, plan, 400_000.0);
+        let report = IntervalReport::from_outcome(&outcome);
+        let sds: Vec<f64> = vip_ids.iter().filter_map(|id| report.node_sd(*id)).collect();
+        sds.iter().sum::<f64>() / sds.len() as f64
+    };
+    assert!(vip_sd(&balancing_plan) <= vip_sd(&shortest_plan) + 1.0);
+}
+
+#[test]
+fn rwtctp_outlives_wtctp_on_a_small_battery() {
+    use wmdm_patrol::energy::EnergyModel;
+    use wmdm_patrol::patrol::rwtctp::RwTctp;
+
+    let scenario = ScenarioConfig::paper_default()
+        .with_targets(12)
+        .with_mules(3)
+        .with_weights(WeightSpec::UniformVips { count: 2, weight: 2 })
+        .with_recharge_station(true)
+        .with_seed(88)
+        .generate();
+    let energy = EnergyModel {
+        initial_energy_j: 80_000.0,
+        ..EnergyModel::paper_default()
+    };
+    let config = SimulationConfig::default().with_energy(energy);
+
+    let rw_plan = RwTctp::with_energy(BreakEdgePolicy::ShortestLength, energy)
+        .plan(&scenario)
+        .unwrap();
+    let rw_outcome = Simulation::with_config(&scenario, &rw_plan, config).run_for(120_000.0);
+    assert!(rw_outcome.all_mules_survived(), "RW-TCTP keeps the fleet alive");
+    assert!(rw_outcome.mules.iter().any(|m| m.recharges > 0));
+
+    let w_plan = WTctp::new(BreakEdgePolicy::ShortestLength)
+        .plan(&scenario)
+        .unwrap();
+    let w_outcome = Simulation::with_config(&scenario, &w_plan, config).run_for(120_000.0);
+    assert!(
+        !w_outcome.all_mules_survived(),
+        "without recharge planning the same battery strands the fleet"
+    );
+
+    // RW-TCTP also keeps collecting for the whole horizon, so it delivers
+    // strictly more data.
+    assert!(rw_outcome.total_visits() > w_outcome.total_visits());
+}
+
+#[test]
+fn metrics_pipeline_is_consistent_across_crates() {
+    let scenario = paper_scenario(123);
+    let plan = BTctp::new().plan(&scenario).unwrap();
+    let outcome = simulate(&scenario, &plan, 50_000.0);
+
+    let intervals = IntervalReport::from_outcome(&outcome);
+    let dcdt = DcdtSeries::from_outcome(&outcome);
+    let summary: SummaryStatistics = intervals.summary();
+
+    // In steady state the DCDT of a visit equals the preceding visiting
+    // interval, so the two metrics must agree closely for B-TCTP.
+    assert!(
+        (intervals.mean_interval() - dcdt.average_dcdt(2)).abs()
+            < intervals.mean_interval() * 0.05 + 1.0
+    );
+    assert!(summary.count > 0);
+    assert!(summary.max >= summary.mean && summary.mean >= summary.min);
+    // Energy report is consistent even for the timing-only configuration.
+    let energy = wmdm_patrol::metrics::EnergyEfficiencyReport::from_outcome(&outcome);
+    assert!(energy.fleet_survived());
+    assert_eq!(energy.fleet_size, 4);
+}

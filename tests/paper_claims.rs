@@ -1,0 +1,145 @@
+//! Cross-crate property tests of the qualitative claims the paper makes,
+//! randomised over scenario seeds and sizes with proptest.
+
+use proptest::prelude::*;
+use wmdm_patrol::prelude::*;
+use wmdm_patrol::sim::SimulationConfig;
+use wmdm_patrol::workload::WeightSpec;
+
+fn simulate(scenario: &Scenario, plan: &wmdm_patrol::patrol::PatrolPlan, horizon: f64) -> SimulationOutcome {
+    Simulation::with_config(scenario, plan, SimulationConfig::timing_only()).run_for(horizon)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Definition 3: the weighted patrolling path visits a VIP `w` times per
+    /// traversal and every NTP exactly once, for every policy and any
+    /// scenario.
+    #[test]
+    fn wpp_visit_counts_match_weights(
+        seed in 0u64..5_000,
+        targets in 5usize..25,
+        vips in 1usize..5,
+        weight in 2u32..6,
+    ) {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_weights(WeightSpec::UniformVips { count: vips, weight })
+            .with_seed(seed)
+            .generate();
+        for policy in [BreakEdgePolicy::ShortestLength, BreakEdgePolicy::BalancingLength] {
+            let plan = WTctp::new(policy).plan(&scenario).unwrap();
+            let it = &plan.itineraries[0];
+            for node in scenario.field().patrolled_nodes() {
+                prop_assert_eq!(
+                    it.visits_per_round(node.id),
+                    node.weight.value() as usize,
+                    "{:?} node {}",
+                    policy,
+                    node.id
+                );
+            }
+        }
+    }
+
+    /// B-TCTP's plan always spreads the mules exactly |P|/n apart along the
+    /// shared circuit.
+    #[test]
+    fn btctp_entry_offsets_are_equally_spaced(
+        seed in 0u64..5_000,
+        targets in 3usize..30,
+        mules in 1usize..8,
+    ) {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_mules(mules)
+            .with_seed(seed)
+            .generate();
+        let plan = BTctp::new().plan(&scenario).unwrap();
+        let total = plan.itineraries[0].cycle_length();
+        prop_assume!(total > 1.0);
+        let mut offsets: Vec<f64> = plan.itineraries.iter().map(|i| i.entry_offset_m).collect();
+        offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let gap = total / mules as f64;
+        for w in offsets.windows(2) {
+            prop_assert!((w[1] - w[0] - gap).abs() < 1e-6);
+        }
+    }
+
+    /// The simulator respects its horizon and reports monotone visit times
+    /// for any planner.
+    #[test]
+    fn simulation_times_are_bounded_and_monotone(
+        seed in 0u64..5_000,
+        targets in 3usize..15,
+        mules in 1usize..5,
+        horizon in 1_000.0f64..30_000.0,
+    ) {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_mules(mules)
+            .with_seed(seed)
+            .generate();
+        let plan = BTctp::new().plan(&scenario).unwrap();
+        let outcome = simulate(&scenario, &plan, horizon);
+        prop_assert!(outcome.visits.iter().all(|v| v.time_s <= horizon + 1e-9));
+        for w in outcome.visits.windows(2) {
+            prop_assert!(w[1].time_s >= w[0].time_s - 1e-9);
+        }
+        prop_assert!(outcome.visits.iter().all(|v| v.data_age_s >= 0.0));
+    }
+
+    /// The Shortest-Length policy never builds a longer weighted path than
+    /// the Balancing-Length policy.
+    #[test]
+    fn shortest_policy_path_is_never_longer(
+        seed in 0u64..5_000,
+        targets in 6usize..20,
+        vips in 1usize..4,
+        weight in 2u32..5,
+    ) {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_weights(WeightSpec::UniformVips { count: vips, weight })
+            .with_seed(seed)
+            .generate();
+        let shortest = WTctp::new(BreakEdgePolicy::ShortestLength)
+            .plan(&scenario)
+            .unwrap()
+            .itineraries[0]
+            .cycle_length();
+        let balancing = WTctp::new(BreakEdgePolicy::BalancingLength)
+            .plan(&scenario)
+            .unwrap()
+            .itineraries[0]
+            .cycle_length();
+        prop_assert!(shortest <= balancing + 1e-6);
+    }
+
+    /// Energy conservation: the energy drawn from every battery equals the
+    /// ledgered consumption, and never exceeds the capacity between
+    /// recharges.
+    #[test]
+    fn energy_accounting_is_conservative(
+        seed in 0u64..5_000,
+        targets in 4usize..12,
+        mules in 1usize..4,
+    ) {
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_mules(mules)
+            .with_seed(seed)
+            .generate();
+        let plan = BTctp::new().plan(&scenario).unwrap();
+        let outcome = Simulation::new(&scenario, &plan).run_for(20_000.0);
+        for m in &outcome.mules {
+            let capacity = wmdm_patrol::energy::EnergyModel::paper_default().initial_energy_j;
+            prop_assert!(m.remaining_energy_j >= -1e-9);
+            prop_assert!(m.remaining_energy_j <= capacity + 1e-9);
+            // Ledger total never exceeds what the battery could supply
+            // (no recharge station in this scenario).
+            prop_assert!(m.ledger.total() <= capacity + 1e-6);
+        }
+    }
+}
