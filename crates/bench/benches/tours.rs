@@ -44,18 +44,17 @@ fn wpp_construction(c: &mut Criterion) {
     for &vips in &[2usize, 6] {
         let scenario = ScenarioConfig::paper_default()
             .with_targets(25)
-            .with_weights(WeightSpec::UniformVips { count: vips, weight: 4 })
+            .with_weights(WeightSpec::UniformVips {
+                count: vips,
+                weight: 4,
+            })
             .with_seed(43)
             .generate();
         for policy in BreakEdgePolicy::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(policy.label(), vips),
-                &scenario,
-                |b, s| {
-                    let planner = WTctp::new(policy);
-                    b.iter(|| black_box(planner.build_wpp_waypoints(black_box(s)).unwrap()))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(policy.label(), vips), &scenario, |b, s| {
+                let planner = WTctp::new(policy);
+                b.iter(|| black_box(planner.build_wpp_waypoints(black_box(s)).unwrap()))
+            });
         }
     }
     group.finish();

@@ -12,7 +12,7 @@ use mule_energy::EnergyModel;
 use mule_metrics::{EnergyEfficiencyReport, IntervalReport, TextTable};
 use mule_sim::SimulationConfig;
 use mule_workload::{ScenarioConfig, WeightSpec};
-use patrol_core::{BreakEdgePolicy, BTctp, RwTctp, WTctp};
+use patrol_core::{BTctp, BreakEdgePolicy, RwTctp, WTctp};
 
 /// Parameters of the recharge ablation.
 #[derive(Debug, Clone)]
@@ -65,7 +65,10 @@ pub fn recharge_ablation(params: &RechargeAblationParams) -> TextTable {
         let base = ScenarioConfig::paper_default()
             .with_targets(params.targets)
             .with_mules(params.mules)
-            .with_weights(WeightSpec::UniformVips { count: 2, weight: 2 })
+            .with_weights(WeightSpec::UniformVips {
+                count: 2,
+                weight: 2,
+            })
             .with_recharge_station(true)
             .with_seed(params.seed);
         let sim_config = SimulationConfig::default().with_energy(energy);
@@ -94,8 +97,7 @@ pub fn recharge_ablation(params: &RechargeAblationParams) -> TextTable {
             .unwrap_or(0);
 
         let wtctp = WTctp::new(BreakEdgePolicy::ShortestLength);
-        let w_rep =
-            run_energy_sweep(&wtctp, base, params.replicas, &sim_config, params.horizon_s);
+        let w_rep = run_energy_sweep(&wtctp, base, params.replicas, &sim_config, params.horizon_s);
         let w_survival = w_rep
             .average(|o| if o.all_mules_survived() { 1.0 } else { 0.0 })
             .unwrap_or(0.0);

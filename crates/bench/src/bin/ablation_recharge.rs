@@ -20,7 +20,10 @@ fn main() {
         RechargeAblationParams::default()
     };
 
-    eprintln!("RW-TCTP recharge ablation ({} replicas per row)", params.replicas);
+    eprintln!(
+        "RW-TCTP recharge ablation ({} replicas per row)",
+        params.replicas
+    );
     let table = recharge_ablation(&params);
     if csv {
         print!("{}", table.to_csv());

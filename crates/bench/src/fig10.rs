@@ -90,7 +90,10 @@ pub fn run(params: &VipSweepParams) -> Vec<Fig10Cell> {
             let base = ScenarioConfig::paper_default()
                 .with_targets(params.targets)
                 .with_mules(params.mules)
-                .with_weights(WeightSpec::UniformVips { count: vips, weight })
+                .with_weights(WeightSpec::UniformVips {
+                    count: vips,
+                    weight,
+                })
                 .with_seed(params.seed);
             let shortest = average_vip_sd_for_policy(
                 BreakEdgePolicy::ShortestLength,

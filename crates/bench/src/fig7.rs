@@ -113,11 +113,18 @@ pub fn table(series: &[Fig7Series]) -> TextTable {
     let mut header = vec!["visit".to_string()];
     header.extend(series.iter().map(|s| s.planner.clone()));
     let mut table = TextTable::new(header);
-    let rows = series.iter().map(|s| s.dcdt_by_visit.len()).max().unwrap_or(0);
+    let rows = series
+        .iter()
+        .map(|s| s.dcdt_by_visit.len())
+        .max()
+        .unwrap_or(0);
     for k in 0..rows {
         let mut row = vec![k.to_string()];
         for s in series {
-            row.push(format!("{:.1}", s.dcdt_by_visit.get(k).copied().unwrap_or(0.0)));
+            row.push(format!(
+                "{:.1}",
+                s.dcdt_by_visit.get(k).copied().unwrap_or(0.0)
+            ));
         }
         table.add_row(row);
     }
@@ -145,7 +152,11 @@ mod tests {
         assert_eq!(series.len(), 4);
         for s in &series {
             assert_eq!(s.dcdt_by_visit.len(), 10);
-            assert!(s.dcdt_by_visit.iter().skip(1).any(|&v| v > 0.0), "{}", s.planner);
+            assert!(
+                s.dcdt_by_visit.iter().skip(1).any(|&v| v > 0.0),
+                "{}",
+                s.planner
+            );
         }
         let t = table(&series);
         assert_eq!(t.len(), 10);

@@ -133,7 +133,11 @@ mod tests {
                 c.tctp_sd,
                 c.chb_sd
             );
-            assert!(c.tctp_sd < 5.0, "TCTP SD should be near zero, got {}", c.tctp_sd);
+            assert!(
+                c.tctp_sd < 5.0,
+                "TCTP SD should be near zero, got {}",
+                c.tctp_sd
+            );
         }
         // With more than one mule CHB bunches them and its SD is clearly
         // positive.

@@ -82,7 +82,10 @@ pub fn run(params: &VipSweepParams) -> Vec<Fig9Cell> {
             let base = ScenarioConfig::paper_default()
                 .with_targets(params.targets)
                 .with_mules(params.mules)
-                .with_weights(WeightSpec::UniformVips { count: vips, weight })
+                .with_weights(WeightSpec::UniformVips {
+                    count: vips,
+                    weight,
+                })
                 .with_seed(params.seed);
             let shortest = average_dcdt_for_policy(
                 BreakEdgePolicy::ShortestLength,
@@ -177,6 +180,9 @@ mod tests {
                 .unwrap()
                 .shortest_dcdt
         };
-        assert!(get(3, 4) >= get(3, 2) * 0.9, "heavier VIPs lengthen the path");
+        assert!(
+            get(3, 4) >= get(3, 2) * 0.9,
+            "heavier VIPs lengthen the path"
+        );
     }
 }

@@ -11,9 +11,9 @@
 //!    recharge station).
 
 use mule_geom::Polyline;
+use mule_graph::TourConstruction;
 use mule_metrics::TextTable;
 use mule_workload::{ReplicationPlan, ScenarioConfig, WeightSpec};
-use mule_graph::TourConstruction;
 use patrol_core::{BreakEdgePolicy, RwTctp, WTctp};
 
 /// Parameters of the path-length sweep.
@@ -189,7 +189,10 @@ mod tests {
                 .map(|c| c.parse::<f64>().unwrap())
                 .collect();
             let (base, shortest, balancing) = (cells[0], cells[1], cells[2]);
-            assert!(shortest >= base - 1.0, "WPP at least as long as the circuit");
+            assert!(
+                shortest >= base - 1.0,
+                "WPP at least as long as the circuit"
+            );
             assert!(shortest <= balancing + 1.0, "shortest policy is tightest");
         }
     }

@@ -102,6 +102,43 @@ impl Default for CliOptions {
     }
 }
 
+/// Disruption knobs of the `dynamics` subcommand, on top of the shared
+/// scenario options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsOptions {
+    /// Scenario + execution options shared with the other subcommands.
+    pub base: CliOptions,
+    /// How many targets fail mid-run.
+    pub fail_targets: usize,
+    /// When set, failed targets recover this many seconds after failing.
+    pub recover_after_s: Option<f64>,
+    /// How many targets arrive late.
+    pub late_targets: usize,
+    /// How many mules break down.
+    pub breakdowns: usize,
+    /// How many reduced-speed windows to open.
+    pub speed_windows: usize,
+    /// Speed multiplier inside each window.
+    pub speed_factor: f64,
+    /// Disable online replanning (disruptions still apply).
+    pub no_replan: bool,
+}
+
+impl Default for DynamicsOptions {
+    fn default() -> Self {
+        DynamicsOptions {
+            base: CliOptions::default(),
+            fail_targets: 1,
+            recover_after_s: None,
+            late_targets: 0,
+            breakdowns: 1,
+            speed_windows: 0,
+            speed_factor: 0.5,
+            no_replan: false,
+        }
+    }
+}
+
 /// A parsed `patrolctl` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliCommand {
@@ -113,6 +150,9 @@ pub enum CliCommand {
     Simulate(CliOptions),
     /// Run every planner on the same scenario and print a comparison table.
     Compare(CliOptions),
+    /// Run a seeded disruption scenario with online replanning and print
+    /// the per-phase delay summary.
+    Dynamics(DynamicsOptions),
 }
 
 /// Errors produced by the argument parser.
@@ -156,7 +196,7 @@ pub const USAGE: &str = "\
 patrolctl — data-mule patrolling toolkit (B-TCTP / W-TCTP / RW-TCTP)
 
 USAGE:
-    patrolctl <render|simulate|compare|help> [flags]
+    patrolctl <render|simulate|compare|dynamics|help> [flags]
 
 FLAGS (all subcommands):
     --targets N        number of targets               [default: 10]
@@ -170,6 +210,19 @@ FLAGS (all subcommands):
     --svg FILE         write the plan as an SVG file   (simulate)
     --csv PREFIX       write visit/mule CSV traces     (simulate)
     --width CHARS      ASCII canvas width              (render, default 72)
+
+FLAGS (dynamics only — all disruptions are seeded by --seed):
+    --fail-targets N     targets failing mid-run        [default: 1]
+    --recover-after S    failed targets recover after S seconds
+    --late-targets N     targets arriving late          [default: 0]
+    --breakdowns N       mules breaking down            [default: 1]
+    --speed-windows N    reduced-speed windows          [default: 0]
+    --speed-factor F     speed multiplier in windows    [default: 0.5]
+    --no-replan          keep the initial plan through every disruption
+
+EXAMPLE:
+    patrolctl dynamics --targets 12 --mules 4 --seed 7 \\
+        --fail-targets 1 --breakdowns 1 --recover-after 8000
 ";
 
 fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
@@ -185,8 +238,10 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
     if matches!(command.as_str(), "help" | "--help" | "-h") {
         return Ok(CliCommand::Help);
     }
+    let is_dynamics = command == "dynamics";
 
     let mut options = CliOptions::default();
+    let mut dynamics = DynamicsOptions::default();
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -208,6 +263,25 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
             "--svg" => options.svg_path = Some(take_value()?),
             "--csv" => options.csv_prefix = Some(take_value()?),
             "--recharge" => options.recharge = true,
+            "--fail-targets" if is_dynamics => {
+                dynamics.fail_targets = parse_flag(flag, &take_value()?)?
+            }
+            "--recover-after" if is_dynamics => {
+                dynamics.recover_after_s = Some(parse_flag(flag, &take_value()?)?)
+            }
+            "--late-targets" if is_dynamics => {
+                dynamics.late_targets = parse_flag(flag, &take_value()?)?
+            }
+            "--breakdowns" if is_dynamics => {
+                dynamics.breakdowns = parse_flag(flag, &take_value()?)?
+            }
+            "--speed-windows" if is_dynamics => {
+                dynamics.speed_windows = parse_flag(flag, &take_value()?)?
+            }
+            "--speed-factor" if is_dynamics => {
+                dynamics.speed_factor = parse_flag(flag, &take_value()?)?
+            }
+            "--no-replan" if is_dynamics => dynamics.no_replan = true,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
         i += 1;
@@ -223,6 +297,10 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
         "render" => Ok(CliCommand::Render(options)),
         "simulate" => Ok(CliCommand::Simulate(options)),
         "compare" => Ok(CliCommand::Compare(options)),
+        "dynamics" => {
+            dynamics.base = options;
+            Ok(CliCommand::Dynamics(dynamics))
+        }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -261,7 +339,9 @@ mod tests {
              --planner balancing --horizon 12345 --recharge",
         ))
         .unwrap();
-        let CliCommand::Simulate(opts) = cmd else { panic!() };
+        let CliCommand::Simulate(opts) = cmd else {
+            panic!()
+        };
         assert_eq!(opts.targets, 25);
         assert_eq!(opts.mules, 6);
         assert_eq!(opts.seed, 9);
@@ -274,7 +354,10 @@ mod tests {
 
     #[test]
     fn planner_names_parse_case_insensitively() {
-        assert_eq!(PlannerChoice::parse("B-TCTP").unwrap(), PlannerChoice::BTctp);
+        assert_eq!(
+            PlannerChoice::parse("B-TCTP").unwrap(),
+            PlannerChoice::BTctp
+        );
         assert_eq!(PlannerChoice::parse("ChB").unwrap(), PlannerChoice::Chb);
         assert_eq!(
             PlannerChoice::parse("rw-tctp").unwrap(),
@@ -285,8 +368,7 @@ mod tests {
 
     #[test]
     fn rw_tctp_implies_a_recharge_station() {
-        let CliCommand::Simulate(opts) =
-            parse_args(&argv("simulate --planner rw-tctp")).unwrap()
+        let CliCommand::Simulate(opts) = parse_args(&argv("simulate --planner rw-tctp")).unwrap()
         else {
             panic!()
         };
@@ -312,7 +394,9 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(CliError::MissingCommand.to_string().contains("subcommand"));
-        assert!(CliError::UnknownFlag("--x".into()).to_string().contains("--x"));
+        assert!(CliError::UnknownFlag("--x".into())
+            .to_string()
+            .contains("--x"));
         assert!(CliError::InvalidValue {
             flag: "--targets".into(),
             value: "abc".into()
@@ -320,6 +404,65 @@ mod tests {
         .to_string()
         .contains("abc"));
         assert!(USAGE.contains("patrolctl"));
+    }
+
+    #[test]
+    fn dynamics_defaults_apply_when_no_flags_given() {
+        let CliCommand::Dynamics(opts) = parse_args(&argv("dynamics")).unwrap() else {
+            panic!("expected dynamics");
+        };
+        assert_eq!(opts, DynamicsOptions::default());
+        assert_eq!(opts.fail_targets, 1);
+        assert_eq!(opts.breakdowns, 1);
+        assert_eq!(opts.late_targets, 0);
+        assert!(opts.recover_after_s.is_none());
+        assert!(!opts.no_replan);
+    }
+
+    #[test]
+    fn dynamics_flags_parse_alongside_shared_flags() {
+        let cmd = parse_args(&argv(
+            "dynamics --targets 12 --mules 5 --seed 9 --fail-targets 2 \
+             --recover-after 8000 --late-targets 1 --breakdowns 2 \
+             --speed-windows 1 --speed-factor 0.25 --no-replan",
+        ))
+        .unwrap();
+        let CliCommand::Dynamics(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.base.targets, 12);
+        assert_eq!(opts.base.mules, 5);
+        assert_eq!(opts.base.seed, 9);
+        assert_eq!(opts.fail_targets, 2);
+        assert_eq!(opts.recover_after_s, Some(8000.0));
+        assert_eq!(opts.late_targets, 1);
+        assert_eq!(opts.breakdowns, 2);
+        assert_eq!(opts.speed_windows, 1);
+        assert_eq!(opts.speed_factor, 0.25);
+        assert!(opts.no_replan);
+    }
+
+    #[test]
+    fn dynamics_flags_are_rejected_on_other_subcommands() {
+        assert!(matches!(
+            parse_args(&argv("simulate --fail-targets 2")).unwrap_err(),
+            CliError::UnknownFlag(f) if f == "--fail-targets"
+        ));
+        assert!(matches!(
+            parse_args(&argv("render --no-replan")).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+    }
+
+    #[test]
+    fn dynamics_usage_is_documented() {
+        assert!(USAGE.contains("dynamics"));
+        assert!(USAGE.contains("--fail-targets"));
+        assert!(USAGE.contains("--no-replan"));
+        assert!(
+            USAGE.contains("patrolctl dynamics"),
+            "usage shows an example"
+        );
     }
 
     #[test]

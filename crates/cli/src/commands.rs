@@ -3,15 +3,17 @@
 //! Every command returns a [`CommandOutput`] (text plus optional files
 //! written) instead of printing directly, so the logic is unit-testable.
 
-use crate::args::{CliCommand, CliError, CliOptions, PlannerChoice, USAGE};
+use crate::args::{CliCommand, CliError, CliOptions, DynamicsOptions, PlannerChoice, USAGE};
 use mule_metrics::{
-    DcdtSeries, EnergyEfficiencyReport, FairnessReport, IntervalReport, TextTable,
+    DcdtSeries, EnergyEfficiencyReport, FairnessReport, IntervalReport, PhaseDelayReport, TextTable,
 };
-use mule_sim::{Simulation, SimulationConfig, SimulationOutcome};
+use mule_sim::{DynamicSimulation, Simulation, SimulationConfig, SimulationOutcome};
 use mule_viz::{plan_to_svg, render_plan, render_scenario, SvgStyle};
-use mule_workload::{Scenario, ScenarioConfig, WeightSpec};
+use mule_workload::{DisruptionConfig, DisruptionPlan, Scenario, ScenarioConfig, WeightSpec};
 use patrol_core::baselines::{ChbPlanner, RandomPlanner, SweepPlanner};
-use patrol_core::{BTctp, BreakEdgePolicy, PatrolPlan, PlanError, Planner, RwTctp, WTctp};
+use patrol_core::{
+    BTctp, BreakEdgePolicy, PatrolPlan, PlanError, Planner, ReplanWithPlanner, RwTctp, WTctp,
+};
 
 /// Result of running a command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,10 +188,13 @@ fn run_simulate(options: &CliOptions) -> Result<CommandOutput, CommandError> {
         output.files_written.push(svg_path.clone());
     }
     if let Some(prefix) = &options.csv_prefix {
-        let (visits, mules) =
-            mule_sim::write_csv_files(&outcome, std::path::Path::new(prefix))?;
-        output.files_written.push(visits.to_string_lossy().into_owned());
-        output.files_written.push(mules.to_string_lossy().into_owned());
+        let (visits, mules) = mule_sim::write_csv_files(&outcome, std::path::Path::new(prefix))?;
+        output
+            .files_written
+            .push(visits.to_string_lossy().into_owned());
+        output
+            .files_written
+            .push(mules.to_string_lossy().into_owned());
     }
     Ok(output)
 }
@@ -242,6 +247,90 @@ fn run_compare(options: &CliOptions) -> Result<CommandOutput, CommandError> {
     Ok(CommandOutput::text_only(table.render()))
 }
 
+fn run_dynamics(options: &DynamicsOptions) -> Result<CommandOutput, CommandError> {
+    let base = &options.base;
+    let scenario = build_scenario(base);
+    let disruption_config = DisruptionConfig {
+        seed: base.seed,
+        horizon_s: base.horizon_s,
+        target_failures: options.fail_targets,
+        recover_after_s: options.recover_after_s,
+        late_arrivals: options.late_targets,
+        mule_breakdowns: options.breakdowns,
+        speed_windows: options.speed_windows,
+        speed_factor: options.speed_factor,
+    };
+    let disruptions = DisruptionPlan::seeded(&scenario, &disruption_config);
+
+    // Plan on the world as it looks at t = 0: late-arriving targets are
+    // not yet known to the planner, so they are excluded until their
+    // arrival triggers a replan.
+    let planner = build_planner(base.planner);
+    let initial_world = scenario.restricted(
+        &disruptions.late_target_ids(),
+        scenario.mule_starts().to_vec(),
+    );
+    let plan = planner.plan(&initial_world)?;
+
+    let sim_config = if base.recharge {
+        SimulationConfig::default()
+    } else {
+        SimulationConfig::timing_only()
+    };
+    let replanner = ReplanWithPlanner::new(build_planner(base.planner));
+    let mut sim = DynamicSimulation::new(&scenario, &plan, &disruptions).with_config(sim_config);
+    if !options.no_replan {
+        sim = sim.with_replanner(&replanner);
+    }
+    let result = sim.run_for(base.horizon_s);
+
+    let mut text = format!(
+        "dynamic scenario: {} targets, {} mules, seed {}, horizon {:.0} s\n\
+         planner: {}  replanning: {}\n\n",
+        base.targets,
+        base.mules,
+        base.seed,
+        base.horizon_s,
+        plan.planner_name,
+        if options.no_replan { "off" } else { "on" },
+    );
+
+    text.push_str("timeline:\n");
+    if disruptions.is_empty() {
+        text.push_str("  (no disruptions)\n");
+    }
+    for entry in &result.timeline {
+        text.push_str(&format!(
+            "  t={:>7.0}s  {}\n",
+            entry.time_s, entry.description
+        ));
+    }
+    text.push('\n');
+
+    let phases = PhaseDelayReport::from_dynamic(&result);
+    text.push_str("per-phase data-collection delay:\n");
+    text.push_str(&phases.to_table().render());
+    text.push('\n');
+
+    let survivors = result
+        .outcome
+        .mules
+        .iter()
+        .filter(|m| m.status.survived())
+        .count();
+    text.push_str(&format!(
+        "visits: {}  replans: {}  events fired: {}\n\
+         overall mean delay: {:.1} s  surviving mules: {}/{}\n",
+        result.outcome.total_visits(),
+        result.replan_count(),
+        result.events_fired,
+        phases.overall_mean_delay_s(),
+        survivors,
+        result.outcome.mules.len(),
+    ));
+    Ok(CommandOutput::text_only(text))
+}
+
 /// Executes a parsed command.
 pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> {
     match command {
@@ -249,6 +338,7 @@ pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> 
         CliCommand::Render(options) => run_render(options),
         CliCommand::Simulate(options) => run_simulate(options),
         CliCommand::Compare(options) => run_compare(options),
+        CliCommand::Dynamics(options) => run_dynamics(options),
     }
 }
 
@@ -291,7 +381,11 @@ mod tests {
             "fairness",
             "energy",
         ] {
-            assert!(out.text.contains(needle), "missing `{needle}` in:\n{}", out.text);
+            assert!(
+                out.text.contains(needle),
+                "missing `{needle}` in:\n{}",
+                out.text
+            );
         }
     }
 
@@ -325,7 +419,11 @@ mod tests {
     fn compare_lists_the_baselines_and_tctp() {
         let out = run_command(&CliCommand::Compare(options())).unwrap();
         for planner in ["Random", "Sweep", "CHB", "B-TCTP"] {
-            assert!(out.text.contains(planner), "{planner} missing:\n{}", out.text);
+            assert!(
+                out.text.contains(planner),
+                "{planner} missing:\n{}",
+                out.text
+            );
         }
         // Weighted planners only appear when VIPs are requested.
         assert!(!out.text.contains("W-TCTP"));
@@ -333,6 +431,73 @@ mod tests {
         with_vips.vips = 2;
         let out2 = run_command(&CliCommand::Compare(with_vips)).unwrap();
         assert!(out2.text.contains("W-TCTP (shortest)"));
+    }
+
+    #[test]
+    fn dynamics_reports_timeline_phases_and_summary() {
+        let opts = DynamicsOptions {
+            base: options(),
+            fail_targets: 1,
+            breakdowns: 1,
+            recover_after_s: Some(4_000.0),
+            ..DynamicsOptions::default()
+        };
+        let out = run_command(&CliCommand::Dynamics(opts)).unwrap();
+        for needle in [
+            "dynamic scenario",
+            "replanning: on",
+            "timeline:",
+            "fails",
+            "breaks down",
+            "replan (B-TCTP)",
+            "per-phase data-collection delay",
+            "mean delay",
+            "replans:",
+            "surviving mules: 2/3",
+        ] {
+            assert!(
+                out.text.contains(needle),
+                "missing `{needle}` in:\n{}",
+                out.text
+            );
+        }
+        assert!(out.files_written.is_empty());
+    }
+
+    #[test]
+    fn dynamics_is_deterministic_across_runs_with_the_same_seed() {
+        let opts = DynamicsOptions {
+            base: options(),
+            fail_targets: 2,
+            breakdowns: 1,
+            late_targets: 1,
+            speed_windows: 1,
+            ..DynamicsOptions::default()
+        };
+        let a = run_command(&CliCommand::Dynamics(opts.clone())).unwrap();
+        let b = run_command(&CliCommand::Dynamics(opts.clone())).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same report");
+        let other_seed = DynamicsOptions {
+            base: CliOptions {
+                seed: 99,
+                ..opts.base.clone()
+            },
+            ..opts
+        };
+        let c = run_command(&CliCommand::Dynamics(other_seed)).unwrap();
+        assert_ne!(a, c, "a different seed should disrupt differently");
+    }
+
+    #[test]
+    fn dynamics_without_replanning_still_runs() {
+        let opts = DynamicsOptions {
+            base: options(),
+            no_replan: true,
+            ..DynamicsOptions::default()
+        };
+        let out = run_command(&CliCommand::Dynamics(opts)).unwrap();
+        assert!(out.text.contains("replanning: off"));
+        assert!(out.text.contains("replans: 0"));
     }
 
     #[test]

@@ -76,8 +76,7 @@ impl Planner for RandomPlanner {
                         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         .wrapping_add(m as u64),
                 );
-                let mut cycle =
-                    Vec::with_capacity(waypoints.len() * self.rounds.max(1));
+                let mut cycle = Vec::with_capacity(waypoints.len() * self.rounds.max(1));
                 for _ in 0..self.rounds.max(1) {
                     let mut round = waypoints.clone();
                     round.shuffle(&mut rng);

@@ -70,8 +70,7 @@ impl SweepPlanner {
                     .filter(|n| n.kind == NodeKind::Target)
                     .map(|n| (n.id.index(), n.position))
                     .collect();
-                let positions: Vec<mule_geom::Point> =
-                    targets.iter().map(|(_, p)| *p).collect();
+                let positions: Vec<mule_geom::Point> = targets.iter().map(|(_, p)| *p).collect();
                 mule_graph::kmeans_partition(&positions, groups.max(1), 50)
                     .into_iter()
                     .map(|group| group.into_iter().map(|local| targets[local].0).collect())
@@ -99,7 +98,7 @@ impl SweepPlanner {
                 (n.id.index(), v.angle())
             })
             .collect();
-        targets.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        targets.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         let groups = groups.max(1);
         let mut out: Vec<Vec<usize>> = vec![Vec::new(); groups];
@@ -234,7 +233,10 @@ mod tests {
             .iter()
             .filter(|it| it.cycle.len() <= 1)
             .count();
-        assert!(idle >= 2, "at least the surplus mules idle or only visit the sink");
+        assert!(
+            idle >= 2,
+            "at least the surplus mules idle or only visit the sink"
+        );
     }
 
     #[test]

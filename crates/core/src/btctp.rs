@@ -63,8 +63,7 @@ impl Planner for BTctp {
 
     fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
         validate_common(scenario)?;
-        let circuit =
-            SharedCircuit::build(scenario, &self.chb).ok_or(PlanError::NoTargets)?;
+        let circuit = SharedCircuit::build(scenario, &self.chb).ok_or(PlanError::NoTargets)?;
         let path = mule_geom::Polyline::closed(circuit.positions());
 
         let itineraries = if self.spread_start_points {
@@ -141,7 +140,7 @@ mod tests {
             assert_eq!(&it.cycle, reference, "identical shared circuit");
             offsets.push(it.entry_offset_m);
         }
-        offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        offsets.sort_by(|a, b| a.total_cmp(b));
         // Equal spacing |P|/n between consecutive entry offsets.
         let total = plan.itineraries[0].cycle_length();
         let expected_gap = total / plan.mule_count() as f64;

@@ -53,12 +53,7 @@ pub fn assign_start_points(path: &Polyline, mule_positions: &[Point]) -> Vec<Dep
             pairs.push((m, s, mp.distance(sp)));
         }
     }
-    pairs.sort_by(|a, b| {
-        a.2.partial_cmp(&b.2)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-            .then(a.1.cmp(&b.1))
-    });
+    pairs.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
 
     let mut mule_taken = vec![false; n];
     let mut point_taken = vec![false; n];
@@ -118,7 +113,7 @@ mod tests {
         assert_eq!(indices, vec![0, 1, 2, 3]);
         // Offsets are i/n of the perimeter.
         let mut offsets: Vec<f64> = d.iter().map(|x| x.entry_offset_m).collect();
-        offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        offsets.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(offsets, vec![0.0, 100.0, 200.0, 300.0]);
         // Each mule starts at a corner, so its assigned point is its own
         // corner at distance zero.
@@ -157,7 +152,7 @@ mod tests {
         let d = assign_start_points(&path, &mules);
         assert_eq!(d.len(), 8);
         let mut offsets: Vec<f64> = d.iter().map(|x| x.entry_offset_m).collect();
-        offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        offsets.sort_by(|a, b| a.total_cmp(b));
         for w in offsets.windows(2) {
             assert!((w[1] - w[0] - 50.0).abs() < 1e-9, "offsets every 50 m");
         }

@@ -15,6 +15,20 @@
 //! All planners implement the [`Planner`] trait: they consume a
 //! [`mule_workload::Scenario`] and produce a [`PatrolPlan`] — one
 //! [`MuleItinerary`] per mule — which the `mule-sim` crate then executes.
+//!
+//! ## Disruptions and online replanning
+//!
+//! Static plans assume the world the planner saw never changes. Dynamic
+//! scenarios (see `mule_workload::disruption`) violate that mid-run:
+//! targets fail, recover or arrive late, and mules break down. The
+//! [`replan`] module closes the loop: the simulator hands a [`Replanner`] a
+//! [`ReplanContext`] — the surviving targets, the surviving mules and their
+//! current positions — and executes the fresh [`PatrolPlan`] it returns.
+//! [`ReplanWithPlanner`] is the default strategy: re-run the original
+//! planner on the restricted scenario, which mirrors the paper's
+//! distributed-consistency argument (every mule derives the same new path
+//! from the same shared knowledge). Custom [`Replanner`] implementations
+//! can splice routes locally instead of replanning globally.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -25,11 +39,13 @@ pub mod deployment;
 pub mod hamiltonian;
 pub mod plan;
 pub mod planner;
+pub mod replan;
 pub mod rwtctp;
 pub mod wtctp;
 
 pub use btctp::BTctp;
 pub use plan::{MuleItinerary, PatrolPlan, PlanError, Waypoint};
 pub use planner::Planner;
+pub use replan::{ReplanContext, ReplanWithPlanner, Replanner};
 pub use rwtctp::RwTctp;
 pub use wtctp::{BreakEdgePolicy, WTctp};

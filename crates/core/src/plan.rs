@@ -159,7 +159,10 @@ impl fmt::Display for PlanError {
             PlanError::NoTargets => write!(f, "scenario contains no targets to patrol"),
             PlanError::NoMules => write!(f, "scenario contains no data mules"),
             PlanError::MissingRechargeStation => {
-                write!(f, "planner requires a recharge station but the scenario has none")
+                write!(
+                    f,
+                    "planner requires a recharge station but the scenario has none"
+                )
             }
         }
     }
@@ -195,7 +198,10 @@ mod tests {
         assert_eq!(it.visits_per_round(NodeId(1)), 2);
         assert_eq!(it.visits_per_round(NodeId(0)), 1);
         assert_eq!(it.visits_per_round(NodeId(9)), 0);
-        assert_eq!(it.covered_nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            it.covered_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
     }
 
     #[test]

@@ -18,6 +18,16 @@ pub trait Planner {
     fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError>;
 }
 
+impl<P: Planner + ?Sized> Planner for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
+        (**self).plan(scenario)
+    }
+}
+
 /// Blanket helper: validates the common preconditions shared by every
 /// planner (at least one patrolled node, at least one mule).
 pub(crate) fn validate_common(scenario: &Scenario) -> Result<(), PlanError> {

@@ -1,0 +1,157 @@
+//! Online replanning: reacting to disruptions mid-run.
+//!
+//! When the simulator applies a disruption (a target fails or arrives, a
+//! mule breaks down) it asks a [`Replanner`] for a fresh [`PatrolPlan`]
+//! over the *surviving world*: the still-active targets and the
+//! still-operational mules, standing wherever the disruption caught them.
+//!
+//! The default implementation, [`ReplanWithPlanner`], simply re-runs a
+//! [`Planner`] on a restricted scenario — the paper's planners are
+//! deterministic functions of the scenario, so this is exactly "every mule
+//! re-derives the shared path from the shared surviving knowledge", the
+//! same distributed-consistency argument the paper uses for initial
+//! planning.
+
+use crate::plan::{PatrolPlan, PlanError};
+use crate::planner::Planner;
+use mule_geom::Point;
+use mule_net::NodeId;
+use mule_workload::Scenario;
+
+/// Everything a replanner may consult when a disruption fires.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplanContext<'a> {
+    /// The original scenario (full field; activity is described by
+    /// `inactive_targets`).
+    pub scenario: &'a Scenario,
+    /// Targets currently out of service (failed, or late and not yet
+    /// arrived).
+    pub inactive_targets: &'a [NodeId],
+    /// Scenario indices of the mules still operational, ascending.
+    pub active_mules: &'a [usize],
+    /// Current positions of the active mules, aligned with `active_mules`.
+    pub mule_positions: &'a [Point],
+    /// The plan being executed when the disruption fired.
+    pub previous: &'a PatrolPlan,
+    /// Simulation time of the replan, seconds.
+    pub time_s: f64,
+}
+
+/// A strategy for producing a new plan after a disruption.
+pub trait Replanner {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Produces a plan covering the context's active targets with its
+    /// active mules. Itineraries must carry *scenario* mule indices (the
+    /// entries of [`ReplanContext::active_mules`]), not positions within
+    /// the surviving subset.
+    fn replan(&self, ctx: &ReplanContext<'_>) -> Result<PatrolPlan, PlanError>;
+}
+
+/// The default replanner: re-runs `planner` on the restricted scenario
+/// (surviving targets, surviving mules at their current positions) and
+/// maps the resulting itineraries back onto scenario mule indices.
+#[derive(Debug, Clone, Default)]
+pub struct ReplanWithPlanner<P: Planner> {
+    planner: P,
+}
+
+impl<P: Planner> ReplanWithPlanner<P> {
+    /// Wraps a planner for use as a replanner.
+    pub fn new(planner: P) -> Self {
+        ReplanWithPlanner { planner }
+    }
+
+    /// The wrapped planner.
+    pub fn planner(&self) -> &P {
+        &self.planner
+    }
+}
+
+impl<P: Planner> Replanner for ReplanWithPlanner<P> {
+    fn name(&self) -> &'static str {
+        self.planner.name()
+    }
+
+    fn replan(&self, ctx: &ReplanContext<'_>) -> Result<PatrolPlan, PlanError> {
+        let restricted = ctx
+            .scenario
+            .restricted(ctx.inactive_targets, ctx.mule_positions.to_vec());
+        let mut plan = self.planner.plan(&restricted)?;
+        // The restricted scenario numbers its mules 0..k; translate back to
+        // the caller's scenario indices.
+        for (itinerary, &scenario_index) in plan.itineraries.iter_mut().zip(ctx.active_mules) {
+            itinerary.mule_index = scenario_index;
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BTctp;
+    use mule_workload::ScenarioConfig;
+
+    fn scenario() -> Scenario {
+        ScenarioConfig::paper_default()
+            .with_targets(8)
+            .with_mules(4)
+            .with_seed(9)
+            .generate()
+    }
+
+    #[test]
+    fn default_replanner_covers_only_surviving_targets() {
+        let s = scenario();
+        let initial = BTctp::new().plan(&s).unwrap();
+        let dead = [s.patrolled_ids()[2], s.patrolled_ids()[5]];
+        let replanner = ReplanWithPlanner::new(BTctp::new());
+        let positions = vec![s.field().sink().unwrap().position; 3];
+        let ctx = ReplanContext {
+            scenario: &s,
+            inactive_targets: &dead,
+            active_mules: &[0, 2, 3],
+            mule_positions: &positions,
+            previous: &initial,
+            time_s: 1_000.0,
+        };
+        let plan = replanner.replan(&ctx).unwrap();
+        assert_eq!(plan.mule_count(), 3);
+        let covered = plan.covered_nodes();
+        for d in dead {
+            assert!(
+                !covered.contains(&d),
+                "dead target {d} must not be patrolled"
+            );
+        }
+        // Every surviving patrolled node is still covered (B-TCTP covers
+        // the full set with one shared cycle).
+        for id in s.patrolled_ids() {
+            if !dead.contains(&id) {
+                assert!(covered.contains(&id), "surviving target {id} lost");
+            }
+        }
+        // Itineraries carry scenario mule indices.
+        let indices: Vec<usize> = plan.itineraries.iter().map(|i| i.mule_index).collect();
+        assert_eq!(indices, vec![0, 2, 3]);
+        assert_eq!(replanner.name(), "B-TCTP");
+    }
+
+    #[test]
+    fn replanning_with_no_survivors_errors_cleanly() {
+        let s = scenario();
+        let initial = BTctp::new().plan(&s).unwrap();
+        let replanner = ReplanWithPlanner::new(BTctp::new());
+        let ctx = ReplanContext {
+            scenario: &s,
+            inactive_targets: &[],
+            active_mules: &[],
+            mule_positions: &[],
+            previous: &initial,
+            time_s: 5.0,
+        };
+        assert_eq!(replanner.replan(&ctx).unwrap_err(), PlanError::NoMules);
+    }
+}

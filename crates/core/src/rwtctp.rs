@@ -176,9 +176,7 @@ impl Planner for RwTctp {
         super_cycle.extend_from_slice(&schedule.wrp);
 
         // Mules spread over the super-cycle exactly as in W-TCTP.
-        let path = mule_geom::Polyline::closed(
-            super_cycle.iter().map(|w| w.position).collect(),
-        );
+        let path = mule_geom::Polyline::closed(super_cycle.iter().map(|w| w.position).collect());
         let deployments = assign_start_points(&path, scenario.mule_starts());
         let itineraries = scenario
             .mule_starts()
@@ -202,7 +200,10 @@ mod tests {
     fn scenario(seed: u64) -> Scenario {
         ScenarioConfig::paper_default()
             .with_targets(12)
-            .with_weights(WeightSpec::UniformVips { count: 2, weight: 3 })
+            .with_weights(WeightSpec::UniformVips {
+                count: 2,
+                weight: 3,
+            })
             .with_recharge_station(true)
             .with_seed(seed)
             .generate()
@@ -265,10 +266,7 @@ mod tests {
         // The super-cycle visits the station exactly once per recharge
         // period.
         assert_eq!(it.visits_per_round(station), 1);
-        let repeats = schedule
-            .rounds
-            .patrol_rounds_between_recharges()
-            .min(256) as usize;
+        let repeats = schedule.rounds.patrol_rounds_between_recharges().min(256) as usize;
         assert_eq!(
             it.cycle.len(),
             schedule.wpp.len() * repeats + schedule.wrp.len()

@@ -43,8 +43,10 @@ pub enum BreakEdgePolicy {
 
 impl BreakEdgePolicy {
     /// Both policies, for sweeps in the figure harness.
-    pub const ALL: [BreakEdgePolicy; 2] =
-        [BreakEdgePolicy::ShortestLength, BreakEdgePolicy::BalancingLength];
+    pub const ALL: [BreakEdgePolicy; 2] = [
+        BreakEdgePolicy::ShortestLength,
+        BreakEdgePolicy::BalancingLength,
+    ];
 
     /// Human-readable label used in report tables.
     pub fn label(&self) -> &'static str {
@@ -77,8 +79,7 @@ impl WTctp {
     /// walk as waypoints (shared by all mules). Exposed so RW-TCTP can reuse
     /// it and so benches can measure WPP length directly.
     pub fn build_wpp_waypoints(&self, scenario: &Scenario) -> Result<Vec<Waypoint>, PlanError> {
-        let circuit =
-            SharedCircuit::build(scenario, &self.chb).ok_or(PlanError::NoTargets)?;
+        let circuit = SharedCircuit::build(scenario, &self.chb).ok_or(PlanError::NoTargets)?;
         let positions = circuit.positions();
         let ids = circuit.node_ids();
 
@@ -86,12 +87,7 @@ impl WTctp {
         let field = scenario.field();
         let weights: Vec<u32> = ids
             .iter()
-            .map(|id| {
-                field
-                    .node(*id)
-                    .map(|n| n.weight.value())
-                    .unwrap_or(1)
-            })
+            .map(|id| field.node(*id).map(|n| n.weight.value()).unwrap_or(1))
             .collect();
 
         // The circuit walk over local indices 0..k is simply 0,1,2,…,k-1
@@ -117,8 +113,7 @@ impl Planner for WTctp {
     fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
         validate_common(scenario)?;
         let waypoints = self.build_wpp_waypoints(scenario)?;
-        let path =
-            mule_geom::Polyline::closed(waypoints.iter().map(|w| w.position).collect());
+        let path = mule_geom::Polyline::closed(waypoints.iter().map(|w| w.position).collect());
         let deployments = assign_start_points(&path, scenario.mule_starts());
 
         let itineraries = scenario
@@ -142,7 +137,10 @@ mod tests {
     fn weighted_scenario(seed: u64, vips: usize, weight: u32) -> Scenario {
         ScenarioConfig::paper_default()
             .with_targets(15)
-            .with_weights(WeightSpec::UniformVips { count: vips, weight })
+            .with_weights(WeightSpec::UniformVips {
+                count: vips,
+                weight,
+            })
             .with_seed(seed)
             .generate()
     }
@@ -168,7 +166,9 @@ mod tests {
     #[test]
     fn unweighted_scenarios_reduce_to_the_plain_circuit() {
         let s = ScenarioConfig::paper_default().with_seed(9).generate();
-        let plan = WTctp::new(BreakEdgePolicy::ShortestLength).plan(&s).unwrap();
+        let plan = WTctp::new(BreakEdgePolicy::ShortestLength)
+            .plan(&s)
+            .unwrap();
         let it = &plan.itineraries[0];
         assert_eq!(it.cycle.len(), s.patrolled_positions().len());
     }
@@ -198,7 +198,9 @@ mod tests {
     #[test]
     fn all_mules_share_the_same_wpp() {
         let s = weighted_scenario(7, 2, 4);
-        let plan = WTctp::new(BreakEdgePolicy::BalancingLength).plan(&s).unwrap();
+        let plan = WTctp::new(BreakEdgePolicy::BalancingLength)
+            .plan(&s)
+            .unwrap();
         let reference = &plan.itineraries[0].cycle;
         for it in &plan.itineraries {
             assert_eq!(&it.cycle, reference);
@@ -206,7 +208,7 @@ mod tests {
         // Entry offsets are spread equally along the WPP.
         let total = plan.itineraries[0].cycle_length();
         let mut offsets: Vec<f64> = plan.itineraries.iter().map(|i| i.entry_offset_m).collect();
-        offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        offsets.sort_by(|a, b| a.total_cmp(b));
         let gap = total / plan.mule_count() as f64;
         for w in offsets.windows(2) {
             assert!((w[1] - w[0] - gap).abs() < 1e-6);
@@ -216,8 +218,12 @@ mod tests {
     #[test]
     fn plan_is_deterministic_and_errors_are_propagated() {
         let s = weighted_scenario(11, 3, 2);
-        let a = WTctp::new(BreakEdgePolicy::ShortestLength).plan(&s).unwrap();
-        let b = WTctp::new(BreakEdgePolicy::ShortestLength).plan(&s).unwrap();
+        let a = WTctp::new(BreakEdgePolicy::ShortestLength)
+            .plan(&s)
+            .unwrap();
+        let b = WTctp::new(BreakEdgePolicy::ShortestLength)
+            .plan(&s)
+            .unwrap();
         assert_eq!(a, b);
 
         let empty = ScenarioConfig::paper_default().with_mules(0).generate();
@@ -234,6 +240,9 @@ mod tests {
             BreakEdgePolicy::ShortestLength.label(),
             BreakEdgePolicy::BalancingLength.label()
         );
-        assert_eq!(WTctp::new(BreakEdgePolicy::BalancingLength).name(), "W-TCTP");
+        assert_eq!(
+            WTctp::new(BreakEdgePolicy::BalancingLength).name(),
+            "W-TCTP"
+        );
     }
 }

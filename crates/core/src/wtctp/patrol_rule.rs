@@ -138,11 +138,11 @@ mod tests {
         // g5 approaches from the east, g3 leaves to the north-east,
         // g9 approaches from the west, g8 leaves to the south-west.
         let positions = vec![
-            Point::new(0.0, 0.0),    // g4
-            Point::new(30.0, 40.0),  // g3 (north-east of g4)
-            Point::new(60.0, 0.0),   // g5 (east)
+            Point::new(0.0, 0.0),     // g4
+            Point::new(30.0, 40.0),   // g3 (north-east of g4)
+            Point::new(60.0, 0.0),    // g5 (east)
             Point::new(-30.0, -40.0), // g8 (south-west)
-            Point::new(-60.0, 0.0),  // g9 (west)
+            Point::new(-60.0, 0.0),   // g9 (west)
         ];
         // Arriving from g5 (index 2) at g4, candidates g3 and g8.
         let slot = next_by_rule(&positions, 2, 0, &[1, 3]).unwrap();

@@ -263,9 +263,7 @@ mod tests {
         weights[9] = 3;
         let shortest = build_wpp(&base(14), &pos, &weights, BreakEdgePolicy::ShortestLength);
         let balancing = build_wpp(&base(14), &pos, &weights, BreakEdgePolicy::BalancingLength);
-        assert!(
-            walk_length(&shortest, &pos) <= walk_length(&balancing, &pos) + 1e-9
-        );
+        assert!(walk_length(&shortest, &pos) <= walk_length(&balancing, &pos) + 1e-9);
     }
 
     #[test]

@@ -18,7 +18,10 @@ fn weighted_config(
         .with_mules(mules)
         .with_seed(seed)
         .with_weights(if vips > 0 {
-            WeightSpec::UniformVips { count: vips, weight }
+            WeightSpec::UniformVips {
+                count: vips,
+                weight,
+            }
         } else {
             WeightSpec::AllNormal
         })

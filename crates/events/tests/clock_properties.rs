@@ -1,0 +1,115 @@
+//! Property tests of the SimClock's ordering guarantees: pops are in
+//! nondecreasing time order, ties break deterministically by
+//! (kind priority, subject, insertion), and identical schedules drain
+//! identically.
+
+use mule_events::{EventKind, EventSubject, SimClock};
+use mule_net::NodeId;
+use proptest::prelude::*;
+
+/// A compact, generatable description of one scheduled event.
+fn event_strategy() -> impl Strategy<Value = (f64, usize, usize)> {
+    // (time, kind selector, subject selector). Times are drawn from a
+    // small set so same-timestamp collisions actually happen.
+    (0.0..50.0f64, 0usize..8, 0usize..9)
+}
+
+fn kind_of(selector: usize) -> EventKind {
+    match selector {
+        0 => EventKind::TargetFailure,
+        1 => EventKind::TargetRecovery,
+        2 => EventKind::TargetArrival,
+        3 => EventKind::MuleBreakdown,
+        4 => EventKind::SpeedWindowEnd { factor: 0.5 },
+        5 => EventKind::SpeedWindowStart { factor: 0.5 },
+        6 => EventKind::Replan,
+        _ => EventKind::WaypointArrival,
+    }
+}
+
+fn subject_of(selector: usize) -> EventSubject {
+    match selector {
+        0 => EventSubject::Global,
+        s if s < 5 => EventSubject::Mule(s - 1),
+        s => EventSubject::Target(NodeId(s - 5)),
+    }
+}
+
+fn subject_key(subject: EventSubject) -> (u8, usize) {
+    match subject {
+        EventSubject::Global => (0, 0),
+        EventSubject::Mule(m) => (1, m),
+        EventSubject::Target(id) => (2, id.index()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coarsening times to steps of 5 forces many exact duplicates, so the
+    /// tie-break path is exercised on almost every case.
+    #[test]
+    fn pops_are_in_nondecreasing_time_then_kind_then_subject_order(
+        events in prop::collection::vec(event_strategy(), 0..40)
+    ) {
+        let mut clock = SimClock::new();
+        for &(time, kind, subject) in &events {
+            let time = (time / 5.0).floor() * 5.0;
+            clock.schedule_at(time, subject_of(subject), kind_of(kind));
+        }
+        let mut drained = Vec::new();
+        while let Some(ev) = clock.next() {
+            drained.push(ev);
+        }
+        prop_assert_eq!(drained.len(), events.len());
+        for w in drained.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            prop_assert!(a.time_s <= b.time_s, "time order violated: {} > {}", a.time_s, b.time_s);
+            if a.time_s == b.time_s {
+                let ka = (a.kind.priority(), subject_key(a.subject));
+                let kb = (b.kind.priority(), subject_key(b.subject));
+                prop_assert!(ka <= kb,
+                    "tie-break violated at t={}: {:?} then {:?}", a.time_s, a, b);
+            }
+        }
+    }
+
+    /// Two clocks fed the same schedule drain identically — event identity
+    /// included, not just timestamps.
+    #[test]
+    fn identical_schedules_drain_identically(
+        events in prop::collection::vec(event_strategy(), 0..40)
+    ) {
+        let drain = || {
+            let mut clock = SimClock::new();
+            for &(time, kind, subject) in &events {
+                clock.schedule_at(time, subject_of(subject), kind_of(kind));
+            }
+            let mut out = Vec::new();
+            clock.run_until(f64::MAX, |_, ev| out.push(ev));
+            out
+        };
+        let a = drain();
+        let b = drain();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The drain loop respects any horizon: everything at or before it
+    /// fires, everything after it stays queued.
+    #[test]
+    fn run_until_splits_exactly_at_the_horizon(
+        events in prop::collection::vec(event_strategy(), 0..40),
+        horizon in 0.0..60.0f64
+    ) {
+        let mut clock = SimClock::new();
+        for &(time, kind, subject) in &events {
+            clock.schedule_at(time, subject_of(subject), kind_of(kind));
+        }
+        let mut fired = Vec::new();
+        clock.run_until(horizon, |_, ev| fired.push(ev.time_s));
+        let expected = events.iter().filter(|(t, _, _)| *t <= horizon).count();
+        prop_assert_eq!(fired.len(), expected);
+        prop_assert!(fired.iter().all(|&t| t <= horizon));
+        prop_assert_eq!(clock.len(), events.len() - expected);
+    }
+}

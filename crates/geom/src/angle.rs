@@ -136,7 +136,7 @@ mod tests {
         assert!(approx_eq(normalize_angle(-FRAC_PI_2), 1.5 * PI));
         assert!(approx_eq(normalize_angle(3.0 * PI), PI));
         let t = normalize_angle(-1e-30);
-        assert!(t >= 0.0 && t < TAU);
+        assert!((0.0..TAU).contains(&t));
     }
 
     #[test]

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn distance_squared_to_is_zero_inside_and_correct_outside() {
         let bb = BoundingBox::square(10.0);
-        assert!(approx_eq(bb.distance_squared_to(&Point::new(5.0, 5.0)), 0.0));
+        assert!(approx_eq(
+            bb.distance_squared_to(&Point::new(5.0, 5.0)),
+            0.0
+        ));
         assert!(approx_eq(
             bb.distance_squared_to(&Point::new(13.0, 14.0)),
             9.0 + 16.0

@@ -196,9 +196,7 @@ mod tests {
             let (bi, bp) = points
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    a.1.distance(&q).partial_cmp(&b.1.distance(&q)).unwrap()
-                })
+                .min_by(|a, b| a.1.distance(&q).total_cmp(&b.1.distance(&q)))
                 .unwrap();
             assert!(approx_eq(gd, bp.distance(&q)), "query {q}");
             assert!(approx_eq(points[gi].distance(&q), points[bi].distance(&q)));

@@ -31,8 +31,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
 
     // Lower hull.
     for p in &pts {
-        while hull.len() >= 2
-            && orientation(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= 2 && orientation(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }
@@ -173,7 +172,9 @@ mod tests {
 
     #[test]
     fn hull_of_collinear_points_is_the_two_extremes() {
-        let pts: Vec<Point> = (0..7).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        let pts: Vec<Point> = (0..7)
+            .map(|i| Point::new(i as f64, 2.0 * i as f64))
+            .collect();
         let hull = convex_hull(&pts);
         assert_eq!(hull.len(), 2);
         assert!(hull.contains(&Point::new(0.0, 0.0)));
@@ -207,8 +208,14 @@ mod tests {
             &[Point::new(1.0, 1.0)]
         ));
         let segment_hull = vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)];
-        assert!(point_in_convex_polygon(&Point::new(2.0, 0.0), &segment_hull));
-        assert!(!point_in_convex_polygon(&Point::new(2.0, 1.0), &segment_hull));
+        assert!(point_in_convex_polygon(
+            &Point::new(2.0, 0.0),
+            &segment_hull
+        ));
+        assert!(!point_in_convex_polygon(
+            &Point::new(2.0, 1.0),
+            &segment_hull
+        ));
     }
 
     #[test]

@@ -32,8 +32,7 @@ impl KdTree {
     /// Builds a kd-tree over `points`. Duplicates are allowed; each input
     /// index appears exactly once in query results.
     pub fn build(points: &[Point]) -> Self {
-        let mut indexed: Vec<(usize, Point)> =
-            points.iter().copied().enumerate().collect();
+        let mut indexed: Vec<(usize, Point)> = points.iter().copied().enumerate().collect();
         let mut nodes = Vec::with_capacity(points.len());
         let root = Self::build_recursive(&mut indexed[..], 0, &mut nodes);
         KdTree {
@@ -70,7 +69,7 @@ impl KdTree {
             } else {
                 (a.1.y, b.1.y)
             };
-            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+            ka.total_cmp(&kb)
         });
         let mid = items.len() / 2;
         let (orig_index, point) = items[mid];
@@ -293,8 +292,7 @@ mod tests {
                 .enumerate()
                 .min_by(|a, b| {
                     a.1.distance_squared(&q)
-                        .partial_cmp(&b.1.distance_squared(&q))
-                        .unwrap()
+                        .total_cmp(&b.1.distance_squared(&q))
                 })
                 .unwrap();
             assert!(approx_eq(tree_d, brute.1.distance(&q)));

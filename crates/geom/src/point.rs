@@ -132,14 +132,7 @@ impl Point {
     /// Lexicographic comparison (x first, then y) used to obtain a
     /// deterministic ordering of points with equal geometric roles.
     pub fn lexicographic_cmp(&self, other: &Point) -> std::cmp::Ordering {
-        self.x
-            .partial_cmp(&other.x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                self.y
-                    .partial_cmp(&other.y)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+        self.x.total_cmp(&other.x).then(self.y.total_cmp(&other.y))
     }
 
     /// Centroid of a non-empty set of points, or `None` when `points` is

@@ -303,7 +303,10 @@ mod tests {
         // aligned arcs still lands on the path.
         let starts3 = p.equal_split_points(3);
         assert_eq!(starts3.len(), 3);
-        assert!(approx_eq(starts3[1].distance(&Point::new(10.0, 10.0 / 3.0)), 0.0));
+        assert!(approx_eq(
+            starts3[1].distance(&Point::new(10.0, 10.0 / 3.0)),
+            0.0
+        ));
         assert!(p.equal_split_points(0).is_empty());
     }
 

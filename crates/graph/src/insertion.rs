@@ -176,7 +176,11 @@ mod tests {
 
     #[test]
     fn degenerate_inputs_give_trivial_tours() {
-        for pts in [vec![], vec![Point::ORIGIN], vec![Point::ORIGIN, Point::new(1.0, 0.0)]] {
+        for pts in [
+            vec![],
+            vec![Point::ORIGIN],
+            vec![Point::ORIGIN, Point::new(1.0, 0.0)],
+        ] {
             let dm = DistanceMatrix::from_points(&pts);
             let a = convex_hull_insertion(&pts, &dm);
             let b = cheapest_insertion(&pts, &dm);
@@ -217,7 +221,8 @@ mod tests {
         let dm = DistanceMatrix::from_points(&pts);
         // Inserting the centre (index 4) between corners 0 and 1.
         let cost = super::insertion_cost(&dm, 0, 1, 4);
-        let expected = pts[0].distance(&pts[4]) + pts[4].distance(&pts[1]) - pts[0].distance(&pts[1]);
+        let expected =
+            pts[0].distance(&pts[4]) + pts[4].distance(&pts[1]) - pts[0].distance(&pts[1]);
         assert!((cost - expected).abs() < 1e-12);
         assert!(cost > 0.0);
     }

@@ -31,7 +31,9 @@ pub mod partition;
 pub mod tour;
 pub mod two_opt;
 
-pub use chb::{construct_circuit, construct_circuit_with, construct_circuit_with_matrix, ChbConfig};
+pub use chb::{
+    construct_circuit, construct_circuit_with, construct_circuit_with_matrix, ChbConfig,
+};
 pub use distance_matrix::DistanceMatrix;
 pub use insertion::{cheapest_insertion, convex_hull_insertion};
 pub use mst::{minimum_spanning_tree, mst_preorder_tour};
@@ -138,7 +140,9 @@ mod tests {
             );
         }
         // The hull-based construction is exactly optimal on a convex ring.
-        let chb = TourConstruction::ConvexHullInsertion.build(&pts).length(&pts);
+        let chb = TourConstruction::ConvexHullInsertion
+            .build(&pts)
+            .length(&pts);
         assert!((chb - optimal).abs() < 1e-6);
     }
 

@@ -79,11 +79,7 @@ pub fn mst_preorder_tour(points: &[Point], dm: &DistanceMatrix) -> Tour {
     }
     // Visit nearer children first for a slightly tighter walk.
     for (i, ch) in children.iter_mut().enumerate() {
-        ch.sort_by(|&a, &b| {
-            dm.get(i, a)
-                .partial_cmp(&dm.get(i, b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        ch.sort_by(|&a, &b| dm.get(i, a).total_cmp(&dm.get(i, b)));
     }
     let mut order = Vec::with_capacity(n);
     let mut stack = vec![0usize];

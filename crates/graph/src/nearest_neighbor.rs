@@ -45,8 +45,7 @@ pub fn best_of_all_starts(points: &[Point], dm: &DistanceMatrix) -> Tour {
         .map(|s| nearest_neighbor(points, dm, s))
         .min_by(|a, b| {
             a.length_with_matrix(dm)
-                .partial_cmp(&b.length_with_matrix(dm))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.length_with_matrix(dm))
         })
         .expect("at least one start")
 }

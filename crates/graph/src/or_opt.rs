@@ -62,8 +62,8 @@ fn try_relocate(
     }
 
     // Cost removed by excising the chain.
-    let removed = dm.get(before, chain[0]) + dm.get(*chain.last().unwrap(), after)
-        - dm.get(before, after);
+    let removed =
+        dm.get(before, chain[0]) + dm.get(*chain.last().unwrap(), after) - dm.get(before, after);
 
     // Remaining tour after excision, in order.
     let remaining: Vec<usize> = order

@@ -26,7 +26,7 @@ pub fn angular_partition(points: &[Point], pivot: &Point, groups: usize) -> Vec<
         .enumerate()
         .map(|(i, p)| (i, (*p - *pivot).angle()))
         .collect();
-    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    indexed.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     let mut out = vec![Vec::new(); groups];
     if indexed.is_empty() {
@@ -55,8 +55,8 @@ pub fn kmeans_partition(points: &[Point], groups: usize, max_iters: usize) -> Ve
     }
     if groups >= n {
         let mut out = vec![Vec::new(); groups];
-        for i in 0..n {
-            out[i].push(i);
+        for (i, slot) in out.iter_mut().enumerate().take(n) {
+            slot.push(i);
         }
         return out;
     }
@@ -67,8 +67,7 @@ pub fn kmeans_partition(points: &[Point], groups: usize, max_iters: usize) -> Ve
         .min_by(|&a, &b| {
             points[a]
                 .distance_squared(&centroid)
-                .partial_cmp(&points[b].distance_squared(&centroid))
-                .unwrap()
+                .total_cmp(&points[b].distance_squared(&centroid))
         })
         .expect("non-empty");
     let mut centers: Vec<Point> = vec![points[first]];
@@ -83,7 +82,7 @@ pub fn kmeans_partition(points: &[Point], groups: usize, max_iters: usize) -> Ve
                     .iter()
                     .map(|c| points[b].distance_squared(c))
                     .fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .expect("non-empty");
         centers.push(points[next]);
@@ -97,9 +96,7 @@ pub fn kmeans_partition(points: &[Point], groups: usize, max_iters: usize) -> Ve
             let best = centers
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    p.distance_squared(a).partial_cmp(&p.distance_squared(b)).unwrap()
-                })
+                .min_by(|(_, a), (_, b)| p.distance_squared(a).total_cmp(&p.distance_squared(b)))
                 .map(|(k, _)| k)
                 .unwrap_or(0);
             if assignment[i] != best {
@@ -108,13 +105,13 @@ pub fn kmeans_partition(points: &[Point], groups: usize, max_iters: usize) -> Ve
             }
         }
         // Update.
-        for k in 0..groups {
+        for (k, center) in centers.iter_mut().enumerate() {
             let members: Vec<Point> = (0..n)
                 .filter(|&i| assignment[i] == k)
                 .map(|i| points[i])
                 .collect();
             if let Some(c) = Point::centroid(&members) {
-                centers[k] = c;
+                *center = c;
             }
         }
         if !changed {
@@ -128,8 +125,7 @@ pub fn kmeans_partition(points: &[Point], groups: usize, max_iters: usize) -> Ve
     }
 
     // Repair empty clusters so every mule gets work when n >= groups.
-    loop {
-        let Some(empty) = out.iter().position(Vec::is_empty) else { break };
+    while let Some(empty) = out.iter().position(Vec::is_empty) {
         let Some(donor) = (0..groups)
             .filter(|&k| out[k].len() > 1)
             .max_by_key(|&k| out[k].len())
@@ -137,18 +133,16 @@ pub fn kmeans_partition(points: &[Point], groups: usize, max_iters: usize) -> Ve
             break;
         };
         // Move the donor's point farthest from the donor centre.
-        let donor_center = Point::centroid(
-            &out[donor].iter().map(|&i| points[i]).collect::<Vec<_>>(),
-        )
-        .expect("donor non-empty");
+        let donor_center =
+            Point::centroid(&out[donor].iter().map(|&i| points[i]).collect::<Vec<_>>())
+                .expect("donor non-empty");
         let (slot, _) = out[donor]
             .iter()
             .enumerate()
             .max_by(|(_, &a), (_, &b)| {
                 points[a]
                     .distance_squared(&donor_center)
-                    .partial_cmp(&points[b].distance_squared(&donor_center))
-                    .unwrap()
+                    .total_cmp(&points[b].distance_squared(&donor_center))
             })
             .expect("donor non-empty");
         let moved = out[donor].remove(slot);
@@ -185,7 +179,10 @@ mod tests {
         let mut pts = Vec::new();
         for (cx, cy) in [(100.0, 100.0), (700.0, 120.0), (400.0, 700.0)] {
             for k in 0..6 {
-                pts.push(Point::new(cx + (k % 3) as f64 * 8.0, cy + (k / 3) as f64 * 8.0));
+                pts.push(Point::new(
+                    cx + (k % 3) as f64 * 8.0,
+                    cy + (k / 3) as f64 * 8.0,
+                ));
             }
         }
         pts
@@ -255,9 +252,7 @@ mod tests {
         let pivot = Point::centroid(&pts).unwrap();
         let angular = angular_partition(&pts, &pivot, 3);
         let kmeans = kmeans_partition(&pts, 3, 50);
-        assert!(
-            within_group_spread(&pts, &kmeans) <= within_group_spread(&pts, &angular) + 1e-9
-        );
+        assert!(within_group_spread(&pts, &kmeans) <= within_group_spread(&pts, &angular) + 1e-9);
     }
 
     #[test]

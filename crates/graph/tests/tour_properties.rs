@@ -1,10 +1,10 @@
 //! Property-based tests for tour construction and improvement.
 
+use mule_geom::Point;
 use mule_graph::{
     construct_circuit, minimum_spanning_tree, or_opt, two_opt, DistanceMatrix, Tour,
     TourConstruction,
 };
-use mule_geom::Point;
 use proptest::prelude::*;
 
 fn field_points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {

@@ -133,7 +133,14 @@ mod tests {
     fn perfectly_regular_outcome_is_fully_fair() {
         // Two targets, both visited every 100 s; two mules with equal work.
         let o = outcome_with(
-            vec![(0.0, 1), (100.0, 1), (200.0, 1), (0.0, 2), (100.0, 2), (200.0, 2)],
+            vec![
+                (0.0, 1),
+                (100.0, 1),
+                (200.0, 1),
+                (0.0, 2),
+                (100.0, 2),
+                (200.0, 2),
+            ],
             vec![500.0, 500.0],
         );
         let r = FairnessReport::from_outcome(&o);

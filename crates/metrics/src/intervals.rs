@@ -25,10 +25,7 @@ impl IntervalReport {
     /// `warmup_visits` visits of every node (the paper's steady-state view:
     /// mules are still converging onto their start points during the first
     /// lap).
-    pub fn from_outcome_with_warmup(
-        outcome: &SimulationOutcome,
-        warmup_visits: usize,
-    ) -> Self {
+    pub fn from_outcome_with_warmup(outcome: &SimulationOutcome, warmup_visits: usize) -> Self {
         let mut per_node_intervals = BTreeMap::new();
         for (node, times) in outcome.visit_times_per_node() {
             if times.len() <= warmup_visits + 1 {

@@ -14,6 +14,9 @@
 //!   sample, shared by all the reports.
 //! * [`table`] — plain-text table rendering for the figure-regeneration
 //!   binaries.
+//! * [`PhaseDelayReport`] — data-collection delay partitioned at the phase
+//!   boundaries a dynamic run's disruptions induce (the `patrolctl
+//!   dynamics` summary).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -22,6 +25,7 @@ pub mod dcdt;
 pub mod energy_eff;
 pub mod fairness;
 pub mod intervals;
+pub mod phases;
 pub mod summary;
 pub mod table;
 
@@ -29,5 +33,6 @@ pub use dcdt::DcdtSeries;
 pub use energy_eff::EnergyEfficiencyReport;
 pub use fairness::{jain_index, FairnessReport};
 pub use intervals::IntervalReport;
+pub use phases::{PhaseDelay, PhaseDelayReport};
 pub use summary::SummaryStatistics;
 pub use table::TextTable;

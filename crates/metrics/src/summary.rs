@@ -43,7 +43,10 @@ impl SummaryStatistics {
         }
         let mean = sum / count as f64;
         let std_dev = if count >= 2 {
-            let var: f64 = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f64>()
+            let var: f64 = samples
+                .iter()
+                .map(|&s| (s - mean) * (s - mean))
+                .sum::<f64>()
                 / (count as f64 - 1.0);
             var.sqrt()
         } else {

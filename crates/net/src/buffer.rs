@@ -57,6 +57,15 @@ impl DataBuffer {
         (bytes, age)
     }
 
+    /// Restarts accumulation at time `now` without crediting any collected
+    /// bytes — used when a failed target recovers or a late target comes
+    /// online: data "generated" while the target was down never existed, so
+    /// it must not appear as pending bytes or inflate the data age. The
+    /// buffer clock never moves backwards.
+    pub fn restart_at(&mut self, now: f64) {
+        self.last_collected_at = self.last_collected_at.max(now);
+    }
+
     /// Time of the most recent collection.
     #[inline]
     pub fn last_collected_at(&self) -> f64 {
@@ -173,6 +182,18 @@ mod tests {
         assert_eq!(bytes, 0.0);
         assert_eq!(age, 0.0);
         assert_eq!(b.last_collected_at(), 50.0);
+    }
+
+    #[test]
+    fn restart_discards_downtime_without_crediting_bytes() {
+        let mut b = DataBuffer::new(2.0);
+        b.restart_at(30.0);
+        assert_eq!(b.pending_bytes(30.0), 0.0);
+        assert_eq!(b.data_age(40.0), 10.0, "age counts from the restart");
+        assert_eq!(b.total_collected(), 0.0, "restart is not a collection");
+        // Restarting in the past never rewinds the clock.
+        b.restart_at(5.0);
+        assert_eq!(b.last_collected_at(), 30.0);
     }
 
     #[test]

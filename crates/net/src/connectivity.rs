@@ -172,7 +172,11 @@ mod tests {
 
     #[test]
     fn zero_range_isolates_every_point() {
-        let points = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
         let comps = connected_components(&points, 0.5);
         assert_eq!(comps.len(), 3);
     }

@@ -83,40 +83,45 @@ impl Field {
         self.nodes.get(id.index())
     }
 
-    /// Nodes that participate in the ordinary patrolling path (targets and
-    /// the sink), in id order.
+    /// Toggles a node's activity (dynamic scenarios deactivate failed or
+    /// not-yet-arrived targets rather than removing them, so ids stay
+    /// stable). Returns `false` when the id is unknown.
+    pub fn set_active(&mut self, id: NodeId, active: bool) -> bool {
+        match self.nodes.get_mut(id.index()) {
+            Some(node) => {
+                node.active = active;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// *Active* nodes that participate in the ordinary patrolling path
+    /// (targets and the sink), in id order. Deactivated targets are
+    /// excluded, which is how replanning sees only the surviving world.
     pub fn patrolled_nodes(&self) -> Vec<&Node> {
-        self.nodes.iter().filter(|n| n.kind.is_patrolled()).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.active && n.kind.is_patrolled())
+            .collect()
     }
 
     /// Positions of the patrolled nodes, in id order — the point set handed
     /// to the Hamiltonian-circuit construction.
     pub fn patrolled_positions(&self) -> Vec<Point> {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind.is_patrolled())
-            .map(|n| n.position)
-            .collect()
+        self.patrolled_nodes().iter().map(|n| n.position).collect()
     }
 
     /// Ids of the patrolled nodes, aligned with
     /// [`Field::patrolled_positions`].
     pub fn patrolled_ids(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind.is_patrolled())
-            .map(|n| n.id)
-            .collect()
+        self.patrolled_nodes().iter().map(|n| n.id).collect()
     }
 
     /// Weights of the patrolled nodes, aligned with
     /// [`Field::patrolled_positions`].
     pub fn patrolled_weights(&self) -> Vec<Weight> {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind.is_patrolled())
-            .map(|n| n.weight)
-            .collect()
+        self.patrolled_nodes().iter().map(|n| n.weight).collect()
     }
 
     /// The sink node, if one was added.
@@ -136,12 +141,22 @@ impl Field {
         self.nodes.iter().filter(|n| n.is_vip()).collect()
     }
 
-    /// Number of targets (excluding sink and recharge station).
+    /// Number of targets (excluding sink and recharge station), active or
+    /// not.
     pub fn target_count(&self) -> usize {
         self.nodes
             .iter()
             .filter(|n| n.kind == NodeKind::Target)
             .count()
+    }
+
+    /// Ids of all target nodes (active or not), in id order.
+    pub fn target_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Target)
+            .map(|n| n.id)
+            .collect()
     }
 }
 
@@ -254,12 +269,36 @@ mod tests {
             sensing_range_m: 5.0,
             communication_range_m: 50.0,
         };
-        let f = Field::builder(BoundingBox::square(100.0)).radio(custom).build();
+        let f = Field::builder(BoundingBox::square(100.0))
+            .radio(custom)
+            .build();
         assert!(f.is_empty());
         assert_eq!(f.radio(), custom);
         assert!(f.sink().is_none());
         assert!(f.recharge_station().is_none());
         assert!(f.vips().is_empty());
+    }
+
+    #[test]
+    fn deactivated_targets_leave_the_patrolled_set_but_keep_their_ids() {
+        let mut f = sample_field();
+        assert_eq!(
+            f.patrolled_ids(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert!(f.set_active(NodeId(2), false));
+        assert_eq!(f.patrolled_ids(), vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(f.patrolled_positions().len(), 3);
+        // The node itself is still addressable under its original id.
+        assert_eq!(f.node(NodeId(2)).unwrap().id, NodeId(2));
+        assert!(!f.node(NodeId(2)).unwrap().active);
+        // Raw target census is unaffected by activity.
+        assert_eq!(f.target_count(), 3);
+        assert_eq!(f.target_ids(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        // Reactivation restores the patrolled set.
+        assert!(f.set_active(NodeId(2), true));
+        assert_eq!(f.patrolled_ids().len(), 4);
+        assert!(!f.set_active(NodeId(99), false));
     }
 
     #[test]

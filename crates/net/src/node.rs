@@ -104,6 +104,11 @@ pub struct Node {
     pub kind: NodeKind,
     /// Visiting weight; only meaningful for patrolled nodes.
     pub weight: Weight,
+    /// Whether the node currently participates in the network. Dynamic
+    /// scenarios deactivate failed or not-yet-arrived targets instead of
+    /// removing them, so [`NodeId`]s (which are list indices) stay stable
+    /// across replans.
+    pub active: bool,
 }
 
 impl Node {
@@ -114,6 +119,7 @@ impl Node {
             position,
             kind: NodeKind::Target,
             weight,
+            active: true,
         }
     }
 
@@ -125,6 +131,7 @@ impl Node {
             position,
             kind: NodeKind::Sink,
             weight: Weight::NORMAL,
+            active: true,
         }
     }
 
@@ -135,6 +142,7 @@ impl Node {
             position,
             kind: NodeKind::RechargeStation,
             weight: Weight::NORMAL,
+            active: true,
         }
     }
 

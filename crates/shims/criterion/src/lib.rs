@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each benchmark closure `sample_size` times with `std::time::Instant`
+//! and prints the mean wall-clock time per iteration. No statistics, no
+//! warm-up, no HTML reports — just enough to keep `cargo bench` useful and
+//! the bench sources compiling unchanged. See `crates/shims/README.md`.
+
+use std::fmt;
+use std::time::Instant;
+
+/// An identifier of one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one label.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.name.fmt(f)
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the timing.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    label: &'a str,
+}
+
+impl Bencher<'_> {
+    /// Times `sample_size` calls of `routine` and prints the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        println!(
+            "bench {:<50} {:>12.3?} / iter ({} iters)",
+            self.label,
+            total / self.sample_size as u32,
+            self.sample_size
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    group_name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `routine` against one `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.group_name, id);
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            label: &label,
+        };
+        routine(&mut b, input);
+        self
+    }
+
+    /// Benchmarks an input-free `routine`, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.group_name, id);
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            label: &label,
+        };
+        routine(&mut b);
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The bench driver handed to every target of a `criterion_group!`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many iterations each `Bencher::iter` call times.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            label: name,
+        };
+        routine(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name.into(),
+        }
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro (both the
+/// plain list form and the `name/config/targets` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.bench_with_input(BenchmarkId::new("double", 21), &21, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench,
+    }
+
+    #[test]
+    fn group_macro_produces_a_runnable_function() {
+        benches();
+    }
+}

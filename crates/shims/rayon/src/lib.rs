@@ -1,0 +1,70 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` simply returns the ordinary sequential iterator, so all the
+//! usual `Iterator` adapters (`map`, `collect`, …) keep working and results
+//! stay in input order. Replication sweeps therefore remain correct and
+//! deterministic — just not parallel. See `crates/shims/README.md`.
+
+pub mod prelude {
+    /// `par_iter()` over a borrowed collection, mirroring rayon's
+    /// `IntoParallelRefIterator` (sequential here).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The (sequential) iterator type returned by [`par_iter`].
+        ///
+        /// [`par_iter`]: IntoParallelRefIterator::par_iter
+        type Iter: Iterator;
+
+        /// Returns an iterator over `&self`'s items.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `into_par_iter()` over an owned collection, mirroring rayon's
+    /// `IntoParallelIterator` (sequential here).
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type returned by [`into_par_iter`].
+        ///
+        /// [`into_par_iter`]: IntoParallelIterator::into_par_iter
+        type Iter: Iterator;
+
+        /// Consumes `self` and returns an iterator over its items.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v = vec![3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 14);
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stand-in for `serde`: re-exports the no-op derive macros so
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` compile
+//! unchanged. See `crates/shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};

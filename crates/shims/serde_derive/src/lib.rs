@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! Nothing in this workspace serialises data yet; the derives exist so type
+//! definitions can keep their `#[derive(Serialize, Deserialize)]` attributes
+//! (and gain real implementations the day the actual `serde` is available).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -100,6 +100,12 @@ mod tests {
             speed_m_per_s: 5.0,
             ..EnergyModel::paper_default()
         };
-        assert_eq!(SimulationConfig::default().with_energy(e).energy.speed_m_per_s, 5.0);
+        assert_eq!(
+            SimulationConfig::default()
+                .with_energy(e)
+                .energy
+                .speed_m_per_s,
+            5.0
+        );
     }
 }

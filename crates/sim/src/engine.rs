@@ -1,50 +1,45 @@
-//! The discrete-event simulation engine.
+//! The discrete-event simulation engine, built on the `mule-events`
+//! timeline.
 //!
 //! Because every mule moves at constant speed along a fixed itinerary, the
-//! engine can compute exact waypoint-arrival times instead of integrating a
-//! time step. A global priority queue keeps the arrivals of all mules in
-//! time order so that cross-mule effects — two mules collecting from the
-//! same target, which resets its data age for both — happen in the right
-//! sequence.
+//! engine computes exact waypoint-arrival times instead of integrating a
+//! time step. All arrivals — and, in dynamic runs, all disruptions and
+//! replans — live on one [`mule_events::SimClock`]: a binary-heap timeline
+//! with deterministic `(time, kind, subject, insertion)` ordering, so
+//! cross-mule effects (two mules collecting from the same target, a target
+//! failing the instant a mule arrives) always resolve in the same order.
+//!
+//! ## Static runs
+//!
+//! [`Simulation`] executes a fixed [`PatrolPlan`]: the only events on the
+//! timeline are [`EventKind::WaypointArrival`]s, each handler scheduling
+//! the mule's next leg. This reproduces the original fixed-plan engine
+//! exactly (same arrival arithmetic, same tie-breaking by mule index).
+//!
+//! ## Dynamic runs
+//!
+//! [`crate::DynamicSimulation`] additionally compiles a
+//! [`mule_workload::DisruptionPlan`] onto the timeline before the run:
+//! target failures/recoveries/arrivals, mule breakdowns and speed windows.
+//! Disruption kinds order *before* waypoint arrivals at the same
+//! timestamp, so an arriving mule always observes the post-disruption
+//! world. When a replanner is attached, every world-changing disruption
+//! also schedules an [`EventKind::Replan`] at its own timestamp (multiple
+//! same-instant disruptions coalesce into one replan); the fresh plan is
+//! adopted by each surviving mule when it reaches its already-committed
+//! next waypoint (or immediately, if it has no leg in flight).
 
 use crate::config::SimulationConfig;
+use crate::dynamics::TimelineEntry;
 use crate::mule::{MuleState, MuleStatus};
 use crate::outcome::{SimulationOutcome, VisitRecord};
 use mule_energy::{Battery, ConsumptionLedger, EnergyCause};
+use mule_events::{Event, EventKind, EventSubject, SimClock};
 use mule_geom::Point;
 use mule_net::{DataBuffer, MulePayload, NodeId, NodeKind};
-use mule_workload::Scenario;
-use patrol_core::PatrolPlan;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
-
-/// A scheduled waypoint arrival. Ordered so that the *earliest* event pops
-/// first from a max-heap; ties broken by mule index for determinism.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Arrival {
-    time_s: f64,
-    mule: usize,
-}
-
-impl Eq for Arrival {}
-
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse the time ordering (max-heap → min-queue); NaNs cannot
-        // occur because all times are finite sums of finite legs.
-        other
-            .time_s
-            .partial_cmp(&self.time_s)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.mule.cmp(&self.mule))
-    }
-}
-
-impl PartialOrd for Arrival {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+use mule_workload::{Disruption, DisruptionPlan, Scenario};
+use patrol_core::{MuleItinerary, PatrolPlan, ReplanContext, Replanner};
+use std::collections::HashMap;
 
 /// Precomputed per-mule geometry: the itinerary's waypoint positions and
 /// cumulative arc lengths.
@@ -58,7 +53,7 @@ struct MuleRoute {
 }
 
 impl MuleRoute {
-    fn from_itinerary(it: &patrol_core::MuleItinerary) -> Self {
+    fn from_itinerary(it: &MuleItinerary) -> Self {
         let positions: Vec<Point> = it.cycle.iter().map(|w| w.position).collect();
         let nodes: Vec<NodeId> = it.cycle.iter().map(|w| w.node).collect();
         let mut cumulative = Vec::with_capacity(positions.len() + 1);
@@ -80,6 +75,20 @@ impl MuleRoute {
 
     fn len(&self) -> usize {
         self.positions.len()
+    }
+
+    /// The first waypoint at or after `entry_offset` metres along the
+    /// cycle, together with the remaining distance to it.
+    fn entry_waypoint(&self, entry_offset: f64) -> (usize, f64) {
+        if self.total_length <= 1e-9 {
+            return (0, 0.0);
+        }
+        for i in 0..self.len() {
+            if self.cumulative[i] >= entry_offset - 1e-9 {
+                return (i, self.cumulative[i] - entry_offset);
+            }
+        }
+        (0, self.total_length - entry_offset)
     }
 }
 
@@ -121,35 +130,90 @@ impl<'a> Simulation<'a> {
 
     /// Runs until `horizon_s` seconds of simulated time.
     pub fn run_for(&self, horizon_s: f64) -> SimulationOutcome {
-        let horizon = horizon_s.max(0.0);
-        let speed = self.config.energy.speed_m_per_s.max(1e-9);
-        let field = self.scenario.field();
+        let empty = DisruptionPlan::none();
+        EngineCore::new(
+            self.scenario,
+            self.plan,
+            self.config,
+            &empty,
+            None,
+            horizon_s,
+        )
+        .run()
+        .outcome
+    }
+}
 
-        // Data buffers for targets; the sink and recharge station buffer no
-        // data but still have their visits recorded.
-        let mut buffers: HashMap<NodeId, DataBuffer> = field
+/// What a finished engine run produced (the dynamic wrapper re-exports the
+/// extras; static runs only keep `outcome`).
+pub(crate) struct EngineRun {
+    pub(crate) outcome: SimulationOutcome,
+    pub(crate) timeline: Vec<TimelineEntry>,
+    pub(crate) replan_times_s: Vec<f64>,
+    pub(crate) events_fired: u64,
+}
+
+/// The unified event-driven engine behind both [`Simulation`] and
+/// [`crate::DynamicSimulation`].
+pub(crate) struct EngineCore<'a> {
+    scenario: &'a Scenario,
+    plan: &'a PatrolPlan,
+    config: SimulationConfig,
+    disruptions: &'a DisruptionPlan,
+    replanner: Option<&'a dyn Replanner>,
+    horizon: f64,
+
+    // Mutable run state.
+    routes: Vec<MuleRoute>,
+    states: Vec<MuleState>,
+    buffers: HashMap<NodeId, DataBuffer>,
+    last_visit: HashMap<NodeId, f64>,
+    /// Activity of target nodes; absent means active. Only dynamic runs
+    /// ever insert `false`.
+    inactive: HashMap<NodeId, bool>,
+    /// Global speed multiplier (1.0 = nominal); the product of all open
+    /// speed windows, applied to legs as they are scheduled — never
+    /// retroactively to committed legs.
+    speed_factor: f64,
+    /// Factors of the currently open speed windows (windows may overlap).
+    open_speed_windows: Vec<f64>,
+    /// Fresh itineraries awaiting adoption at each mule's next arrival.
+    pending_switch: Vec<Option<MuleItinerary>>,
+    visits: Vec<VisitRecord>,
+    timeline: Vec<TimelineEntry>,
+    replan_times_s: Vec<f64>,
+    last_replan_s: Option<f64>,
+}
+
+impl<'a> EngineCore<'a> {
+    pub(crate) fn new(
+        scenario: &'a Scenario,
+        plan: &'a PatrolPlan,
+        config: SimulationConfig,
+        disruptions: &'a DisruptionPlan,
+        replanner: Option<&'a dyn Replanner>,
+        horizon_s: f64,
+    ) -> Self {
+        let field = scenario.field();
+        let buffers: HashMap<NodeId, DataBuffer> = field
             .nodes()
             .iter()
             .filter(|n| n.kind == NodeKind::Target)
-            .map(|n| (n.id, DataBuffer::new(self.scenario.data_rate_bps())))
+            .map(|n| (n.id, DataBuffer::new(scenario.data_rate_bps())))
             .collect();
-        let mut last_visit: HashMap<NodeId, f64> =
-            field.nodes().iter().map(|n| (n.id, 0.0)).collect();
+        let last_visit: HashMap<NodeId, f64> = field.nodes().iter().map(|n| (n.id, 0.0)).collect();
 
-        // Per-mule routes and states.
-        let routes: Vec<MuleRoute> = self
-            .plan
+        let routes: Vec<MuleRoute> = plan
             .itineraries
             .iter()
             .map(MuleRoute::from_itinerary)
             .collect();
-        let mut states: Vec<MuleState> = self
-            .plan
+        let states: Vec<MuleState> = plan
             .itineraries
             .iter()
             .map(|it| MuleState {
                 index: it.mule_index,
-                battery: Battery::full(self.config.energy.initial_energy_j),
+                battery: Battery::full(config.energy.initial_energy_j),
                 ledger: ConsumptionLedger::new(),
                 payload: MulePayload::new(),
                 distance_m: 0.0,
@@ -162,38 +226,106 @@ impl<'a> Simulation<'a> {
                 },
                 next_waypoint: 0,
                 next_arrival_s: 0.0,
+                position: it.start_position,
+                scheduled: false,
             })
             .collect();
 
-        let mut queue: BinaryHeap<Arrival> = BinaryHeap::new();
-        let mut visits: Vec<VisitRecord> = Vec::new();
+        // Late-arrival targets start out of service.
+        let mut inactive = HashMap::new();
+        for id in disruptions.late_target_ids() {
+            inactive.insert(id, true);
+        }
 
-        // Schedule the first waypoint arrival of every mule: it travels from
-        // its start position to its entry point on the cycle (the
-        // location-initialisation move), optionally holds until the whole
-        // fleet is in position, then proceeds to the first waypoint at or
-        // after its entry offset.
+        let mule_count = plan.itineraries.len();
+        EngineCore {
+            scenario,
+            plan,
+            config,
+            disruptions,
+            replanner,
+            horizon: horizon_s.max(0.0),
+            routes,
+            states,
+            buffers,
+            last_visit,
+            inactive,
+            speed_factor: 1.0,
+            open_speed_windows: Vec::new(),
+            pending_switch: (0..mule_count).map(|_| None).collect(),
+            visits: Vec::new(),
+            timeline: Vec::new(),
+            replan_times_s: Vec::new(),
+            last_replan_s: None,
+        }
+    }
+
+    /// Effective fleet speed right now, metres per second.
+    fn speed(&self) -> f64 {
+        self.config.energy.speed_m_per_s.max(1e-9) * self.speed_factor
+    }
+
+    /// Recomputes the effective multiplier as the product of all open
+    /// windows — always from scratch, so closing a window restores the
+    /// exact pre-window factor with no floating-point drift.
+    fn recompute_speed_factor(&mut self) {
+        self.speed_factor = self.open_speed_windows.iter().product::<f64>().max(0.01);
+    }
+
+    fn is_target_active(&self, id: NodeId) -> bool {
+        !self.inactive.get(&id).copied().unwrap_or(false)
+    }
+
+    pub(crate) fn run(mut self) -> EngineRun {
+        let mut clock = SimClock::new();
+        self.schedule_initial_arrivals(&mut clock);
+        self.schedule_disruptions(&mut clock);
+
+        clock.run_until(self.horizon, |clock, event| self.handle(clock, event));
+
+        self.visits.sort_by(|a, b| {
+            a.time_s
+                .total_cmp(&b.time_s)
+                .then(a.mule_index.cmp(&b.mule_index))
+        });
+
+        EngineRun {
+            outcome: SimulationOutcome {
+                planner_name: self.plan.planner_name.clone(),
+                horizon_s: self.horizon,
+                visits: self.visits,
+                mules: self.states.iter().map(MuleState::report).collect(),
+            },
+            timeline: self.timeline,
+            replan_times_s: self.replan_times_s,
+            events_fired: clock.fired(),
+        }
+    }
+
+    /// Schedules the first waypoint arrival of every mule: it travels from
+    /// its start position to its entry point on the cycle (the
+    /// location-initialisation move), optionally holds until the whole
+    /// fleet is in position, then proceeds to the first waypoint at or
+    /// after its entry offset.
+    fn schedule_initial_arrivals(&mut self, clock: &mut SimClock) {
+        let speed = self.speed();
         let deploy_dists: Vec<f64> = self
             .plan
             .itineraries
             .iter()
             .enumerate()
             .map(|(m, it)| {
-                if routes[m].len() == 0 {
+                if self.routes[m].len() == 0 {
                     0.0
                 } else {
                     it.start_position.distance(&it.entry_point())
                 }
             })
             .collect();
-        let fleet_ready_s = deploy_dists
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max)
-            / speed;
+        let fleet_ready_s = deploy_dists.iter().cloned().fold(0.0, f64::max) / speed;
 
         for (m, it) in self.plan.itineraries.iter().enumerate() {
-            let route = &routes[m];
+            let route = &self.routes[m];
             if route.len() == 0 {
                 continue;
             }
@@ -203,24 +335,12 @@ impl<'a> Simulation<'a> {
                 0.0
             };
             let deploy_dist = deploy_dists[m];
-
-            // First waypoint at or after the entry offset.
-            let (first_wp, partial_dist) = if route.total_length <= 1e-9 {
-                (0usize, 0.0)
-            } else {
-                let mut found = None;
-                for i in 0..route.len() {
-                    if route.cumulative[i] >= entry_offset - 1e-9 {
-                        found = Some((i, route.cumulative[i] - entry_offset));
-                        break;
-                    }
-                }
-                found.unwrap_or((0, route.total_length - entry_offset))
-            };
+            let (first_wp, partial_dist) = route.entry_waypoint(entry_offset);
 
             let travel = deploy_dist + partial_dist.max(0.0);
-            if !self.consume_movement(&mut states[m], travel, route, first_wp) {
-                states[m].status = MuleStatus::Depleted { at_s: 0.0 };
+            let dest = self.routes[m].nodes[first_wp];
+            if !self.consume_movement(m, travel, dest) {
+                self.states[m].status = MuleStatus::Depleted { at_s: 0.0 };
                 continue; // died during deployment
             }
             let patrol_start_s = if self.config.synchronized_start {
@@ -228,123 +348,363 @@ impl<'a> Simulation<'a> {
             } else {
                 deploy_dist / speed
             };
-            states[m].next_waypoint = first_wp;
-            states[m].next_arrival_s = patrol_start_s + partial_dist.max(0.0) / speed;
-            if states[m].next_arrival_s <= horizon {
-                queue.push(Arrival {
-                    time_s: states[m].next_arrival_s,
-                    mule: m,
-                });
+            self.states[m].next_waypoint = first_wp;
+            self.states[m].next_arrival_s = patrol_start_s + partial_dist.max(0.0) / speed;
+            if self.states[m].next_arrival_s <= self.horizon {
+                clock.schedule_at(
+                    self.states[m].next_arrival_s,
+                    EventSubject::Mule(m),
+                    EventKind::WaypointArrival,
+                );
+                self.states[m].scheduled = true;
             }
-        }
-
-        // Main event loop.
-        while let Some(Arrival { time_s: now, mule }) = queue.pop() {
-            if now > horizon {
-                continue;
-            }
-            let route = &routes[mule];
-            let wp = states[mule].next_waypoint;
-            let node_id = route.nodes[wp];
-            let node_kind = field.node(node_id).map(|n| n.kind);
-
-            // --- Visit processing -------------------------------------------------
-            match node_kind {
-                Some(NodeKind::Target) => {
-                    let age = now - last_visit.get(&node_id).copied().unwrap_or(0.0);
-                    let bytes = buffers
-                        .get_mut(&node_id)
-                        .map(|b| b.collect(now).0)
-                        .unwrap_or(0.0);
-                    states[mule].payload.load(node_id, bytes);
-                    if self.config.energy_enabled {
-                        let e = self.config.energy.collection_energy(1);
-                        states[mule].battery.draw(e);
-                        states[mule].ledger.record(EnergyCause::Collection, e);
-                    }
-                    states[mule].visits += 1;
-                    last_visit.insert(node_id, now);
-                    visits.push(VisitRecord {
-                        time_s: now,
-                        mule_index: mule,
-                        node: node_id,
-                        data_age_s: age.max(0.0),
-                        bytes,
-                    });
-                }
-                Some(NodeKind::Sink) => {
-                    let age = now - last_visit.get(&node_id).copied().unwrap_or(0.0);
-                    states[mule].payload.deliver_all();
-                    states[mule].visits += 1;
-                    last_visit.insert(node_id, now);
-                    visits.push(VisitRecord {
-                        time_s: now,
-                        mule_index: mule,
-                        node: node_id,
-                        data_age_s: age.max(0.0),
-                        bytes: 0.0,
-                    });
-                }
-                Some(NodeKind::RechargeStation) => {
-                    if self.config.energy_enabled {
-                        states[mule].battery.recharge_full();
-                    }
-                    states[mule].recharges += 1;
-                    last_visit.insert(node_id, now);
-                }
-                None => {}
-            }
-
-            // --- Schedule the next leg -------------------------------------------
-            if route.total_length <= 1e-9 && self.config.collection_dwell_s <= 0.0 {
-                // Degenerate zero-length cycle: visiting once is all the
-                // progress that can ever be made.
-                continue;
-            }
-            let next_wp = (wp + 1) % route.len();
-            let leg = route.positions[wp].distance(&route.positions[next_wp]);
-            if !self.consume_movement(&mut states[mule], leg, route, next_wp) {
-                states[mule].status = MuleStatus::Depleted { at_s: now };
-                continue;
-            }
-            let arrival = now + self.config.collection_dwell_s + leg / speed;
-            states[mule].next_waypoint = next_wp;
-            states[mule].next_arrival_s = arrival;
-            if arrival <= horizon {
-                queue.push(Arrival {
-                    time_s: arrival,
-                    mule,
-                });
-            }
-        }
-
-        visits.sort_by(|a, b| {
-            a.time_s
-                .partial_cmp(&b.time_s)
-                .unwrap_or(Ordering::Equal)
-                .then(a.mule_index.cmp(&b.mule_index))
-        });
-
-        SimulationOutcome {
-            planner_name: self.plan.planner_name.clone(),
-            horizon_s: horizon,
-            visits,
-            mules: states.iter().map(MuleState::report).collect(),
         }
     }
 
-    /// Charges the movement of `distance_m` metres to the mule. Returns
+    /// Compiles the disruption plan onto the timeline. Nothing is
+    /// scheduled for a static run (the plan is empty), so the timeline
+    /// carries pure waypoint arrivals exactly like the original engine's
+    /// arrival heap.
+    fn schedule_disruptions(&mut self, clock: &mut SimClock) {
+        for d in &self.disruptions.disruptions {
+            match *d {
+                Disruption::TargetFailure { target, at_s } => {
+                    clock.schedule_at(at_s, EventSubject::Target(target), EventKind::TargetFailure);
+                }
+                Disruption::TargetRecovery { target, at_s } => {
+                    clock.schedule_at(
+                        at_s,
+                        EventSubject::Target(target),
+                        EventKind::TargetRecovery,
+                    );
+                }
+                Disruption::TargetArrival { target, at_s } => {
+                    clock.schedule_at(at_s, EventSubject::Target(target), EventKind::TargetArrival);
+                }
+                Disruption::MuleBreakdown { mule, at_s } => {
+                    clock.schedule_at(at_s, EventSubject::Mule(mule), EventKind::MuleBreakdown);
+                }
+                Disruption::SpeedWindow {
+                    start_s,
+                    end_s,
+                    factor,
+                } => {
+                    clock.schedule_at(
+                        start_s,
+                        EventSubject::Global,
+                        EventKind::SpeedWindowStart { factor },
+                    );
+                    clock.schedule_at(
+                        end_s,
+                        EventSubject::Global,
+                        EventKind::SpeedWindowEnd { factor },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, clock: &mut SimClock, event: Event) {
+        let now = event.time_s;
+        match (event.kind, event.subject) {
+            (EventKind::WaypointArrival, EventSubject::Mule(m)) => {
+                self.on_arrival(clock, m, now);
+            }
+            (EventKind::TargetFailure, EventSubject::Target(id)) => {
+                self.inactive.insert(id, true);
+                self.note(now, format!("target {id} fails"));
+                self.request_replan(clock, now);
+            }
+            (EventKind::TargetRecovery, EventSubject::Target(id))
+            | (EventKind::TargetArrival, EventSubject::Target(id)) => {
+                self.inactive.insert(id, false);
+                // Data "generated" while the target was down never
+                // existed: restart its buffer and age baseline at `now`.
+                if let Some(buffer) = self.buffers.get_mut(&id) {
+                    buffer.restart_at(now);
+                }
+                self.last_visit.insert(id, now);
+                let what = if event.kind == EventKind::TargetArrival {
+                    "arrives"
+                } else {
+                    "recovers"
+                };
+                self.note(now, format!("target {id} {what}"));
+                self.request_replan(clock, now);
+            }
+            (EventKind::MuleBreakdown, EventSubject::Mule(m))
+                if m < self.states.len() && self.states[m].status.survived() =>
+            {
+                self.states[m].status = MuleStatus::BrokenDown { at_s: now };
+                self.states[m].scheduled = false;
+                self.note(now, format!("mule {m} breaks down"));
+                self.request_replan(clock, now);
+            }
+            (EventKind::SpeedWindowStart { factor }, _) => {
+                self.open_speed_windows.push(factor.max(0.01));
+                self.recompute_speed_factor();
+                self.note(now, format!("fleet speed ×{:.2}", self.speed_factor));
+            }
+            (EventKind::SpeedWindowEnd { factor }, _) => {
+                // Close one window with this factor; overlapping windows
+                // keep the remaining factors in force.
+                if let Some(pos) = self
+                    .open_speed_windows
+                    .iter()
+                    .position(|f| f.total_cmp(&factor.max(0.01)).is_eq())
+                {
+                    self.open_speed_windows.remove(pos);
+                }
+                self.recompute_speed_factor();
+                self.note(now, format!("fleet speed ×{:.2}", self.speed_factor));
+            }
+            (EventKind::Replan, _) => {
+                self.on_replan(clock, now);
+            }
+            // Mis-targeted events (e.g. a failure addressed to a mule)
+            // cannot be scheduled by this crate; ignore defensively.
+            _ => {}
+        }
+    }
+
+    fn note(&mut self, time_s: f64, description: String) {
+        self.timeline.push(TimelineEntry {
+            time_s,
+            description,
+        });
+    }
+
+    /// Schedules a coalescing replan at `now` (same-instant disruptions
+    /// produce one replan, because [`EngineCore::on_replan`] drops
+    /// duplicates).
+    fn request_replan(&mut self, clock: &mut SimClock, now: f64) {
+        if self.replanner.is_some() {
+            clock.schedule_at(now, EventSubject::Global, EventKind::Replan);
+        }
+    }
+
+    fn on_replan(&mut self, clock: &mut SimClock, now: f64) {
+        if self.last_replan_s == Some(now) {
+            return; // several disruptions at this instant — already done
+        }
+        let Some(replanner) = self.replanner else {
+            return;
+        };
+        self.last_replan_s = Some(now);
+
+        let mut inactive_targets: Vec<NodeId> = self
+            .inactive
+            .iter()
+            .filter(|(_, &down)| down)
+            .map(|(&id, _)| id)
+            .collect();
+        inactive_targets.sort_unstable();
+
+        let mut active_mules = Vec::new();
+        let mut positions = Vec::new();
+        for (m, state) in self.states.iter().enumerate() {
+            if state.status.survived() {
+                active_mules.push(m);
+                // A mule with a leg in flight will adopt the new plan at
+                // its committed destination; plan from there. Unscheduled
+                // mules adopt where they stand.
+                positions.push(if state.scheduled {
+                    self.routes[m].positions[state.next_waypoint]
+                } else {
+                    state.position
+                });
+            }
+        }
+
+        let ctx = ReplanContext {
+            scenario: self.scenario,
+            inactive_targets: &inactive_targets,
+            active_mules: &active_mules,
+            mule_positions: &positions,
+            previous: self.plan,
+            time_s: now,
+        };
+        match replanner.replan(&ctx) {
+            Ok(new_plan) => {
+                self.replan_times_s.push(now);
+                self.note(
+                    now,
+                    format!(
+                        "replan ({}): {} mules over {} nodes",
+                        replanner.name(),
+                        new_plan.mule_count(),
+                        new_plan.covered_nodes().len()
+                    ),
+                );
+                for itinerary in new_plan.itineraries {
+                    let m = itinerary.mule_index;
+                    if m >= self.states.len() || !self.states[m].status.survived() {
+                        continue;
+                    }
+                    if self.states[m].scheduled {
+                        self.pending_switch[m] = Some(itinerary);
+                    } else {
+                        // Idle or parked mule: join the new plan right away.
+                        self.adopt_itinerary(clock, m, itinerary, now);
+                    }
+                }
+            }
+            Err(e) => {
+                // Unplannable world (e.g. every target failed): keep
+                // flying the old plan.
+                self.note(now, format!("replan failed: {e}"));
+            }
+        }
+    }
+
+    /// Switches mule `m` onto `itinerary` at time `now`: it travels from
+    /// its current position to the itinerary's entry point (respecting the
+    /// planner's start-point spreading), then patrols. Replan joins are
+    /// per-mule immediate — there is no fleet-wide synchronized hold like
+    /// the initial deployment, because pausing survivors mid-run would
+    /// only add dead time.
+    fn adopt_itinerary(
+        &mut self,
+        clock: &mut SimClock,
+        m: usize,
+        itinerary: MuleItinerary,
+        now: f64,
+    ) {
+        let route = MuleRoute::from_itinerary(&itinerary);
+        if route.len() == 0 {
+            self.routes[m] = route;
+            self.states[m].status = MuleStatus::Idle;
+            return;
+        }
+        let entry_offset = if route.total_length > 1e-9 {
+            itinerary.entry_offset_m.rem_euclid(route.total_length)
+        } else {
+            0.0
+        };
+        let (first_wp, partial_dist) = route.entry_waypoint(entry_offset);
+        let deploy_dist = self.states[m].position.distance(&itinerary.entry_point());
+        let travel = deploy_dist + partial_dist.max(0.0);
+        let dest = route.nodes[first_wp];
+        self.routes[m] = route;
+        if !self.consume_movement(m, travel, dest) {
+            self.states[m].status = MuleStatus::Depleted { at_s: now };
+            return;
+        }
+        if self.states[m].status == MuleStatus::Idle && self.routes[m].len() >= 2 {
+            self.states[m].status = MuleStatus::Active;
+        }
+        let arrival = now + travel / self.speed();
+        self.states[m].next_waypoint = first_wp;
+        self.states[m].next_arrival_s = arrival;
+        if arrival <= self.horizon {
+            clock.schedule_at(arrival, EventSubject::Mule(m), EventKind::WaypointArrival);
+            self.states[m].scheduled = true;
+        } else {
+            self.states[m].scheduled = false;
+        }
+    }
+
+    fn on_arrival(&mut self, clock: &mut SimClock, m: usize, now: f64) {
+        // A breakdown (or battery death) between scheduling and arrival
+        // cancels the leg.
+        if matches!(
+            self.states[m].status,
+            MuleStatus::Depleted { .. } | MuleStatus::BrokenDown { .. }
+        ) {
+            return;
+        }
+        self.states[m].scheduled = false;
+        let wp = self.states[m].next_waypoint;
+        let node_id = self.routes[m].nodes[wp];
+        self.states[m].position = self.routes[m].positions[wp];
+        let node_kind = self.scenario.field().node(node_id).map(|n| n.kind);
+
+        // --- Visit processing ------------------------------------------------
+        match node_kind {
+            // An inactive target is passed by: nothing to collect, no
+            // visit recorded (the catch-all arm below).
+            Some(NodeKind::Target) if self.is_target_active(node_id) => {
+                let age = now - self.last_visit.get(&node_id).copied().unwrap_or(0.0);
+                let bytes = self
+                    .buffers
+                    .get_mut(&node_id)
+                    .map(|b| b.collect(now).0)
+                    .unwrap_or(0.0);
+                self.states[m].payload.load(node_id, bytes);
+                if self.config.energy_enabled {
+                    let e = self.config.energy.collection_energy(1);
+                    self.states[m].battery.draw(e);
+                    self.states[m].ledger.record(EnergyCause::Collection, e);
+                }
+                self.states[m].visits += 1;
+                self.last_visit.insert(node_id, now);
+                self.visits.push(VisitRecord {
+                    time_s: now,
+                    mule_index: m,
+                    node: node_id,
+                    data_age_s: age.max(0.0),
+                    bytes,
+                });
+            }
+            Some(NodeKind::Sink) => {
+                let age = now - self.last_visit.get(&node_id).copied().unwrap_or(0.0);
+                self.states[m].payload.deliver_all();
+                self.states[m].visits += 1;
+                self.last_visit.insert(node_id, now);
+                self.visits.push(VisitRecord {
+                    time_s: now,
+                    mule_index: m,
+                    node: node_id,
+                    data_age_s: age.max(0.0),
+                    bytes: 0.0,
+                });
+            }
+            Some(NodeKind::RechargeStation) => {
+                if self.config.energy_enabled {
+                    self.states[m].battery.recharge_full();
+                }
+                self.states[m].recharges += 1;
+                self.last_visit.insert(node_id, now);
+            }
+            _ => {}
+        }
+
+        // --- Route switch after a replan -------------------------------------
+        if let Some(itinerary) = self.pending_switch[m].take() {
+            self.adopt_itinerary(clock, m, itinerary, now);
+            return;
+        }
+
+        // --- Schedule the next leg -------------------------------------------
+        let route = &self.routes[m];
+        if route.total_length <= 1e-9 && self.config.collection_dwell_s <= 0.0 {
+            // Degenerate zero-length cycle: visiting once is all the
+            // progress that can ever be made.
+            return;
+        }
+        let next_wp = (wp + 1) % route.len();
+        let leg = route.positions[wp].distance(&route.positions[next_wp]);
+        let dest = route.nodes[next_wp];
+        if !self.consume_movement(m, leg, dest) {
+            self.states[m].status = MuleStatus::Depleted { at_s: now };
+            return;
+        }
+        let arrival = now + self.config.collection_dwell_s + leg / self.speed();
+        self.states[m].next_waypoint = next_wp;
+        self.states[m].next_arrival_s = arrival;
+        if arrival <= self.horizon {
+            clock.schedule_at(arrival, EventSubject::Mule(m), EventKind::WaypointArrival);
+            self.states[m].scheduled = true;
+        }
+    }
+
+    /// Charges the movement of `distance_m` metres to mule `m`. Returns
     /// `false` when the battery cannot afford it (the mule is stranded).
-    fn consume_movement(
-        &self,
-        state: &mut MuleState,
-        distance_m: f64,
-        route: &MuleRoute,
-        destination_wp: usize,
-    ) -> bool {
+    fn consume_movement(&mut self, m: usize, distance_m: f64, destination: NodeId) -> bool {
         if distance_m <= 0.0 {
             return true;
         }
+        let state = &mut self.states[m];
         if !self.config.energy_enabled {
             state.distance_m += distance_m;
             return true;
@@ -361,9 +721,10 @@ impl<'a> Simulation<'a> {
         state.distance_m += distance_m;
         // Movement towards (or away from) the recharge station is accounted
         // as recharge-detour energy; everything else is patrol movement.
-        let field = self.scenario.field();
-        let dest_is_station = field
-            .node(route.nodes[destination_wp])
+        let dest_is_station = self
+            .scenario
+            .field()
+            .node(destination)
             .map(|n| n.kind == NodeKind::RechargeStation)
             .unwrap_or(false);
         let cause = if dest_is_station {
@@ -380,8 +741,8 @@ impl<'a> Simulation<'a> {
 mod tests {
     use super::*;
     use mule_energy::EnergyModel;
-    use patrol_core::{baselines::ChbPlanner, BTctp, Planner, RwTctp};
     use mule_workload::{ScenarioConfig, WeightSpec};
+    use patrol_core::{baselines::ChbPlanner, BTctp, Planner, RwTctp};
 
     fn scenario(seed: u64) -> Scenario {
         ScenarioConfig::paper_default().with_seed(seed).generate()
@@ -391,8 +752,8 @@ mod tests {
     fn btctp_run_visits_every_patrolled_node_repeatedly() {
         let s = scenario(3);
         let plan = BTctp::new().plan(&s).unwrap();
-        let outcome = Simulation::with_config(&s, &plan, SimulationConfig::timing_only())
-            .run_for(40_000.0);
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(40_000.0);
         let per_node = outcome.visit_times_per_node();
         for id in s.patrolled_ids() {
             let times = per_node.get(&id).expect("every node visited");
@@ -410,8 +771,8 @@ mod tests {
     fn visit_times_never_exceed_the_horizon() {
         let s = scenario(5);
         let plan = BTctp::new().plan(&s).unwrap();
-        let outcome = Simulation::with_config(&s, &plan, SimulationConfig::timing_only())
-            .run_for(5_000.0);
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(5_000.0);
         assert!(outcome.visits.iter().all(|v| v.time_s <= 5_000.0));
         assert_eq!(outcome.horizon_s, 5_000.0);
     }
@@ -422,10 +783,10 @@ mod tests {
         // every target is visited every |P|/(n·v) seconds exactly.
         let s = scenario(7);
         let plan = BTctp::new().plan(&s).unwrap();
-        let outcome = Simulation::with_config(&s, &plan, SimulationConfig::timing_only())
-            .run_for(60_000.0);
-        let expected = plan.itineraries[0].cycle_length()
-            / (plan.mule_count() as f64 * 2.0 /* m/s */);
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(60_000.0);
+        let expected =
+            plan.itineraries[0].cycle_length() / (plan.mule_count() as f64 * 2.0/* m/s */);
         for (_, times) in outcome.visit_times_per_node() {
             // Skip the warm-up visits (mules converging onto their start
             // points), then check steady-state intervals.
@@ -446,8 +807,8 @@ mod tests {
     fn chb_without_spreading_yields_unequal_intervals() {
         let s = scenario(11);
         let plan = ChbPlanner::new().plan(&s).unwrap();
-        let outcome = Simulation::with_config(&s, &plan, SimulationConfig::timing_only())
-            .run_for(60_000.0);
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(60_000.0);
         // All mules bunched: consecutive visits to a target alternate between
         // "very soon" (the bunch passes) and "a full lap later".
         let mut spreads = Vec::new();
@@ -489,12 +850,9 @@ mod tests {
             initial_energy_j: 2_000.0, // a couple hundred metres of range
             ..EnergyModel::paper_default()
         };
-        let outcome = Simulation::with_config(
-            &s,
-            &plan,
-            SimulationConfig::default().with_energy(tiny),
-        )
-        .run_for(50_000.0);
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::default().with_energy(tiny))
+                .run_for(50_000.0);
         assert!(
             outcome.mules.iter().any(|m| !m.status.survived()),
             "with a tiny battery and no recharge station some mule must die"
@@ -505,7 +863,10 @@ mod tests {
     fn rwtctp_keeps_mules_alive_via_recharging() {
         let s = ScenarioConfig::paper_default()
             .with_targets(10)
-            .with_weights(WeightSpec::UniformVips { count: 2, weight: 2 })
+            .with_weights(WeightSpec::UniformVips {
+                count: 2,
+                weight: 2,
+            })
             .with_recharge_station(true)
             .with_seed(19)
             .generate();
@@ -523,8 +884,8 @@ mod tests {
     fn sink_deliveries_accumulate_bytes() {
         let s = scenario(23);
         let plan = BTctp::new().plan(&s).unwrap();
-        let outcome = Simulation::with_config(&s, &plan, SimulationConfig::timing_only())
-            .run_for(40_000.0);
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(40_000.0);
         assert!(outcome.total_delivered_bytes() > 0.0);
     }
 
@@ -532,8 +893,8 @@ mod tests {
     fn zero_horizon_produces_no_visits() {
         let s = scenario(29);
         let plan = BTctp::new().plan(&s).unwrap();
-        let outcome = Simulation::with_config(&s, &plan, SimulationConfig::timing_only())
-            .run_for(0.0);
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(0.0);
         // Only mules whose deployment distance is exactly zero could visit
         // at t = 0; with the sink at the field centre that never happens for
         // the paper layout.
@@ -548,9 +909,11 @@ mod tests {
             .with_mules(5)
             .with_seed(8)
             .generate();
-        let plan = patrol_core::baselines::SweepPlanner::new().plan(&s).unwrap();
-        let outcome = Simulation::with_config(&s, &plan, SimulationConfig::timing_only())
-            .run_for(10_000.0);
+        let plan = patrol_core::baselines::SweepPlanner::new()
+            .plan(&s)
+            .unwrap();
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(10_000.0);
         assert!(outcome
             .mules
             .iter()

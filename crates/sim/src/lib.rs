@@ -15,11 +15,33 @@
 //! * [`Simulation`] / [`SimulationOutcome`] — the engine and its results.
 //! * [`montecarlo`] — rayon-parallel replication sweeps ("average of 20
 //!   simulations", §5.1).
+//!
+//! ## The event timeline
+//!
+//! Since the `mule-events` refactor the engine runs on a
+//! [`mule_events::SimClock`]: one binary-heap timeline of typed,
+//! subject-targeted events with deterministic `(time, kind, subject,
+//! insertion)` ordering. A static run places only waypoint arrivals on the
+//! timeline; a dynamic run adds disruptions.
+//!
+//! ## Disruptions and replanning
+//!
+//! [`DynamicSimulation`] executes a
+//! [`mule_workload::DisruptionPlan`] — seeded target failures/recoveries,
+//! late target arrivals, mule breakdowns and speed windows — against a
+//! plan, optionally consulting a [`patrol_core::Replanner`] after every
+//! world-changing disruption. Failed targets are skipped (their data is
+//! lost, not buffered); recovering and late-arriving targets restart their
+//! buffers at the event time; broken mules stop where their last committed
+//! leg ends; surviving mules adopt each fresh plan at their next waypoint.
+//! The [`DynamicOutcome`] records the applied-event timeline and the phase
+//! boundaries that `mule_metrics`' per-phase delay report consumes.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod config;
+pub mod dynamics;
 pub mod engine;
 pub mod montecarlo;
 pub mod mule;
@@ -27,6 +49,7 @@ pub mod outcome;
 pub mod trace;
 
 pub use config::SimulationConfig;
+pub use dynamics::{DynamicOutcome, DynamicSimulation, TimelineEntry};
 pub use engine::Simulation;
 pub use montecarlo::{run_replicated, ReplicatedOutcome};
 pub use mule::{MuleReport, MuleStatus};

@@ -16,12 +16,22 @@ pub enum MuleStatus {
     },
     /// Had an empty itinerary and never moved.
     Idle,
+    /// Permanently failed at the recorded time (a dynamic-scenario mule
+    /// breakdown, not an energy death).
+    BrokenDown {
+        /// Time of the breakdown, seconds.
+        at_s: f64,
+    },
 }
 
 impl MuleStatus {
-    /// Returns `true` when the mule survived the whole run.
+    /// Returns `true` when the mule survived the whole run (neither its
+    /// battery emptied nor it broke down).
     pub fn survived(&self) -> bool {
-        !matches!(self, MuleStatus::Depleted { .. })
+        !matches!(
+            self,
+            MuleStatus::Depleted { .. } | MuleStatus::BrokenDown { .. }
+        )
     }
 }
 
@@ -61,6 +71,13 @@ pub(crate) struct MuleState {
     pub next_waypoint: usize,
     /// Simulation time of the next waypoint arrival (if scheduled).
     pub next_arrival_s: f64,
+    /// The last position the mule is known to have reached (its start
+    /// position until the first arrival). Replanning reads this for
+    /// unscheduled mules.
+    pub position: mule_geom::Point,
+    /// Whether a waypoint-arrival event for this mule is currently on the
+    /// timeline.
+    pub scheduled: bool,
 }
 
 impl MuleState {
@@ -87,6 +104,7 @@ mod tests {
         assert!(MuleStatus::Active.survived());
         assert!(MuleStatus::Idle.survived());
         assert!(!MuleStatus::Depleted { at_s: 10.0 }.survived());
+        assert!(!MuleStatus::BrokenDown { at_s: 10.0 }.survived());
     }
 
     #[test]
@@ -102,6 +120,8 @@ mod tests {
             status: MuleStatus::Active,
             next_waypoint: 0,
             next_arrival_s: 0.0,
+            position: mule_geom::Point::new(0.0, 0.0),
+            scheduled: false,
         };
         let report = state.report();
         assert_eq!(report.mule_index, 2);

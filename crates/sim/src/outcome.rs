@@ -42,7 +42,7 @@ impl SimulationOutcome {
             map.entry(v.node).or_default().push(v.time_s);
         }
         for times in map.values_mut() {
-            times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            times.sort_by(|a, b| a.total_cmp(b));
         }
         map
     }
@@ -51,7 +51,7 @@ impl SimulationOutcome {
     pub fn data_ages_per_node(&self) -> BTreeMap<NodeId, Vec<f64>> {
         let mut map: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
         let mut visits = self.visits.clone();
-        visits.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap_or(std::cmp::Ordering::Equal));
+        visits.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
         for v in &visits {
             map.entry(v.node).or_default().push(v.data_age_s);
         }

@@ -33,6 +33,7 @@ pub fn mules_to_csv(outcome: &SimulationOutcome) -> String {
             MuleStatus::Active => "active".to_string(),
             MuleStatus::Idle => "idle".to_string(),
             MuleStatus::Depleted { at_s } => format!("depleted@{at_s:.1}"),
+            MuleStatus::BrokenDown { at_s } => format!("broken@{at_s:.1}"),
         };
         out.push_str(&format!(
             "{},{},{:.1},{},{},{:.1},{:.1},{:.1},{:.3},{:.1}\n",
@@ -59,11 +60,17 @@ pub fn write_csv_files(
 ) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
     let visits_path = prefix.with_file_name(format!(
         "{}_visits.csv",
-        prefix.file_name().and_then(|s| s.to_str()).unwrap_or("trace")
+        prefix
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace")
     ));
     let mules_path = prefix.with_file_name(format!(
         "{}_mules.csv",
-        prefix.file_name().and_then(|s| s.to_str()).unwrap_or("trace")
+        prefix
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace")
     ));
     std::fs::write(&visits_path, visits_to_csv(outcome))?;
     std::fs::write(&mules_path, mules_to_csv(outcome))?;
@@ -79,10 +86,12 @@ mod tests {
     use patrol_core::{BTctp, Planner};
 
     fn outcome() -> SimulationOutcome {
-        let scenario = ScenarioConfig::paper_default().with_targets(6).with_seed(2).generate();
+        let scenario = ScenarioConfig::paper_default()
+            .with_targets(6)
+            .with_seed(2)
+            .generate();
         let plan = BTctp::new().plan(&scenario).unwrap();
-        Simulation::with_config(&scenario, &plan, SimulationConfig::timing_only())
-            .run_for(10_000.0)
+        Simulation::with_config(&scenario, &plan, SimulationConfig::timing_only()).run_for(10_000.0)
     }
 
     #[test]

@@ -166,7 +166,10 @@ mod tests {
     fn scenario() -> Scenario {
         ScenarioConfig::paper_default()
             .with_targets(10)
-            .with_weights(WeightSpec::UniformVips { count: 2, weight: 3 })
+            .with_weights(WeightSpec::UniformVips {
+                count: 2,
+                weight: 3,
+            })
             .with_recharge_station(true)
             .with_seed(5)
             .generate()

@@ -33,7 +33,9 @@ impl Default for SvgStyle {
 }
 
 /// Route colours cycled per mule.
-const ROUTE_COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+const ROUTE_COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
 
 struct Mapper {
     scale: f64,
@@ -60,7 +62,10 @@ impl Mapper {
     /// Field coordinates → SVG pixel coordinates (y axis flipped so north is
     /// up).
     fn map(&self, p: &Point) -> (f64, f64) {
-        ((p.x - self.min_x) * self.scale, (self.max_y - p.y) * self.scale)
+        (
+            (p.x - self.min_x) * self.scale,
+            (self.max_y - p.y) * self.scale,
+        )
     }
 }
 
@@ -136,7 +141,10 @@ pub fn plan_to_svg(scenario: &Scenario, plan: &PatrolPlan, style: &SvgStyle) -> 
         if let Some(first) = points.first().copied() {
             points.push(first);
         }
-        let path: Vec<String> = points.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+        let path: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
         svg.push_str(&format!(
             "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"{:.1}\" \
              stroke-opacity=\"0.7\"><title>mule {} ({})</title></polyline>\n",
@@ -170,7 +178,10 @@ mod tests {
     fn scenario() -> Scenario {
         ScenarioConfig::paper_default()
             .with_targets(8)
-            .with_weights(WeightSpec::UniformVips { count: 2, weight: 3 })
+            .with_weights(WeightSpec::UniformVips {
+                count: 2,
+                weight: 3,
+            })
             .with_recharge_station(true)
             .with_seed(3)
             .generate()
@@ -214,6 +225,9 @@ mod tests {
         };
         let svg = scenario_to_svg(&s, &style);
         assert!(svg.contains("width=\"400\""));
-        assert!(svg.contains("height=\"400\""), "square field keeps a square aspect");
+        assert!(
+            svg.contains("height=\"400\""),
+            "square field keeps a square aspect"
+        );
     }
 }

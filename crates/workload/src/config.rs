@@ -3,11 +3,12 @@
 use serde::{Deserialize, Serialize};
 
 /// How targets are laid out in the field.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LayoutKind {
     /// Uniformly random positions over the whole field (the paper's base
     /// setup: "the locations of targets are randomly distributed over the
     /// monitoring region").
+    #[default]
     Uniform,
     /// Targets grouped into `clusters` disconnected areas whose centres are
     /// spread across the field and whose members lie within
@@ -21,16 +22,11 @@ pub enum LayoutKind {
     },
 }
 
-impl Default for LayoutKind {
-    fn default() -> Self {
-        LayoutKind::Uniform
-    }
-}
-
 /// How VIP weights are assigned to targets.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum WeightSpec {
     /// Every target is a Normal Target Point (weight 1).
+    #[default]
     AllNormal,
     /// Exactly `count` targets (chosen at random) are VIPs with the given
     /// uniform weight; the rest are NTPs. This matches the Fig. 9/10 sweep
@@ -53,28 +49,17 @@ pub enum WeightSpec {
     },
 }
 
-impl Default for WeightSpec {
-    fn default() -> Self {
-        WeightSpec::AllNormal
-    }
-}
-
 /// Where the mules start before location initialisation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum MuleStartKind {
     /// All mules start at the sink (the common deployment story: mules are
     /// launched from the base station).
+    #[default]
     AtSink,
     /// Mules start at uniformly random positions in the field, which is the
     /// situation B-TCTP's "move to the closest start point" initialisation
     /// is designed for.
     Random,
-}
-
-impl Default for MuleStartKind {
-    fn default() -> Self {
-        MuleStartKind::AtSink
-    }
 }
 
 /// Full configuration of a scenario.
@@ -199,14 +184,26 @@ mod tests {
                 clusters: 3,
                 cluster_radius_m: 50.0,
             })
-            .with_weights(WeightSpec::UniformVips { count: 2, weight: 3 })
+            .with_weights(WeightSpec::UniformVips {
+                count: 2,
+                weight: 3,
+            })
             .with_mule_start(MuleStartKind::Random)
             .with_recharge_station(true);
         assert_eq!(c.target_count, 25);
         assert_eq!(c.mule_count, 6);
         assert_eq!(c.seed, 99);
-        assert!(matches!(c.layout, LayoutKind::DisconnectedClusters { clusters: 3, .. }));
-        assert!(matches!(c.weights, WeightSpec::UniformVips { count: 2, weight: 3 }));
+        assert!(matches!(
+            c.layout,
+            LayoutKind::DisconnectedClusters { clusters: 3, .. }
+        ));
+        assert!(matches!(
+            c.weights,
+            WeightSpec::UniformVips {
+                count: 2,
+                weight: 3
+            }
+        ));
         assert_eq!(c.mule_start, MuleStartKind::Random);
         assert!(c.with_recharge_station);
     }

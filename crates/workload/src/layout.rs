@@ -54,7 +54,10 @@ pub fn clustered_layout(
             rng.random_range((bounds.min_x + margin)..=(bounds.max_x - margin)),
             rng.random_range((bounds.min_y + margin)..=(bounds.max_y - margin)),
         );
-        if centers.iter().all(|existing| existing.distance(&c) >= separation) {
+        if centers
+            .iter()
+            .all(|existing| existing.distance(&c) >= separation)
+        {
             centers.push(c);
         }
     }

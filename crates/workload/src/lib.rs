@@ -14,16 +14,21 @@
 //! * [`Scenario`] — the generated instance: a [`mule_net::Field`] plus mule
 //!   start positions.
 //! * [`replication`] — seed fans for "average of 20 simulations" sweeps.
+//! * [`disruption`] — seeded mid-run disruption plans (target failures and
+//!   recoveries, late target arrivals, mule breakdowns, speed windows) that
+//!   the simulator compiles onto its event timeline.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod config;
+pub mod disruption;
 pub mod layout;
 pub mod replication;
 pub mod scenario;
 pub mod weights;
 
 pub use config::{LayoutKind, MuleStartKind, ScenarioConfig, WeightSpec};
+pub use disruption::{Disruption, DisruptionConfig, DisruptionPlan};
 pub use replication::{seed_fan, ReplicationPlan};
 pub use scenario::Scenario;

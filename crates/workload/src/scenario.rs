@@ -123,6 +123,28 @@ impl Scenario {
     pub fn data_rate_bps(&self) -> f64 {
         self.config.data_rate_bps
     }
+
+    /// A restricted view of this scenario for (re)planning mid-run:
+    /// the targets in `inactive` are deactivated (they keep their ids but
+    /// leave the patrolled set) and the fleet is replaced by mules standing
+    /// at `mule_starts` — typically the surviving mules' current positions.
+    ///
+    /// Planners are deterministic functions of a scenario, so replanning on
+    /// a restricted scenario is exactly "run the paper's construction on
+    /// the surviving world".
+    pub fn restricted(&self, inactive: &[NodeId], mule_starts: Vec<Point>) -> Scenario {
+        let mut field = self.field.clone();
+        for &id in inactive {
+            field.set_active(id, false);
+        }
+        let mut config = self.config;
+        config.mule_count = mule_starts.len();
+        Scenario {
+            config,
+            field,
+            mule_starts,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +210,10 @@ mod tests {
     fn vip_weights_flow_into_the_field() {
         let s = ScenarioConfig::paper_default()
             .with_targets(20)
-            .with_weights(WeightSpec::UniformVips { count: 5, weight: 4 })
+            .with_weights(WeightSpec::UniformVips {
+                count: 5,
+                weight: 4,
+            })
             .with_seed(21)
             .generate();
         let vips = s.field().vips();
@@ -215,6 +240,24 @@ mod tests {
             .map(|n| n.position)
             .collect();
         assert!(mule_net::is_disconnected(&target_positions, 20.0));
+    }
+
+    #[test]
+    fn restricted_scenarios_drop_targets_and_replace_the_fleet() {
+        let s = ScenarioConfig::paper_default().with_seed(4).generate();
+        let victims = [s.patrolled_ids()[1], s.patrolled_ids()[3]];
+        let starts = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)];
+        let r = s.restricted(&victims, starts.clone());
+        assert_eq!(r.patrolled_ids().len(), s.patrolled_ids().len() - 2);
+        assert!(!r.patrolled_ids().contains(&victims[0]));
+        assert_eq!(r.mule_count(), 2);
+        assert_eq!(r.mule_starts(), &starts[..]);
+        // Surviving nodes keep their original ids.
+        for id in r.patrolled_ids() {
+            assert!(s.patrolled_ids().contains(&id));
+        }
+        // The original scenario is untouched.
+        assert_eq!(s.patrolled_ids().len(), 11);
     }
 
     #[test]

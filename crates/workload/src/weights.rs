@@ -61,7 +61,10 @@ mod tests {
 
     #[test]
     fn uniform_vips_creates_exactly_the_requested_count() {
-        let spec = WeightSpec::UniformVips { count: 4, weight: 3 };
+        let spec = WeightSpec::UniformVips {
+            count: 4,
+            weight: 3,
+        };
         let w = assign_weights(&mut rng(2), 20, &spec);
         let vips: Vec<&Weight> = w.iter().filter(|x| x.is_vip()).collect();
         assert_eq!(vips.len(), 4);
@@ -71,14 +74,20 @@ mod tests {
 
     #[test]
     fn uniform_vips_count_is_clamped_to_the_target_count() {
-        let spec = WeightSpec::UniformVips { count: 50, weight: 2 };
+        let spec = WeightSpec::UniformVips {
+            count: 50,
+            weight: 2,
+        };
         let w = assign_weights(&mut rng(3), 8, &spec);
         assert_eq!(w.iter().filter(|x| x.is_vip()).count(), 8);
     }
 
     #[test]
     fn uniform_vip_weight_below_two_is_promoted_to_two() {
-        let spec = WeightSpec::UniformVips { count: 3, weight: 1 };
+        let spec = WeightSpec::UniformVips {
+            count: 3,
+            weight: 1,
+        };
         let w = assign_weights(&mut rng(4), 10, &spec);
         assert_eq!(w.iter().filter(|x| x.value() == 2).count(), 3);
     }
@@ -88,14 +97,22 @@ mod tests {
         let none = assign_weights(
             &mut rng(5),
             30,
-            &WeightSpec::RandomVips { p: 0.0, min_weight: 2, max_weight: 5 },
+            &WeightSpec::RandomVips {
+                p: 0.0,
+                min_weight: 2,
+                max_weight: 5,
+            },
         );
         assert!(none.iter().all(|x| !x.is_vip()));
 
         let all = assign_weights(
             &mut rng(6),
             30,
-            &WeightSpec::RandomVips { p: 1.0, min_weight: 2, max_weight: 5 },
+            &WeightSpec::RandomVips {
+                p: 1.0,
+                min_weight: 2,
+                max_weight: 5,
+            },
         );
         assert!(all.iter().all(|x| x.is_vip()));
         assert!(all.iter().all(|x| (2..=5).contains(&x.value())));
@@ -106,7 +123,11 @@ mod tests {
         let w = assign_weights(
             &mut rng(7),
             20,
-            &WeightSpec::RandomVips { p: 1.0, min_weight: 6, max_weight: 3 },
+            &WeightSpec::RandomVips {
+                p: 1.0,
+                min_weight: 6,
+                max_weight: 3,
+            },
         );
         // min > max: the range collapses to min..=min.
         assert!(w.iter().all(|x| x.value() == 6));
@@ -114,7 +135,10 @@ mod tests {
 
     #[test]
     fn assignment_is_seed_deterministic() {
-        let spec = WeightSpec::UniformVips { count: 5, weight: 4 };
+        let spec = WeightSpec::UniformVips {
+            count: 5,
+            weight: 4,
+        };
         let a = assign_weights(&mut rng(9), 25, &spec);
         let b = assign_weights(&mut rng(9), 25, &spec);
         assert_eq!(a, b);

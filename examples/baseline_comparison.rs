@@ -35,12 +35,8 @@ fn main() {
 
     for (name, planner) in planners {
         let plan = planner.plan(&scenario).expect("plannable scenario");
-        let outcome = Simulation::with_config(
-            &scenario,
-            &plan,
-            SimulationConfig::timing_only(),
-        )
-        .run_for(80_000.0);
+        let outcome = Simulation::with_config(&scenario, &plan, SimulationConfig::timing_only())
+            .run_for(80_000.0);
         let intervals = IntervalReport::from_outcome(&outcome);
         let dcdt = DcdtSeries::from_outcome(&outcome);
         table.add_row(vec![

@@ -17,7 +17,10 @@ fn main() {
     let scenario = ScenarioConfig::paper_default()
         .with_targets(15)
         .with_mules(4)
-        .with_weights(WeightSpec::UniformVips { count: 2, weight: 2 })
+        .with_weights(WeightSpec::UniformVips {
+            count: 2,
+            weight: 2,
+        })
         .with_recharge_station(true)
         .with_seed(7)
         .generate();

@@ -18,7 +18,10 @@ fn main() {
             clusters: 3,
             cluster_radius_m: 40.0,
         })
-        .with_weights(WeightSpec::UniformVips { count: 3, weight: 3 })
+        .with_weights(WeightSpec::UniformVips {
+            count: 3,
+            weight: 3,
+        })
         .with_recharge_station(true)
         .with_seed(42)
         .generate();
@@ -26,7 +29,9 @@ fn main() {
     println!("Field ('S' sink, 'R' recharge station, 'o' target, digits = VIP weight):\n");
     println!("{}", mule_viz::render_scenario(&scenario, 76, 34));
 
-    let plan = RwTctp::default().plan(&scenario).expect("plannable scenario");
+    let plan = RwTctp::default()
+        .plan(&scenario)
+        .expect("plannable scenario");
     println!("\nRW-TCTP route ('.' edges, '*' waypoints):\n");
     println!("{}", mule_viz::render_plan(&scenario, &plan, 76, 34));
 

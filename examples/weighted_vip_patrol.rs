@@ -16,7 +16,10 @@ fn main() {
     let scenario = ScenarioConfig::paper_default()
         .with_targets(20)
         .with_mules(1)
-        .with_weights(WeightSpec::UniformVips { count: 4, weight: 3 })
+        .with_weights(WeightSpec::UniformVips {
+            count: 4,
+            weight: 3,
+        })
         .with_seed(99)
         .generate();
 
@@ -28,7 +31,10 @@ fn main() {
         .collect();
     println!("VIP targets: {}", vips.join(", "));
 
-    for policy in [BreakEdgePolicy::ShortestLength, BreakEdgePolicy::BalancingLength] {
+    for policy in [
+        BreakEdgePolicy::ShortestLength,
+        BreakEdgePolicy::BalancingLength,
+    ] {
         let planner = WTctp::new(policy);
         let plan = planner.plan(&scenario).expect("plannable scenario");
         let wpp_len = plan.itineraries[0].cycle_length();

@@ -13,7 +13,11 @@ fn paper_scenario(seed: u64) -> Scenario {
         .generate()
 }
 
-fn simulate(scenario: &Scenario, plan: &wmdm_patrol::patrol::PatrolPlan, horizon: f64) -> SimulationOutcome {
+fn simulate(
+    scenario: &Scenario,
+    plan: &wmdm_patrol::patrol::PatrolPlan,
+    horizon: f64,
+) -> SimulationOutcome {
     Simulation::with_config(scenario, plan, SimulationConfig::timing_only()).run_for(horizon)
 }
 
@@ -64,8 +68,8 @@ fn btctp_interval_sd_is_zero_and_beats_chb() {
             "seed {seed}: B-TCTP SD {}",
             btctp_report.average_sd()
         );
-        let expected = btctp_plan.itineraries[0].cycle_length()
-            / (btctp_plan.mule_count() as f64 * 2.0);
+        let expected =
+            btctp_plan.itineraries[0].cycle_length() / (btctp_plan.mule_count() as f64 * 2.0);
         assert!(
             (btctp_report.max_interval() - expected).abs() < 2.0,
             "seed {seed}: max interval {} vs |P|/(n·v) {expected}",
@@ -89,7 +93,10 @@ fn wtctp_vip_visit_rate_scales_with_weight() {
     let scenario = ScenarioConfig::paper_default()
         .with_targets(16)
         .with_mules(2)
-        .with_weights(WeightSpec::UniformVips { count: 3, weight: 3 })
+        .with_weights(WeightSpec::UniformVips {
+            count: 3,
+            weight: 3,
+        })
         .with_seed(55)
         .generate();
     let plan = WTctp::new(BreakEdgePolicy::BalancingLength)
@@ -129,7 +136,10 @@ fn shortest_policy_builds_shorter_paths_balancing_builds_steadier_vips() {
     let scenario = ScenarioConfig::paper_default()
         .with_targets(18)
         .with_mules(1)
-        .with_weights(WeightSpec::UniformVips { count: 3, weight: 3 })
+        .with_weights(WeightSpec::UniformVips {
+            count: 3,
+            weight: 3,
+        })
         .with_seed(77)
         .generate();
 
@@ -151,7 +161,10 @@ fn shortest_policy_builds_shorter_paths_balancing_builds_steadier_vips() {
     let vip_sd = |plan: &wmdm_patrol::patrol::PatrolPlan| {
         let outcome = simulate(&scenario, plan, 400_000.0);
         let report = IntervalReport::from_outcome(&outcome);
-        let sds: Vec<f64> = vip_ids.iter().filter_map(|id| report.node_sd(*id)).collect();
+        let sds: Vec<f64> = vip_ids
+            .iter()
+            .filter_map(|id| report.node_sd(*id))
+            .collect();
         sds.iter().sum::<f64>() / sds.len() as f64
     };
     assert!(vip_sd(&balancing_plan) <= vip_sd(&shortest_plan) + 1.0);
@@ -165,7 +178,10 @@ fn rwtctp_outlives_wtctp_on_a_small_battery() {
     let scenario = ScenarioConfig::paper_default()
         .with_targets(12)
         .with_mules(3)
-        .with_weights(WeightSpec::UniformVips { count: 2, weight: 2 })
+        .with_weights(WeightSpec::UniformVips {
+            count: 2,
+            weight: 2,
+        })
         .with_recharge_station(true)
         .with_seed(88)
         .generate();
@@ -179,7 +195,10 @@ fn rwtctp_outlives_wtctp_on_a_small_battery() {
         .plan(&scenario)
         .unwrap();
     let rw_outcome = Simulation::with_config(&scenario, &rw_plan, config).run_for(120_000.0);
-    assert!(rw_outcome.all_mules_survived(), "RW-TCTP keeps the fleet alive");
+    assert!(
+        rw_outcome.all_mules_survived(),
+        "RW-TCTP keeps the fleet alive"
+    );
     assert!(rw_outcome.mules.iter().any(|m| m.recharges > 0));
 
     let w_plan = WTctp::new(BreakEdgePolicy::ShortestLength)

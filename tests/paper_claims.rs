@@ -6,7 +6,11 @@ use wmdm_patrol::prelude::*;
 use wmdm_patrol::sim::SimulationConfig;
 use wmdm_patrol::workload::WeightSpec;
 
-fn simulate(scenario: &Scenario, plan: &wmdm_patrol::patrol::PatrolPlan, horizon: f64) -> SimulationOutcome {
+fn simulate(
+    scenario: &Scenario,
+    plan: &wmdm_patrol::patrol::PatrolPlan,
+    horizon: f64,
+) -> SimulationOutcome {
     Simulation::with_config(scenario, plan, SimulationConfig::timing_only()).run_for(horizon)
 }
 
@@ -60,7 +64,7 @@ proptest! {
         let total = plan.itineraries[0].cycle_length();
         prop_assume!(total > 1.0);
         let mut offsets: Vec<f64> = plan.itineraries.iter().map(|i| i.entry_offset_m).collect();
-        offsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        offsets.sort_by(|a, b| a.total_cmp(b));
         let gap = total / mules as f64;
         for w in offsets.windows(2) {
             prop_assert!((w[1] - w[0] - gap).abs() < 1e-6);
