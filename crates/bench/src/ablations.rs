@@ -57,7 +57,7 @@ pub fn recharge_ablation(params: &RechargeAblationParams) -> TextTable {
         "RW-TCTP useful energy",
     ]);
 
-    for &capacity in &params.battery_capacities_j {
+    let rows = crate::par_grid(&params.battery_capacities_j, |&capacity| {
         let energy = EnergyModel {
             initial_energy_j: capacity,
             ..EnergyModel::paper_default()
@@ -102,14 +102,17 @@ pub fn recharge_ablation(params: &RechargeAblationParams) -> TextTable {
             .average(|o| if o.all_mules_survived() { 1.0 } else { 0.0 })
             .unwrap_or(0.0);
 
-        table.add_row(vec![
+        vec![
             format!("{:.0}", capacity / 1000.0),
             rounds.to_string(),
             format!("{:.0}%", rw_survival * 100.0),
             format!("{rw_recharges:.1}"),
             format!("{:.0}%", w_survival * 100.0),
             format!("{:.2}", rw_useful),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.add_row(row);
     }
     table
 }
@@ -151,7 +154,7 @@ pub fn spread_ablation(params: &SpreadAblationParams) -> TextTable {
         "no-spread max interval (s)",
         "no-spread SD (s)",
     ]);
-    for &mules in &params.mule_counts {
+    let rows = crate::par_grid(&params.mule_counts, |&mules| {
         let base = ScenarioConfig::paper_default()
             .with_targets(params.targets)
             .with_mules(mules)
@@ -168,13 +171,16 @@ pub fn spread_ablation(params: &SpreadAblationParams) -> TextTable {
         };
         let (spread_max, spread_sd) = metrics(&BTctp::new());
         let (plain_max, plain_sd) = metrics(&BTctp::without_spreading());
-        table.add_row(vec![
+        vec![
             mules.to_string(),
             format!("{spread_max:.0}"),
             format!("{spread_sd:.2}"),
             format!("{plain_max:.0}"),
             format!("{plain_sd:.2}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.add_row(row);
     }
     table
 }

@@ -82,40 +82,43 @@ pub fn average_vip_sd_for_policy(
     }
 }
 
-/// Runs the Figure 10 sweep (same grid as Figure 9).
+/// Runs the Figure 10 sweep (same grid as Figure 9, cells in parallel on
+/// the worker pool).
 pub fn run(params: &VipSweepParams) -> Vec<Fig10Cell> {
-    let mut cells = Vec::new();
+    let mut grid = Vec::new();
     for &vips in &params.vip_counts {
         for &weight in &params.vip_weights {
-            let base = ScenarioConfig::paper_default()
-                .with_targets(params.targets)
-                .with_mules(params.mules)
-                .with_weights(WeightSpec::UniformVips {
-                    count: vips,
-                    weight,
-                })
-                .with_seed(params.seed);
-            let shortest = average_vip_sd_for_policy(
-                BreakEdgePolicy::ShortestLength,
-                base,
-                params.replicas,
-                params.horizon_s,
-            );
-            let balancing = average_vip_sd_for_policy(
-                BreakEdgePolicy::BalancingLength,
-                base,
-                params.replicas,
-                params.horizon_s,
-            );
-            cells.push(Fig10Cell {
-                vips,
-                weight,
-                shortest_sd: shortest,
-                balancing_sd: balancing,
-            });
+            grid.push((vips, weight));
         }
     }
-    cells
+    crate::par_grid(&grid, |&(vips, weight)| {
+        let base = ScenarioConfig::paper_default()
+            .with_targets(params.targets)
+            .with_mules(params.mules)
+            .with_weights(WeightSpec::UniformVips {
+                count: vips,
+                weight,
+            })
+            .with_seed(params.seed);
+        let shortest = average_vip_sd_for_policy(
+            BreakEdgePolicy::ShortestLength,
+            base,
+            params.replicas,
+            params.horizon_s,
+        );
+        let balancing = average_vip_sd_for_policy(
+            BreakEdgePolicy::BalancingLength,
+            base,
+            params.replicas,
+            params.horizon_s,
+        );
+        Fig10Cell {
+            vips,
+            weight,
+            shortest_sd: shortest,
+            balancing_sd: balancing,
+        }
+    })
 }
 
 /// Formats the grid as a table.

@@ -95,16 +95,15 @@ pub fn run(params: &Fig7Params) -> Vec<Fig7Series> {
         ("TCTP", Box::new(BTctp::new())),
     ];
 
-    planners
-        .into_iter()
-        .map(|(name, planner)| {
-            let rep = run_timing_sweep(planner.as_ref(), base, params.replicas, params.horizon_s);
-            Fig7Series {
-                planner: name.to_string(),
-                dcdt_by_visit: averaged_series(&rep, params.visit_indices),
-            }
-        })
-        .collect()
+    // One pool task per planner; each task's replication fan would go
+    // parallel too, but nested maps run inline on the outer workers.
+    crate::par_grid(&planners, |(name, planner)| {
+        let rep = run_timing_sweep(planner.as_ref(), base, params.replicas, params.horizon_s);
+        Fig7Series {
+            planner: name.to_string(),
+            dcdt_by_visit: averaged_series(&rep, params.visit_indices),
+        }
+    })
 }
 
 /// Formats the Figure 7 series as a table: one row per visit index, one

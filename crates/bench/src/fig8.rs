@@ -63,26 +63,28 @@ fn average_sd<P: Planner + Sync>(
         .unwrap_or(0.0)
 }
 
-/// Runs the Figure 8 sweep.
+/// Runs the Figure 8 sweep (grid cells in parallel on the worker pool).
 pub fn run(params: &Fig8Params) -> Vec<Fig8Cell> {
-    let mut cells = Vec::new();
+    let mut grid = Vec::new();
     for &targets in &params.target_counts {
         for &mules in &params.mule_counts {
-            let base = ScenarioConfig::paper_default()
-                .with_targets(targets)
-                .with_mules(mules)
-                .with_seed(params.seed);
-            let chb_sd = average_sd(&ChbPlanner::new(), base, params.replicas, params.horizon_s);
-            let tctp_sd = average_sd(&BTctp::new(), base, params.replicas, params.horizon_s);
-            cells.push(Fig8Cell {
-                targets,
-                mules,
-                chb_sd,
-                tctp_sd,
-            });
+            grid.push((targets, mules));
         }
     }
-    cells
+    crate::par_grid(&grid, |&(targets, mules)| {
+        let base = ScenarioConfig::paper_default()
+            .with_targets(targets)
+            .with_mules(mules)
+            .with_seed(params.seed);
+        let chb_sd = average_sd(&ChbPlanner::new(), base, params.replicas, params.horizon_s);
+        let tctp_sd = average_sd(&BTctp::new(), base, params.replicas, params.horizon_s);
+        Fig8Cell {
+            targets,
+            mules,
+            chb_sd,
+            tctp_sd,
+        }
+    })
 }
 
 /// Formats the grid as a table with one row per (targets, mules) cell.

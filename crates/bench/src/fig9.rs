@@ -74,40 +74,42 @@ pub fn average_dcdt_for_policy(
         .unwrap_or(0.0)
 }
 
-/// Runs the Figure 9 sweep.
+/// Runs the Figure 9 sweep (grid cells in parallel on the worker pool).
 pub fn run(params: &VipSweepParams) -> Vec<Fig9Cell> {
-    let mut cells = Vec::new();
+    let mut grid = Vec::new();
     for &vips in &params.vip_counts {
         for &weight in &params.vip_weights {
-            let base = ScenarioConfig::paper_default()
-                .with_targets(params.targets)
-                .with_mules(params.mules)
-                .with_weights(WeightSpec::UniformVips {
-                    count: vips,
-                    weight,
-                })
-                .with_seed(params.seed);
-            let shortest = average_dcdt_for_policy(
-                BreakEdgePolicy::ShortestLength,
-                base,
-                params.replicas,
-                params.horizon_s,
-            );
-            let balancing = average_dcdt_for_policy(
-                BreakEdgePolicy::BalancingLength,
-                base,
-                params.replicas,
-                params.horizon_s,
-            );
-            cells.push(Fig9Cell {
-                vips,
-                weight,
-                shortest_dcdt: shortest,
-                balancing_dcdt: balancing,
-            });
+            grid.push((vips, weight));
         }
     }
-    cells
+    crate::par_grid(&grid, |&(vips, weight)| {
+        let base = ScenarioConfig::paper_default()
+            .with_targets(params.targets)
+            .with_mules(params.mules)
+            .with_weights(WeightSpec::UniformVips {
+                count: vips,
+                weight,
+            })
+            .with_seed(params.seed);
+        let shortest = average_dcdt_for_policy(
+            BreakEdgePolicy::ShortestLength,
+            base,
+            params.replicas,
+            params.horizon_s,
+        );
+        let balancing = average_dcdt_for_policy(
+            BreakEdgePolicy::BalancingLength,
+            base,
+            params.replicas,
+            params.horizon_s,
+        );
+        Fig9Cell {
+            vips,
+            weight,
+            shortest_dcdt: shortest,
+            balancing_dcdt: balancing,
+        }
+    })
 }
 
 /// Formats the grid as a table.

@@ -18,6 +18,17 @@
 //! Every sweep averages over a seeded replication fan (the paper uses 20
 //! random topologies per point); the replica count is a parameter so the
 //! criterion benches can use a smaller fan.
+//!
+//! ## Parallel execution
+//!
+//! Every figure grid runs its cells on the `mule-par` worker pool via
+//! [`par_grid`], and each cell's replication fan additionally goes through
+//! the parallel `rayon` shim inside [`mule_sim::run_replicated`]. The pool
+//! serialises nested parallelism (inner sweeps run inline on the outer
+//! workers), so the thread count stays bounded by one pool while both
+//! wide grids *and* deep single-cell fans use every core. Cell results are
+//! reassembled in grid order, so the emitted tables are byte-identical to
+//! a sequential run (`MULE_PAR_WORKERS=1`).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -35,6 +46,18 @@ use patrol_core::Planner;
 
 /// Number of replicas the paper averages over.
 pub const PAPER_REPLICAS: usize = 20;
+
+/// Runs `cell` over every grid point on the `mule-par` worker pool,
+/// returning the results in input order (bit-identical to the sequential
+/// loop it replaces). The closure must be a pure function of its cell.
+pub fn par_grid<T, R, F>(cells: &[T], cell: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    mule_par::parallel_map_slice(cells, cell)
+}
 
 /// Runs `planner` over `replicas` seeded topologies derived from `base`,
 /// simulating each for `horizon_s` seconds without energy accounting (the

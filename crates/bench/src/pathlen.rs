@@ -49,7 +49,7 @@ pub fn tour_length_table(params: &PathLenParams) -> TextTable {
     header.extend(TourConstruction::ALL.iter().map(|c| c.label().to_string()));
     let mut table = TextTable::new(header);
 
-    for &targets in &params.target_counts {
+    let rows = crate::par_grid(&params.target_counts, |&targets| {
         let plan = ReplicationPlan {
             base: ScenarioConfig::paper_default()
                 .with_targets(targets)
@@ -66,6 +66,9 @@ pub fn tour_length_table(params: &PathLenParams) -> TextTable {
                 .unwrap_or(0.0);
             row.push(format!("{avg:.0}"));
         }
+        row
+    });
+    for row in rows {
         table.add_row(row);
     }
     table
@@ -80,7 +83,7 @@ pub fn wpp_overhead_table(params: &PathLenParams) -> TextTable {
         "WPP shortest (m)",
         "WPP balancing (m)",
     ]);
-    for &targets in &params.target_counts {
+    let rows = crate::par_grid(&params.target_counts, |&targets| {
         let plan = ReplicationPlan {
             base: ScenarioConfig::paper_default()
                 .with_targets(targets)
@@ -106,12 +109,15 @@ pub fn wpp_overhead_table(params: &PathLenParams) -> TextTable {
             })
             .unwrap_or(0.0)
         };
-        table.add_row(vec![
+        vec![
             targets.to_string(),
             format!("{base_len:.0}"),
             format!("{:.0}", wpp_len(BreakEdgePolicy::ShortestLength)),
             format!("{:.0}", wpp_len(BreakEdgePolicy::BalancingLength)),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.add_row(row);
     }
     table
 }
@@ -119,7 +125,7 @@ pub fn wpp_overhead_table(params: &PathLenParams) -> TextTable {
 /// Average WRP splice overhead (extra metres of the recharge detour).
 pub fn wrp_overhead_table(params: &PathLenParams) -> TextTable {
     let mut table = TextTable::new(vec!["targets", "WPP (m)", "WRP (m)", "detour (m)"]);
-    for &targets in &params.target_counts {
+    let rows = crate::par_grid(&params.target_counts, |&targets| {
         let plan = ReplicationPlan {
             base: ScenarioConfig::paper_default()
                 .with_targets(targets)
@@ -143,16 +149,19 @@ pub fn wrp_overhead_table(params: &PathLenParams) -> TextTable {
             }
         }
         if count == 0 {
-            continue;
+            return None;
         }
         let wpp = wpp_total / count as f64;
         let wrp = wrp_total / count as f64;
-        table.add_row(vec![
+        Some(vec![
             targets.to_string(),
             format!("{wpp:.0}"),
             format!("{wrp:.0}"),
             format!("{:.0}", wrp - wpp),
-        ]);
+        ])
+    });
+    for row in rows.into_iter().flatten() {
+        table.add_row(row);
     }
     table
 }

@@ -139,6 +139,81 @@ impl Default for DynamicsOptions {
     }
 }
 
+/// A named disruption preset of the `sweep` disruption axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisruptionPreset {
+    /// Static run (no disruptions).
+    None,
+    /// Target failures with recovery (`DisruptionConfig::failures_only`).
+    Failures,
+    /// A single mule breakdown (`DisruptionConfig::breakdowns_only`).
+    Breakdowns,
+    /// One of everything (`DisruptionConfig::default_mixed`).
+    Mixed,
+}
+
+impl DisruptionPreset {
+    /// Parses a preset name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "static" => Ok(DisruptionPreset::None),
+            "failures" | "fail" => Ok(DisruptionPreset::Failures),
+            "breakdowns" | "breakdown" => Ok(DisruptionPreset::Breakdowns),
+            "mixed" => Ok(DisruptionPreset::Mixed),
+            other => Err(CliError::InvalidValue {
+                flag: "--disruptions".into(),
+                value: other.into(),
+            }),
+        }
+    }
+}
+
+impl std::str::FromStr for DisruptionPreset {
+    type Err = CliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DisruptionPreset::parse(s)
+    }
+}
+
+/// Grid axes and execution knobs of the `sweep` subcommand, on top of the
+/// shared scenario options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    /// Scenario + execution options shared with the other subcommands
+    /// (`--seed` / `--mules` seed the default axes; `--horizon` is the
+    /// per-replica horizon; `--csv` names the results CSV).
+    pub base: CliOptions,
+    /// Seed axis (defaults to `[--seed]`).
+    pub seeds: Vec<u64>,
+    /// Fleet-size axis (defaults to `[--mules]`).
+    pub mule_counts: Vec<usize>,
+    /// Speed axis in m/s (defaults to the paper's 2 m/s).
+    pub speeds: Vec<f64>,
+    /// Disruption axis (defaults to `[none]`).
+    pub disruptions: Vec<DisruptionPreset>,
+    /// Replications per cell.
+    pub replicas: usize,
+    /// Worker-pool size override (`None` = auto: `MULE_PAR_WORKERS` or all
+    /// cores).
+    pub workers: Option<usize>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        let base = CliOptions::default();
+        SweepOptions {
+            seeds: vec![base.seed],
+            mule_counts: vec![base.mules],
+            speeds: vec![mule_workload::PAPER_SPEED_M_PER_S],
+            disruptions: vec![DisruptionPreset::None],
+            replicas: 8,
+            workers: None,
+            base,
+        }
+    }
+}
+
 /// A parsed `patrolctl` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliCommand {
@@ -153,6 +228,9 @@ pub enum CliCommand {
     /// Run a seeded disruption scenario with online replanning and print
     /// the per-phase delay summary.
     Dynamics(DynamicsOptions),
+    /// Run a parallel replication sweep over a parameter grid and print
+    /// the aggregated statistics table.
+    Sweep(SweepOptions),
 }
 
 /// Errors produced by the argument parser.
@@ -196,7 +274,7 @@ pub const USAGE: &str = "\
 patrolctl — data-mule patrolling toolkit (B-TCTP / W-TCTP / RW-TCTP)
 
 USAGE:
-    patrolctl <render|simulate|compare|dynamics|help> [flags]
+    patrolctl <render|simulate|compare|dynamics|sweep|help> [flags]
 
 FLAGS (all subcommands):
     --targets N        number of targets               [default: 10]
@@ -220,9 +298,20 @@ FLAGS (dynamics only — all disruptions are seeded by --seed):
     --speed-factor F     speed multiplier in windows    [default: 0.5]
     --no-replan          keep the initial plan through every disruption
 
-EXAMPLE:
+FLAGS (sweep only — the grid is the cartesian product of the axes):
+    --seeds LIST         seed axis, comma-separated     [default: --seed]
+    --mule-counts LIST   fleet-size axis                [default: --mules]
+    --speeds LIST        mule speed axis, m/s           [default: 2]
+    --disruptions LIST   none | failures | breakdowns | mixed  [default: none]
+    --replicas N         replications per cell          [default: 8]
+    --workers N          worker threads (default: MULE_PAR_WORKERS or all cores)
+    --csv FILE           write the aggregated statistics as CSV
+
+EXAMPLES:
     patrolctl dynamics --targets 12 --mules 4 --seed 7 \\
         --fail-targets 1 --breakdowns 1 --recover-after 8000
+    patrolctl sweep --targets 12 --seeds 1,2,3,4 --mule-counts 2,4 \\
+        --disruptions none,mixed --replicas 20 --csv sweep.csv
 ";
 
 fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
@@ -232,6 +321,23 @@ fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliErr
     })
 }
 
+/// Parses a non-empty comma-separated list ("1,2,3").
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, CliError> {
+    let items: Vec<T> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(|p| parse_flag(flag, p))
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(CliError::InvalidValue {
+            flag: flag.to_string(),
+            value: value.to_string(),
+        });
+    }
+    Ok(items)
+}
+
 /// Parses the argument list (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
     let command = args.first().ok_or(CliError::MissingCommand)?;
@@ -239,9 +345,15 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
         return Ok(CliCommand::Help);
     }
     let is_dynamics = command == "dynamics";
+    let is_sweep = command == "sweep";
 
     let mut options = CliOptions::default();
     let mut dynamics = DynamicsOptions::default();
+    let mut sweep = SweepOptions::default();
+    // Axes default to the shared `--seed` / `--mules` values unless given
+    // explicitly; resolved after the flag loop.
+    let mut sweep_seeds: Option<Vec<u64>> = None;
+    let mut sweep_mule_counts: Option<Vec<usize>> = None;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -282,6 +394,16 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
                 dynamics.speed_factor = parse_flag(flag, &take_value()?)?
             }
             "--no-replan" if is_dynamics => dynamics.no_replan = true,
+            "--seeds" if is_sweep => sweep_seeds = Some(parse_list(flag, &take_value()?)?),
+            "--mule-counts" if is_sweep => {
+                sweep_mule_counts = Some(parse_list(flag, &take_value()?)?)
+            }
+            "--speeds" if is_sweep => sweep.speeds = parse_list(flag, &take_value()?)?,
+            "--disruptions" if is_sweep => sweep.disruptions = parse_list(flag, &take_value()?)?,
+            "--replicas" if is_sweep => sweep.replicas = parse_flag(flag, &take_value()?)?,
+            "--workers" if is_sweep => {
+                sweep.workers = Some(parse_flag::<usize>(flag, &take_value()?)?).filter(|&n| n > 0)
+            }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
         i += 1;
@@ -300,6 +422,12 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
         "dynamics" => {
             dynamics.base = options;
             Ok(CliCommand::Dynamics(dynamics))
+        }
+        "sweep" => {
+            sweep.seeds = sweep_seeds.unwrap_or_else(|| vec![options.seed]);
+            sweep.mule_counts = sweep_mule_counts.unwrap_or_else(|| vec![options.mules]);
+            sweep.base = options;
+            Ok(CliCommand::Sweep(sweep))
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -463,6 +591,116 @@ mod tests {
             USAGE.contains("patrolctl dynamics"),
             "usage shows an example"
         );
+    }
+
+    #[test]
+    fn sweep_defaults_derive_axes_from_shared_flags() {
+        let CliCommand::Sweep(opts) = parse_args(&argv("sweep")).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(opts, SweepOptions::default());
+        assert_eq!(opts.seeds, vec![1]);
+        assert_eq!(opts.mule_counts, vec![4]);
+        assert_eq!(opts.disruptions, vec![DisruptionPreset::None]);
+        assert_eq!(opts.replicas, 8);
+        assert!(opts.workers.is_none());
+
+        // `--seed` / `--mules` seed the axes when the axis flags are absent.
+        let CliCommand::Sweep(opts) = parse_args(&argv("sweep --seed 9 --mules 6")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.seeds, vec![9]);
+        assert_eq!(opts.mule_counts, vec![6]);
+    }
+
+    #[test]
+    fn sweep_axis_flags_parse_comma_lists() {
+        let cmd = parse_args(&argv(
+            "sweep --targets 12 --seeds 1,2,3 --mule-counts 2,4 --speeds 1.5,3 \
+             --disruptions none,failures,mixed --replicas 5 --workers 2 --csv out.csv",
+        ))
+        .unwrap();
+        let CliCommand::Sweep(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.base.targets, 12);
+        assert_eq!(opts.seeds, vec![1, 2, 3]);
+        assert_eq!(opts.mule_counts, vec![2, 4]);
+        assert_eq!(opts.speeds, vec![1.5, 3.0]);
+        assert_eq!(
+            opts.disruptions,
+            vec![
+                DisruptionPreset::None,
+                DisruptionPreset::Failures,
+                DisruptionPreset::Mixed
+            ]
+        );
+        assert_eq!(opts.replicas, 5);
+        assert_eq!(opts.workers, Some(2));
+        assert_eq!(opts.base.csv_prefix.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn sweep_rejects_malformed_lists_and_unknown_presets() {
+        assert!(matches!(
+            parse_args(&argv("sweep --seeds 1,x,3")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--seeds"
+        ));
+        assert!(matches!(
+            parse_args(&argv("sweep --disruptions tornado")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--disruptions"
+        ));
+        assert!(matches!(
+            parse_args(&argv("sweep --speeds ,")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--speeds"
+        ));
+        // Empty lists report the same error on every axis.
+        assert!(matches!(
+            parse_args(&argv("sweep --disruptions ,")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--disruptions"
+        ));
+        // `--workers 0` means "auto", not zero threads.
+        let CliCommand::Sweep(opts) = parse_args(&argv("sweep --workers 0")).unwrap() else {
+            panic!()
+        };
+        assert!(opts.workers.is_none());
+    }
+
+    #[test]
+    fn sweep_flags_are_rejected_on_other_subcommands() {
+        assert!(matches!(
+            parse_args(&argv("simulate --seeds 1,2")).unwrap_err(),
+            CliError::UnknownFlag(f) if f == "--seeds"
+        ));
+        assert!(matches!(
+            parse_args(&argv("dynamics --replicas 3")).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+    }
+
+    #[test]
+    fn disruption_preset_names_parse_case_insensitively() {
+        assert_eq!(
+            DisruptionPreset::parse("NONE").unwrap(),
+            DisruptionPreset::None
+        );
+        assert_eq!(
+            DisruptionPreset::parse("Failures").unwrap(),
+            DisruptionPreset::Failures
+        );
+        assert_eq!(
+            DisruptionPreset::parse("breakdown").unwrap(),
+            DisruptionPreset::Breakdowns
+        );
+        assert!(DisruptionPreset::parse("everything").is_err());
+    }
+
+    #[test]
+    fn sweep_usage_is_documented() {
+        assert!(USAGE.contains("sweep"));
+        assert!(USAGE.contains("--mule-counts"));
+        assert!(USAGE.contains("--disruptions"));
+        assert!(USAGE.contains("patrolctl sweep"), "usage shows an example");
     }
 
     #[test]

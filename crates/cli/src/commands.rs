@@ -3,13 +3,19 @@
 //! Every command returns a [`CommandOutput`] (text plus optional files
 //! written) instead of printing directly, so the logic is unit-testable.
 
-use crate::args::{CliCommand, CliError, CliOptions, DynamicsOptions, PlannerChoice, USAGE};
+use crate::args::{
+    CliCommand, CliError, CliOptions, DisruptionPreset, DynamicsOptions, PlannerChoice,
+    SweepOptions, USAGE,
+};
 use mule_metrics::{
-    DcdtSeries, EnergyEfficiencyReport, FairnessReport, IntervalReport, PhaseDelayReport, TextTable,
+    DcdtSeries, EnergyEfficiencyReport, FairnessReport, IntervalReport, PhaseDelayReport,
+    SweepReport, TextTable,
 };
 use mule_sim::{DynamicSimulation, Simulation, SimulationConfig, SimulationOutcome};
 use mule_viz::{plan_to_svg, render_plan, render_scenario, SvgStyle};
-use mule_workload::{DisruptionConfig, DisruptionPlan, Scenario, ScenarioConfig, WeightSpec};
+use mule_workload::{
+    DisruptionConfig, DisruptionPlan, Scenario, ScenarioConfig, SweepSpec, WeightSpec,
+};
 use patrol_core::baselines::{ChbPlanner, RandomPlanner, SweepPlanner};
 use patrol_core::{
     BTctp, BreakEdgePolicy, PatrolPlan, PlanError, Planner, ReplanWithPlanner, RwTctp, WTctp,
@@ -68,8 +74,8 @@ impl From<std::io::Error> for CommandError {
     }
 }
 
-/// Builds the scenario described by the CLI options.
-pub fn build_scenario(options: &CliOptions) -> Scenario {
+/// Builds the scenario configuration described by the CLI options.
+pub fn build_scenario_config(options: &CliOptions) -> ScenarioConfig {
     let weights = if options.vips > 0 {
         WeightSpec::UniformVips {
             count: options.vips,
@@ -84,7 +90,22 @@ pub fn build_scenario(options: &CliOptions) -> Scenario {
         .with_seed(options.seed)
         .with_weights(weights)
         .with_recharge_station(options.recharge)
-        .generate()
+}
+
+/// Builds the scenario described by the CLI options.
+pub fn build_scenario(options: &CliOptions) -> Scenario {
+    build_scenario_config(options).generate()
+}
+
+/// The simulation configuration the CLI options imply: full energy
+/// accounting only when a recharge station is present, pure timing
+/// otherwise.
+fn sim_config_for(options: &CliOptions) -> SimulationConfig {
+    if options.recharge {
+        SimulationConfig::default()
+    } else {
+        SimulationConfig::timing_only()
+    }
 }
 
 /// Instantiates the planner selected on the command line.
@@ -101,12 +122,7 @@ pub fn build_planner(choice: PlannerChoice) -> Box<dyn Planner> {
 }
 
 fn simulate(scenario: &Scenario, plan: &PatrolPlan, options: &CliOptions) -> SimulationOutcome {
-    let config = if options.recharge {
-        SimulationConfig::default()
-    } else {
-        SimulationConfig::timing_only()
-    };
-    Simulation::with_config(scenario, plan, config).run_for(options.horizon_s)
+    Simulation::with_config(scenario, plan, sim_config_for(options)).run_for(options.horizon_s)
 }
 
 fn metrics_text(plan: &PatrolPlan, outcome: &SimulationOutcome) -> String {
@@ -272,11 +288,7 @@ fn run_dynamics(options: &DynamicsOptions) -> Result<CommandOutput, CommandError
     );
     let plan = planner.plan(&initial_world)?;
 
-    let sim_config = if base.recharge {
-        SimulationConfig::default()
-    } else {
-        SimulationConfig::timing_only()
-    };
+    let sim_config = sim_config_for(base);
     let replanner = ReplanWithPlanner::new(build_planner(base.planner));
     let mut sim = DynamicSimulation::new(&scenario, &plan, &disruptions).with_config(sim_config);
     if !options.no_replan {
@@ -331,6 +343,71 @@ fn run_dynamics(options: &DynamicsOptions) -> Result<CommandOutput, CommandError
     Ok(CommandOutput::text_only(text))
 }
 
+/// Translates a disruption preset into the sweep's disruption axis value.
+/// The template's seed and horizon are placeholders — the sweep runner
+/// reseeds them per replica.
+fn preset_to_config(preset: DisruptionPreset, horizon_s: f64) -> Option<DisruptionConfig> {
+    match preset {
+        DisruptionPreset::None => None,
+        DisruptionPreset::Failures => Some(DisruptionConfig::failures_only(0, horizon_s)),
+        DisruptionPreset::Breakdowns => Some(DisruptionConfig::breakdowns_only(0, horizon_s)),
+        DisruptionPreset::Mixed => Some(DisruptionConfig::default_mixed(0, horizon_s)),
+    }
+}
+
+fn run_sweep(options: &SweepOptions) -> Result<CommandOutput, CommandError> {
+    let base = &options.base;
+    let spec = SweepSpec::new(build_scenario_config(base))
+        .with_seeds(options.seeds.clone())
+        .with_mule_counts(options.mule_counts.clone())
+        .with_speeds(options.speeds.clone())
+        .with_disruptions(
+            options
+                .disruptions
+                .iter()
+                .map(|&p| preset_to_config(p, base.horizon_s))
+                .collect(),
+        )
+        .with_replicas(options.replicas)
+        .with_horizon(base.horizon_s);
+
+    let sim_config = sim_config_for(base);
+    let choice = base.planner;
+    let factory = move || build_planner(choice);
+    let cells = mule_sim::run_sweep(&factory, &spec, &sim_config, options.workers);
+    let report = SweepReport::from_cells(&cells);
+
+    let workers_label = options
+        .workers
+        .map(|w| w.to_string())
+        .unwrap_or_else(|| "auto".to_string());
+    let mut text = format!(
+        "sweep: {} cells × {} replicas = {} runs\n\
+         planner: {}  horizon: {:.0} s  workers: {}\n\n",
+        spec.cell_count(),
+        spec.replicas,
+        spec.run_count(),
+        choice.label(),
+        spec.horizon_s,
+        workers_label,
+    );
+    text.push_str(&report.to_table().render());
+
+    let total_failures: usize = report.cells.iter().map(|c| c.failures).sum();
+    if total_failures > 0 {
+        text.push_str(&format!(
+            "\nwarning: {total_failures} replica(s) failed to plan (see `fail` column)\n"
+        ));
+    }
+
+    let mut output = CommandOutput::text_only(text);
+    if let Some(path) = &base.csv_prefix {
+        std::fs::write(path, report.to_csv())?;
+        output.files_written.push(path.clone());
+    }
+    Ok(output)
+}
+
 /// Executes a parsed command.
 pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> {
     match command {
@@ -339,6 +416,7 @@ pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> 
         CliCommand::Simulate(options) => run_simulate(options),
         CliCommand::Compare(options) => run_compare(options),
         CliCommand::Dynamics(options) => run_dynamics(options),
+        CliCommand::Sweep(options) => run_sweep(options),
     }
 }
 
@@ -498,6 +576,79 @@ mod tests {
         let out = run_command(&CliCommand::Dynamics(opts)).unwrap();
         assert!(out.text.contains("replanning: off"));
         assert!(out.text.contains("replans: 0"));
+    }
+
+    fn sweep_options() -> SweepOptions {
+        SweepOptions {
+            base: CliOptions {
+                targets: 6,
+                horizon_s: 5_000.0,
+                ..CliOptions::default()
+            },
+            seeds: vec![1, 2],
+            mule_counts: vec![2, 3],
+            replicas: 2,
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn sweep_prints_one_row_per_cell_with_statistics() {
+        let out = run_command(&CliCommand::Sweep(sweep_options())).unwrap();
+        assert!(out.text.contains("4 cells × 2 replicas = 8 runs"));
+        assert!(out.text.contains("max interval (s)"));
+        assert!(out.text.contains('±'), "CI columns present:\n{}", out.text);
+        // One table row per cell: seeds {1,2} × mules {2,3}.
+        assert_eq!(out.text.matches(" none ").count(), 4, "{}", out.text);
+        assert!(out.files_written.is_empty());
+    }
+
+    #[test]
+    fn sweep_writes_the_results_csv_when_requested() {
+        let dir = std::env::temp_dir().join("patrolctl_sweep_test_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut opts = sweep_options();
+        let path = dir.join("sweep.csv").to_string_lossy().into_owned();
+        opts.base.csv_prefix = Some(path.clone());
+        let out = run_command(&CliCommand::Sweep(opts)).unwrap();
+        assert_eq!(out.files_written, vec![path.clone()]);
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(csv.lines().count(), 5, "header + 4 cells:\n{csv}");
+        assert!(csv.starts_with("seed,mules,speed_m_per_s"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_with_disruption_axis_reports_replans() {
+        let mut opts = sweep_options();
+        opts.seeds = vec![1];
+        opts.mule_counts = vec![3];
+        opts.disruptions = vec![DisruptionPreset::None, DisruptionPreset::Mixed];
+        let out = run_command(&CliCommand::Sweep(opts)).unwrap();
+        assert!(out.text.contains("2 cells"));
+        assert!(
+            out.text.contains("fail=1") || out.text.contains("bd=1"),
+            "disruption label column:\n{}",
+            out.text
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_for_any_worker_count() {
+        let mut one = sweep_options();
+        one.workers = Some(1);
+        let mut many = sweep_options();
+        many.workers = Some(4);
+        let a = run_command(&CliCommand::Sweep(one)).unwrap();
+        let b = run_command(&CliCommand::Sweep(many)).unwrap();
+        // The workers line differs; every statistic must not.
+        let strip = |t: &str| {
+            t.lines()
+                .filter(|l| !l.contains("workers:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&a.text), strip(&b.text));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The CHB baseline (reference [5]).
+//! The CHB baseline (reference \[5\]).
 //!
 //! All mules follow the same convex-hull-based Hamiltonian circuit, entering
 //! it wherever is closest to their own starting position. Because the mules

@@ -1,4 +1,4 @@
-//! The Sweep baseline (reference [4]).
+//! The Sweep baseline (reference \[4\]).
 //!
 //! "The Sweep approach initially divides the DMs into several groups and
 //! then each DM individually patrols the targets of one group" (paper §V).
@@ -20,7 +20,7 @@ use mule_workload::Scenario;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GroupingStrategy {
     /// Contiguous angular sectors around the sink (the default, matching the
-    /// sweep-coverage idea of reference [4]).
+    /// sweep-coverage idea of reference \[4\]).
     #[default]
     AngularSectors,
     /// Spatially compact k-means clusters — a natural alternative for

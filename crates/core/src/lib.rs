@@ -9,8 +9,8 @@
 //! | [`WTctp`] | §III | Weighted Patrolling Path: VIP targets get extra cycles via break-edge insertion (Shortest-Length or Balancing-Length policy); traversal order fixed by the counter-clockwise patrolling rule. |
 //! | [`RwTctp`] | §IV | W-TCTP plus a Weighted Recharge Path spliced through the recharge station; mules take the recharge path every `r`-th round (Eq. 4). |
 //! | [`baselines::RandomPlanner`] | §V | Each mule repeatedly visits a random permutation of the targets. |
-//! | [`baselines::SweepPlanner`] | §V / ref [4] | Targets split into per-mule groups; each mule sweeps its own group. |
-//! | [`baselines::ChbPlanner`] | §V / ref [5] | All mules follow the shared Hamiltonian circuit with no start-point spreading. |
+//! | [`baselines::SweepPlanner`] | §V / ref \[4\] | Targets split into per-mule groups; each mule sweeps its own group. |
+//! | [`baselines::ChbPlanner`] | §V / ref \[5\] | All mules follow the shared Hamiltonian circuit with no start-point spreading. |
 //!
 //! All planners implement the [`Planner`] trait: they consume a
 //! [`mule_workload::Scenario`] and produce a [`PatrolPlan`] — one

@@ -28,6 +28,16 @@ impl<P: Planner + ?Sized> Planner for Box<P> {
     }
 }
 
+impl<P: Planner + ?Sized> Planner for &P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
+        (**self).plan(scenario)
+    }
+}
+
 /// Blanket helper: validates the common preconditions shared by every
 /// planner (at least one patrolled node, at least one mule).
 pub(crate) fn validate_common(scenario: &Scenario) -> Result<(), PlanError> {

@@ -1,6 +1,6 @@
 //! Convex hulls.
 //!
-//! The CHB Hamiltonian-circuit heuristic (reference [5] of the paper, and
+//! The CHB Hamiltonian-circuit heuristic (reference \[5\] of the paper, and
 //! the "Hamiltonian_CycleConstruct" step of every TCTP planner) starts from
 //! the convex hull of the target set and inserts the interior targets one by
 //! one. This module provides the hull itself (Andrew's monotone chain,

@@ -10,7 +10,7 @@
 //! * [`Segment`] — directed edges of a patrolling path, with length,
 //!   interpolation and point-projection.
 //! * [`hull`] — convex-hull construction (Andrew monotone chain) that seeds
-//!   the CHB Hamiltonian-circuit heuristic of reference [5].
+//!   the CHB Hamiltonian-circuit heuristic of reference \[5\].
 //! * [`BoundingBox`] — axis-aligned extents of a field or target cluster.
 //! * [`Polyline`] — open/closed chains of points with arc-length queries,
 //!   used to walk a mule a given distance along a patrolling route.

@@ -2,7 +2,7 @@
 //!
 //! Every TCTP planner (and the CHB baseline itself) needs "an efficient
 //! Hamiltonian Circuit constructed from the convex hull" (paper §2.2,
-//! reference [5]). This module packages the full pipeline the rest of the
+//! reference \[5\]). This module packages the full pipeline the rest of the
 //! workspace calls:
 //!
 //! 1. convex-hull insertion construction,

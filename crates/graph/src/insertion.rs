@@ -2,7 +2,7 @@
 //!
 //! Two variants:
 //!
-//! * [`convex_hull_insertion`] — the "CHB" construction of reference [5]
+//! * [`convex_hull_insertion`] — the "CHB" construction of reference \[5\]
 //!   that every TCTP planner starts from: begin with the convex hull of the
 //!   targets (already a tour of the boundary points) and repeatedly insert
 //!   the interior point whose cheapest insertion position is cheapest.

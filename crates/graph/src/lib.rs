@@ -1,7 +1,7 @@
 //! # mule-graph
 //!
 //! Euclidean tours over target sets: the Hamiltonian-circuit substrate that
-//! every TCTP planner (and the CHB baseline of reference [5]) starts from.
+//! every TCTP planner (and the CHB baseline of reference \[5\]) starts from.
 //!
 //! The crate is organised as construction → improvement → inspection:
 //!
@@ -9,10 +9,10 @@
 //!   per scenario and shared by all heuristics.
 //! * [`Tour`] — an ordered Hamiltonian cycle over point indices with length,
 //!   validity, rotation and edge bookkeeping.
-//! * Construction heuristics: [`nearest_neighbor`], [`cheapest_insertion`],
+//! * Construction heuristics: [`nearest_neighbor()`], [`cheapest_insertion`],
 //!   [`convex_hull_insertion`] (the "CHB" construction), [`mst`] (Prim) with
 //!   a pre-order-walk tour for a 2-approximation cross-check.
-//! * Improvement: [`two_opt`] and [`or_opt`] local search.
+//! * Improvement: [`two_opt()`] and [`or_opt()`] local search.
 //! * [`partition`] — angular and k-means target grouping (used by the Sweep
 //!   baseline and the grouping ablation).
 //! * [`chb`] — the packaged pipeline (convex-hull insertion + 2-opt + Or-opt)
@@ -48,7 +48,7 @@ use mule_geom::Point;
 /// Which construction heuristic to use for the initial Hamiltonian circuit.
 ///
 /// The paper's planners all use the convex-hull-based construction of
-/// reference [5]; the other options exist for the `tours` ablation bench and
+/// reference \[5\]; the other options exist for the `tours` ablation bench and
 /// as sanity cross-checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TourConstruction {

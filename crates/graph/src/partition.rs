@@ -1,6 +1,6 @@
 //! Spatial partitioning of target sets.
 //!
-//! The Sweep baseline (paper reference [4]) "divides the DMs into several
+//! The Sweep baseline (paper reference \[4\]) "divides the DMs into several
 //! groups and then each DM individually patrols the targets of one group".
 //! This module provides the grouping primitives:
 //!

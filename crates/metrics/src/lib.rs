@@ -17,6 +17,9 @@
 //! * [`PhaseDelayReport`] — data-collection delay partitioned at the phase
 //!   boundaries a dynamic run's disruptions induce (the `patrolctl
 //!   dynamics` summary).
+//! * [`SweepReport`] — per-cell mean / stddev / 95 % CI aggregation of a
+//!   parallel [`mule_workload::SweepSpec`] run (the `patrolctl sweep`
+//!   table and CSV).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -27,6 +30,7 @@ pub mod fairness;
 pub mod intervals;
 pub mod phases;
 pub mod summary;
+pub mod sweep_report;
 pub mod table;
 
 pub use dcdt::DcdtSeries;
@@ -35,4 +39,5 @@ pub use fairness::{jain_index, FairnessReport};
 pub use intervals::IntervalReport;
 pub use phases::{PhaseDelay, PhaseDelayReport};
 pub use summary::SummaryStatistics;
+pub use sweep_report::{SweepCellSummary, SweepReport};
 pub use table::TextTable;

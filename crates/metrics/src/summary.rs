@@ -65,6 +65,30 @@ impl SummaryStatistics {
     pub fn empty() -> Self {
         Self::from_samples(&[])
     }
+
+    /// Half-width of the normal-approximation 95 % confidence interval of
+    /// the mean: `1.96 · s / √n`. Zero for fewer than two samples (no
+    /// spread estimate exists).
+    ///
+    /// The sweeps this backs average ≥ 8 replications per cell, where the
+    /// normal approximation is the conventional reporting choice; the
+    /// paper's own "average of 20 simulations" tables do the same.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+
+    /// The mean formatted as `mean ±ci95` for result tables.
+    pub fn mean_with_ci(&self, precision: usize) -> String {
+        format!(
+            "{:.prec$} ±{:.prec$}",
+            self.mean,
+            self.ci95_half_width(),
+            prec = precision
+        )
+    }
 }
 
 /// Sample standard deviation of `samples` (the paper's SD formula, `n − 1`
@@ -115,6 +139,21 @@ mod tests {
         let s = SummaryStatistics::from_samples(&[3.0; 10]);
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn ci95_follows_the_normal_approximation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = SummaryStatistics::from_samples(&data);
+        let expected = 1.96 * s.std_dev / (8.0f64).sqrt();
+        assert!((s.ci95_half_width() - expected).abs() < 1e-12);
+        assert_eq!(SummaryStatistics::empty().ci95_half_width(), 0.0);
+        assert_eq!(
+            SummaryStatistics::from_samples(&[1.0]).ci95_half_width(),
+            0.0
+        );
+        let rendered = s.mean_with_ci(1);
+        assert!(rendered.starts_with("5.0 ±"), "rendered: {rendered}");
     }
 
     #[test]

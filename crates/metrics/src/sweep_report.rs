@@ -1,0 +1,237 @@
+//! Aggregated statistics of a [`SweepSpec`] experiment grid.
+//!
+//! `mule-sim`'s `run_sweep` returns raw per-replica outcomes grouped by
+//! cell; this module condenses each cell into mean / standard deviation /
+//! 95 % confidence intervals ([`SummaryStatistics`]) of the headline
+//! metrics and renders the result as the `patrolctl sweep` table and CSV.
+//!
+//! [`SweepSpec`]: mule_workload::SweepSpec
+
+use crate::dcdt::DcdtSeries;
+use crate::intervals::IntervalReport;
+use crate::summary::SummaryStatistics;
+use crate::table::TextTable;
+use mule_sim::SweepCellOutcome;
+use mule_workload::SweepCell;
+
+/// DCDT warm-up: ignore each target's first two visits, matching the other
+/// reports in this workspace.
+const DCDT_WARMUP_VISITS: usize = 2;
+
+/// One cell of a sweep, aggregated over its replicas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCellSummary {
+    /// The grid cell.
+    pub cell: SweepCell,
+    /// Successful replicas aggregated here.
+    pub replicas: usize,
+    /// Replicas whose planning failed.
+    pub failures: usize,
+    /// Total replans across the cell's replicas.
+    pub replans: usize,
+    /// Per-replica maximum visiting interval, seconds.
+    pub max_interval_s: SummaryStatistics,
+    /// Per-replica average DCDT (post warm-up), seconds.
+    pub avg_dcdt_s: SummaryStatistics,
+    /// Per-replica total fleet distance, metres.
+    pub distance_m: SummaryStatistics,
+}
+
+/// The aggregated results of a whole sweep, one row per cell in grid
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-cell summaries, in [`mule_workload::SweepSpec::cells`] order.
+    pub cells: Vec<SweepCellSummary>,
+}
+
+impl SweepReport {
+    /// Aggregates the raw sweep outcomes. Cells keep their grid order, so
+    /// equal inputs produce byte-identical tables — regardless of how many
+    /// workers produced the outcomes.
+    pub fn from_cells(cells: &[SweepCellOutcome]) -> Self {
+        let summaries = cells
+            .iter()
+            .map(|c| {
+                let samples = |f: &dyn Fn(&mule_sim::SimulationOutcome) -> f64| -> Vec<f64> {
+                    c.outcomes.iter().map(f).collect()
+                };
+                SweepCellSummary {
+                    cell: c.cell.clone(),
+                    replicas: c.outcomes.len(),
+                    failures: c.failures.len(),
+                    replans: c.replans,
+                    max_interval_s: SummaryStatistics::from_samples(&samples(&|o| {
+                        IntervalReport::from_outcome(o).max_interval()
+                    })),
+                    avg_dcdt_s: SummaryStatistics::from_samples(&samples(&|o| {
+                        DcdtSeries::from_outcome(o).average_dcdt(DCDT_WARMUP_VISITS)
+                    })),
+                    distance_m: SummaryStatistics::from_samples(&samples(&|o| {
+                        o.total_distance_m()
+                    })),
+                }
+            })
+            .collect();
+        SweepReport { cells: summaries }
+    }
+
+    /// Renders the human-readable results table (`mean ±ci95` columns).
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "seed",
+            "mules",
+            "speed (m/s)",
+            "disruption",
+            "n",
+            "fail",
+            "replans",
+            "max interval (s)",
+            "avg DCDT (s)",
+            "distance (km)",
+        ]);
+        for s in &self.cells {
+            table.add_row(vec![
+                s.cell.seed.to_string(),
+                s.cell.mules.to_string(),
+                format!("{:.1}", s.cell.speed_m_per_s),
+                s.cell.disruption_label(),
+                s.replicas.to_string(),
+                s.failures.to_string(),
+                s.replans.to_string(),
+                s.max_interval_s.mean_with_ci(0),
+                s.avg_dcdt_s.mean_with_ci(1),
+                format!("{:.1}", s.distance_m.mean / 1000.0),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the machine-readable CSV: raw mean / stddev / ci95 columns
+    /// per metric, one row per cell.
+    pub fn to_csv(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "seed",
+            "mules",
+            "speed_m_per_s",
+            "disruption",
+            "replicas",
+            "failures",
+            "replans",
+            "max_interval_mean_s",
+            "max_interval_sd_s",
+            "max_interval_ci95_s",
+            "avg_dcdt_mean_s",
+            "avg_dcdt_sd_s",
+            "avg_dcdt_ci95_s",
+            "distance_mean_m",
+            "distance_sd_m",
+            "distance_ci95_m",
+        ]);
+        for s in &self.cells {
+            table.add_row(vec![
+                s.cell.seed.to_string(),
+                s.cell.mules.to_string(),
+                format!("{}", s.cell.speed_m_per_s),
+                // Comma-separated label parts would split the CSV column.
+                s.cell.disruption_label().replace(',', ";"),
+                s.replicas.to_string(),
+                s.failures.to_string(),
+                s.replans.to_string(),
+                format!("{}", s.max_interval_s.mean),
+                format!("{}", s.max_interval_s.std_dev),
+                format!("{}", s.max_interval_s.ci95_half_width()),
+                format!("{}", s.avg_dcdt_s.mean),
+                format!("{}", s.avg_dcdt_s.std_dev),
+                format!("{}", s.avg_dcdt_s.ci95_half_width()),
+                format!("{}", s.distance_m.mean),
+                format!("{}", s.distance_m.std_dev),
+                format!("{}", s.distance_m.ci95_half_width()),
+            ]);
+        }
+        table.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mule_sim::{run_sweep, SimulationConfig};
+    use mule_workload::{ScenarioConfig, SweepSpec};
+    use patrol_core::{BTctp, Planner};
+
+    fn factory() -> Box<dyn Planner> {
+        Box::new(BTctp::new())
+    }
+
+    fn outcomes() -> Vec<SweepCellOutcome> {
+        let spec = SweepSpec::new(ScenarioConfig::paper_default().with_targets(6))
+            .with_seeds(vec![1, 2])
+            .with_mule_counts(vec![2, 3])
+            .with_replicas(3)
+            .with_horizon(5_000.0);
+        run_sweep(&factory, &spec, &SimulationConfig::timing_only(), None)
+    }
+
+    #[test]
+    fn report_has_one_row_per_cell_with_replica_statistics() {
+        let report = SweepReport::from_cells(&outcomes());
+        assert_eq!(report.cells.len(), 4);
+        for s in &report.cells {
+            assert_eq!(s.replicas, 3);
+            assert_eq!(s.failures, 0);
+            assert_eq!(s.max_interval_s.count, 3);
+            assert!(s.max_interval_s.mean > 0.0);
+            assert!(s.avg_dcdt_s.mean > 0.0);
+            assert!(s.distance_m.mean > 0.0);
+        }
+        let table = report.to_table();
+        assert_eq!(table.len(), 4);
+        assert!(table.render().contains('±'));
+    }
+
+    #[test]
+    fn csv_is_raw_and_parseable() {
+        let report = SweepReport::from_cells(&outcomes());
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 4 cells");
+        assert!(lines[0].starts_with("seed,mules,speed_m_per_s"));
+        for line in &lines[1..] {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 16);
+            // Numeric columns parse as f64.
+            for f in &fields[7..] {
+                f.parse::<f64>().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn csv_stays_rectangular_with_multi_part_disruption_labels() {
+        let spec = SweepSpec::new(ScenarioConfig::paper_default().with_targets(6))
+            .with_disruptions(vec![Some(mule_workload::DisruptionConfig::default_mixed(
+                1, 5_000.0,
+            ))])
+            .with_replicas(2)
+            .with_horizon(5_000.0);
+        let cells = run_sweep(&factory, &spec, &SimulationConfig::timing_only(), None);
+        let csv = SweepReport::from_cells(&cells).to_csv();
+        for line in csv.lines() {
+            assert_eq!(
+                line.split(',').count(),
+                16,
+                "multi-part labels must not add columns: {line}"
+            );
+        }
+        assert!(csv.contains("fail=1;recover"), "{csv}");
+    }
+
+    #[test]
+    fn aggregation_is_deterministic() {
+        let a = SweepReport::from_cells(&outcomes());
+        let b = SweepReport::from_cells(&outcomes());
+        assert_eq!(a, b);
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+}

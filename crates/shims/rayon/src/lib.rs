@@ -1,56 +1,175 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by the `mule-par` worker pool.
 //!
-//! `par_iter()` simply returns the ordinary sequential iterator, so all the
-//! usual `Iterator` adapters (`map`, `collect`, …) keep working and results
-//! stay in input order. Replication sweeps therefore remain correct and
-//! deterministic — just not parallel. See `crates/shims/README.md`.
+//! `par_iter()` / `into_par_iter()` return small lazy adapters whose
+//! `map(...).collect()` / `sum()` terminals execute on
+//! [`mule_par`]'s scoped thread pool: chunked work-stealing over the input
+//! index range, with results reassembled **in input order**. Call sites
+//! therefore behave exactly like the old sequential shim — same results,
+//! same ordering, bit-for-bit — but use every core `mule_par` resolves
+//! (see [`mule_par::resolve_workers`]; set `MULE_PAR_WORKERS=1` to force a
+//! sequential run). See `crates/shims/README.md`.
+//!
+//! Only the adapter surface this workspace actually uses is provided:
+//! `map`, `collect`, `sum` and `for_each`.
 
 pub mod prelude {
     /// `par_iter()` over a borrowed collection, mirroring rayon's
-    /// `IntoParallelRefIterator` (sequential here).
+    /// `IntoParallelRefIterator` (parallel via `mule-par`).
     pub trait IntoParallelRefIterator<'data> {
-        /// The (sequential) iterator type returned by [`par_iter`].
-        ///
-        /// [`par_iter`]: IntoParallelRefIterator::par_iter
-        type Iter: Iterator;
+        /// The borrowed item type.
+        type Item: Sync + 'data;
 
-        /// Returns an iterator over `&self`'s items.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Returns a parallel iterator over `&self`'s items.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
         }
     }
 
     /// `into_par_iter()` over an owned collection, mirroring rayon's
-    /// `IntoParallelIterator` (sequential here).
+    /// `IntoParallelIterator` (parallel via `mule-par`).
     pub trait IntoParallelIterator {
-        /// The (sequential) iterator type returned by [`into_par_iter`].
-        ///
-        /// [`into_par_iter`]: IntoParallelIterator::into_par_iter
-        type Iter: Iterator;
+        /// The owned item type.
+        type Item: Send;
 
-        /// Consumes `self` and returns an iterator over its items.
-        fn into_par_iter(self) -> Self::Iter;
+        /// Consumes `self` and returns a parallel iterator over its items.
+        fn into_par_iter(self) -> IntoParIter<Self::Item>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    /// A borrowed parallel iterator (the result of `par_iter()`).
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Maps each item through `op` (lazily; nothing runs until a
+        /// terminal such as [`ParMap::collect`] is invoked).
+        pub fn map<R, F>(self, op: F) -> ParMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                op,
+            }
+        }
+
+        /// Runs `op` on every item, in parallel.
+        pub fn for_each<F>(self, op: F)
+        where
+            F: Fn(&'data T) + Sync,
+        {
+            self.map(op).collect::<Vec<()>>();
+        }
+    }
+
+    /// A mapped borrowed parallel iterator.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        op: F,
+    }
+
+    impl<'data, T, R, F> ParMap<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        /// Executes the map on the worker pool and collects the results in
+        /// input order.
+        pub fn collect<B: FromIterator<R>>(self) -> B {
+            mule_par::parallel_map_indexed(self.items.len(), |i| (self.op)(&self.items[i]))
+                .into_iter()
+                .collect()
+        }
+
+        /// Executes the map on the worker pool and sums the results.
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<R>,
+        {
+            self.collect::<Vec<R>>().into_iter().sum()
+        }
+    }
+
+    /// An owned parallel iterator (the result of `into_par_iter()`).
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> IntoParIter<T> {
+        /// Maps each item through `op` (lazily; nothing runs until a
+        /// terminal such as [`IntoParMap::collect`] is invoked).
+        pub fn map<R, F>(self, op: F) -> IntoParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            IntoParMap {
+                items: self.items,
+                op,
+            }
+        }
+
+        /// Sums the items on the worker pool.
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+        {
+            self.map(|x| x).sum()
+        }
+    }
+
+    /// A mapped owned parallel iterator.
+    pub struct IntoParMap<T, F> {
+        items: Vec<T>,
+        op: F,
+    }
+
+    impl<T, R, F> IntoParMap<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Executes the map on the worker pool and collects the results in
+        /// input order.
+        pub fn collect<B: FromIterator<R>>(self) -> B {
+            mule_par::parallel_map_vec(self.items, self.op)
+                .into_iter()
+                .collect()
+        }
+
+        /// Executes the map on the worker pool, then sums the collected
+        /// results sequentially in input order (so the reduction order —
+        /// and therefore any floating-point sum — is deterministic).
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
+        {
+            self.collect::<Vec<R>>().into_iter().sum()
         }
     }
 }
@@ -66,5 +185,38 @@ mod tests {
         assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
         let sum: i32 = v.into_par_iter().sum();
         assert_eq!(sum, 14);
+    }
+
+    #[test]
+    fn par_iter_matches_sequential_on_large_inputs() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let par: Vec<u64> = v.par_iter().map(|x| x * x % 97).collect();
+        let seq: Vec<u64> = v.iter().map(|x| x * x % 97).collect();
+        assert_eq!(par, seq);
+        let par_sum: u64 = v.clone().into_par_iter().map(|x| x % 13).sum();
+        let seq_sum: u64 = v.iter().map(|x| x % 13).sum();
+        assert_eq!(par_sum, seq_sum);
+    }
+
+    #[test]
+    fn collect_supports_non_vec_targets() {
+        let v = vec![1, 2, 3, 4];
+        let ok: Result<Vec<i32>, &str> = v.par_iter().map(|&x| Ok(x * 10)).collect();
+        assert_eq!(ok.unwrap(), vec![10, 20, 30, 40]);
+        let err: Result<Vec<i32>, &str> = v
+            .par_iter()
+            .map(|&x| if x == 3 { Err("boom") } else { Ok(x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let v: Vec<usize> = (0..64).collect();
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        v.par_iter().for_each(|_| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 64);
     }
 }

@@ -1,15 +1,24 @@
-//! Replicated simulation sweeps.
+//! Replicated simulation sweeps and declarative experiment grids.
 //!
 //! The paper averages every reported number over 20 random topologies
 //! (§5.1). [`run_replicated`] runs one planner over a whole
-//! [`mule_workload::ReplicationPlan`] in parallel (rayon) and returns the
-//! per-replica outcomes plus ready-made averaging helpers.
+//! [`mule_workload::ReplicationPlan`] in parallel (the `rayon` shim on the
+//! `mule-par` worker pool) and returns the per-replica outcomes plus
+//! ready-made averaging helpers.
+//!
+//! [`run_sweep`] scales this up to a full [`mule_workload::SweepSpec`]
+//! grid: every `(cell, replica)` pair of the grid is an independent
+//! simulation, so the whole sweep is flattened into one task list and
+//! executed with chunked work-stealing. Results are regrouped by cell in
+//! grid order, so the output — and every statistic derived from it — is
+//! identical for any worker count, including a forced single-worker run.
 
 use crate::config::SimulationConfig;
+use crate::dynamics::DynamicSimulation;
 use crate::engine::Simulation;
 use crate::outcome::SimulationOutcome;
-use mule_workload::ReplicationPlan;
-use patrol_core::{PatrolPlan, PlanError};
+use mule_workload::{seed_fan, DisruptionPlan, ReplicationPlan, SweepCell, SweepSpec};
+use patrol_core::{PatrolPlan, PlanError, Planner, ReplanWithPlanner};
 use rayon::prelude::*;
 
 /// The outcomes of all replicas of one (planner, configuration) cell.
@@ -20,6 +29,18 @@ pub struct ReplicatedOutcome {
     /// Replicas whose planner returned an error (kept for diagnosis; the
     /// figure harness treats a non-empty list as a configuration bug).
     pub failures: Vec<PlanError>,
+}
+
+/// Mean of `metric` over `outcomes`, `None` when there are none. Shared by
+/// every per-replica averaging helper so the semantics cannot diverge.
+fn average_metric<F: Fn(&SimulationOutcome) -> f64>(
+    outcomes: &[SimulationOutcome],
+    metric: F,
+) -> Option<f64> {
+    if outcomes.is_empty() {
+        return None;
+    }
+    Some(outcomes.iter().map(&metric).sum::<f64>() / outcomes.len() as f64)
 }
 
 impl ReplicatedOutcome {
@@ -36,10 +57,7 @@ impl ReplicatedOutcome {
     /// Averages a scalar metric over the replicas. Returns `None` when
     /// there are no successful replicas.
     pub fn average<F: Fn(&SimulationOutcome) -> f64>(&self, metric: F) -> Option<f64> {
-        if self.outcomes.is_empty() {
-            return None;
-        }
-        Some(self.outcomes.iter().map(&metric).sum::<f64>() / self.outcomes.len() as f64)
+        average_metric(&self.outcomes, metric)
     }
 }
 
@@ -71,6 +89,130 @@ pub fn run_replicated<P: patrol_core::Planner + Sync + ?Sized>(
         }
     }
     ReplicatedOutcome { outcomes, failures }
+}
+
+/// The outcomes of one cell of a [`SweepSpec`] grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCellOutcome {
+    /// The grid cell these replicas belong to.
+    pub cell: SweepCell,
+    /// One outcome per successfully planned replica, in replica order.
+    pub outcomes: Vec<SimulationOutcome>,
+    /// Replicas whose (initial) planning failed.
+    pub failures: Vec<PlanError>,
+    /// Total replans performed across the cell's replicas (always zero for
+    /// static cells).
+    pub replans: usize,
+}
+
+impl SweepCellOutcome {
+    /// Averages a scalar metric over the cell's successful replicas
+    /// (`None` when every replica failed).
+    pub fn average<F: Fn(&SimulationOutcome) -> f64>(&self, metric: F) -> Option<f64> {
+        average_metric(&self.outcomes, metric)
+    }
+}
+
+/// One `(cell, replica)` simulation: the unit of parallel work in a sweep.
+fn run_sweep_replica(
+    planner: &dyn Planner,
+    spec: &SweepSpec,
+    cell: &SweepCell,
+    replica_seed: u64,
+    base_config: &SimulationConfig,
+) -> Result<(SimulationOutcome, usize), PlanError> {
+    let mut config = base_config.with_horizon(spec.horizon_s);
+    config.energy.speed_m_per_s = cell.speed_m_per_s;
+    let scenario_cfg = spec.scenario_config(cell).with_seed(replica_seed);
+    let scenario = scenario_cfg.generate();
+
+    match &cell.disruption {
+        None => {
+            let plan: PatrolPlan = planner.plan(&scenario)?;
+            let outcome = Simulation::with_config(&scenario, &plan, config).run_for(spec.horizon_s);
+            Ok((outcome, 0))
+        }
+        Some(template) => {
+            // Each replica gets its own disruption seed so the fan stays
+            // decorrelated, exactly like the scenario seeds.
+            let disruption_cfg = template.reseeded(replica_seed, spec.horizon_s);
+            let disruptions = DisruptionPlan::seeded(&scenario, &disruption_cfg);
+            // Plan on the world as it looks at t = 0 (late targets are not
+            // yet known), mirroring `patrolctl dynamics`.
+            let initial_world = scenario.restricted(
+                &disruptions.late_target_ids(),
+                scenario.mule_starts().to_vec(),
+            );
+            let plan = planner.plan(&initial_world)?;
+            let replanner = ReplanWithPlanner::new(planner);
+            let result = DynamicSimulation::new(&scenario, &plan, &disruptions)
+                .with_config(config)
+                .with_replanner(&replanner)
+                .run_for(spec.horizon_s);
+            let replans = result.replan_count();
+            Ok((result.outcome, replans))
+        }
+    }
+}
+
+/// Runs a whole [`SweepSpec`] grid on the `mule-par` worker pool and
+/// returns one [`SweepCellOutcome`] per cell, in [`SweepSpec::cells`]
+/// order.
+///
+/// `planner_factory` builds a fresh planner per replica so boxed planners
+/// need not be `Sync`; planners are deterministic functions of the
+/// scenario, so this does not affect results. `workers` overrides the pool
+/// size ([`mule_par::resolve_workers`] semantics; `Some(1)` forces the
+/// exact sequential execution). Dynamic cells (a `Some` disruption axis
+/// value) run the dynamic engine with online replanning; static cells run
+/// the plain engine.
+///
+/// The returned outcomes are **bit-identical for every worker count**:
+/// each `(cell, replica)` simulation is an independent pure function of
+/// its seeds, and results are reassembled in grid order.
+pub fn run_sweep<F>(
+    planner_factory: &F,
+    spec: &SweepSpec,
+    base_config: &SimulationConfig,
+    workers: Option<usize>,
+) -> Vec<SweepCellOutcome>
+where
+    F: Fn() -> Box<dyn Planner> + Sync,
+{
+    let cells = spec.cells();
+    let replicas = spec.replicas;
+    let total = cells.len() * replicas;
+    // One seed fan per cell, computed up front instead of once per task.
+    let fans: Vec<Vec<u64>> = cells.iter().map(|c| seed_fan(c.seed, replicas)).collect();
+
+    let results: Vec<Result<(SimulationOutcome, usize), PlanError>> =
+        mule_par::parallel_map_indexed_with(mule_par::resolve_workers(workers), total, |i| {
+            let cell = &cells[i / replicas];
+            let replica_seed = fans[i / replicas][i % replicas];
+            let planner = planner_factory();
+            run_sweep_replica(planner.as_ref(), spec, cell, replica_seed, base_config)
+        });
+
+    let mut grouped: Vec<SweepCellOutcome> = cells
+        .into_iter()
+        .map(|cell| SweepCellOutcome {
+            cell,
+            outcomes: Vec::new(),
+            failures: Vec::new(),
+            replans: 0,
+        })
+        .collect();
+    for (i, result) in results.into_iter().enumerate() {
+        let group = &mut grouped[i / replicas];
+        match result {
+            Ok((outcome, replans)) => {
+                group.outcomes.push(outcome);
+                group.replans += replans;
+            }
+            Err(e) => group.failures.push(e),
+        }
+    }
+    grouped
 }
 
 #[cfg(test)]
@@ -113,6 +255,98 @@ mod tests {
         assert!(rep.is_empty());
         assert_eq!(rep.failures.len(), 3);
         assert!(rep.average(|o| o.total_visits() as f64).is_none());
+    }
+
+    fn factory() -> Box<dyn Planner> {
+        Box::new(BTctp::new())
+    }
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::new(ScenarioConfig::paper_default().with_targets(6))
+            .with_replicas(2)
+            .with_horizon(5_000.0)
+    }
+
+    #[test]
+    fn paper_speed_constant_matches_the_energy_model() {
+        assert_eq!(
+            mule_workload::PAPER_SPEED_M_PER_S,
+            mule_energy::EnergyModel::paper_default().speed_m_per_s
+        );
+    }
+
+    #[test]
+    fn sweep_produces_one_group_per_cell_in_grid_order() {
+        let spec = small_spec()
+            .with_seeds(vec![1, 2])
+            .with_mule_counts(vec![2, 3]);
+        let groups = run_sweep(&factory, &spec, &SimulationConfig::timing_only(), None);
+        assert_eq!(groups.len(), 4);
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g.cell.index, i);
+            assert_eq!(g.outcomes.len(), 2, "cell {i}");
+            assert!(g.failures.is_empty());
+            assert_eq!(g.replans, 0, "static cells never replan");
+            assert!(g.average(|o| o.total_visits() as f64).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_speed_axis_changes_the_outcome() {
+        let slow = small_spec().with_speeds(vec![1.0]);
+        let fast = small_spec().with_speeds(vec![4.0]);
+        let config = SimulationConfig::timing_only();
+        let a = run_sweep(&factory, &slow, &config, None);
+        let b = run_sweep(&factory, &fast, &config, None);
+        let visits = |g: &[SweepCellOutcome]| g[0].average(|o| o.total_visits() as f64).unwrap();
+        assert!(
+            visits(&b) > visits(&a),
+            "faster mules should visit more: {} vs {}",
+            visits(&b),
+            visits(&a)
+        );
+    }
+
+    #[test]
+    fn sweep_dynamic_cells_run_disruptions_and_replan() {
+        let spec = small_spec().with_disruptions(vec![
+            None,
+            Some(mule_workload::DisruptionConfig::default_mixed(1, 5_000.0)),
+        ]);
+        let groups = run_sweep(&factory, &spec, &SimulationConfig::timing_only(), None);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].replans, 0);
+        assert!(
+            groups[1].replans > 0,
+            "mixed disruptions should trigger replans"
+        );
+        assert!(groups[1].failures.is_empty());
+    }
+
+    #[test]
+    fn sweep_planning_failures_are_collected_per_cell() {
+        let spec = small_spec().with_mule_counts(vec![0, 2]);
+        let groups = run_sweep(&factory, &spec, &SimulationConfig::timing_only(), None);
+        assert_eq!(groups[0].failures.len(), 2);
+        assert!(groups[0].outcomes.is_empty());
+        assert!(groups[0].average(|o| o.total_visits() as f64).is_none());
+        assert!(groups[1].failures.is_empty());
+        assert_eq!(groups[1].outcomes.len(), 2);
+    }
+
+    #[test]
+    fn empty_axes_and_zero_replicas_yield_empty_results() {
+        let no_cells = small_spec().with_seeds(vec![]);
+        assert!(run_sweep(&factory, &no_cells, &SimulationConfig::timing_only(), None).is_empty());
+        let no_replicas = small_spec().with_replicas(0);
+        let groups = run_sweep(
+            &factory,
+            &no_replicas,
+            &SimulationConfig::timing_only(),
+            None,
+        );
+        assert_eq!(groups.len(), 1);
+        assert!(groups[0].outcomes.is_empty() && groups[0].failures.is_empty());
     }
 
     #[test]

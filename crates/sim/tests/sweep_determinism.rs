@@ -1,0 +1,72 @@
+//! The parallel-vs-sequential equivalence contract of `run_sweep`
+//! (documented in `docs/DETERMINISM.md`): a sweep executed on N workers is
+//! bit-identical to the same sweep forced onto a single worker, raw
+//! outcomes and aggregated statistics alike.
+
+use mule_metrics::SweepReport;
+use mule_sim::{run_sweep, SimulationConfig};
+use mule_workload::{DisruptionConfig, ScenarioConfig, SweepSpec};
+use patrol_core::{BTctp, Planner};
+
+fn factory() -> Box<dyn Planner> {
+    Box::new(BTctp::new())
+}
+
+/// 2 seeds × 2 fleet sizes × 1 speed × 2 disruption settings = 8 cells,
+/// covering both the static and the dynamic engine paths.
+fn eight_cell_spec() -> SweepSpec {
+    SweepSpec::new(ScenarioConfig::paper_default().with_targets(6))
+        .with_seeds(vec![1, 2])
+        .with_mule_counts(vec![2, 3])
+        .with_speeds(vec![2.0])
+        .with_disruptions(vec![
+            None,
+            Some(DisruptionConfig::default_mixed(1, 6_000.0)),
+        ])
+        .with_replicas(2)
+        .with_horizon(6_000.0)
+}
+
+#[test]
+fn parallel_sweep_equals_single_worker_sweep() {
+    let spec = eight_cell_spec();
+    assert_eq!(spec.cell_count(), 8);
+    let config = SimulationConfig::timing_only();
+
+    let sequential = run_sweep(&factory, &spec, &config, Some(1));
+    let parallel = run_sweep(&factory, &spec, &config, Some(4));
+
+    // Raw per-replica outcomes are bit-identical…
+    assert_eq!(sequential, parallel);
+
+    // …and so are the aggregated statistics (mean / stddev / CI) and the
+    // rendered artefacts derived from them.
+    let seq_report = SweepReport::from_cells(&sequential);
+    let par_report = SweepReport::from_cells(&parallel);
+    assert_eq!(seq_report, par_report);
+    assert_eq!(seq_report.to_csv(), par_report.to_csv());
+    assert_eq!(
+        seq_report.to_table().render(),
+        par_report.to_table().render()
+    );
+}
+
+#[test]
+fn sweep_is_deterministic_across_repeated_parallel_runs() {
+    let spec = eight_cell_spec();
+    let config = SimulationConfig::timing_only();
+    let a = run_sweep(&factory, &spec, &config, None);
+    let b = run_sweep(&factory, &spec, &config, None);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn worker_count_does_not_leak_into_any_reported_number() {
+    let spec = eight_cell_spec();
+    let config = SimulationConfig::timing_only();
+    let reference = SweepReport::from_cells(&run_sweep(&factory, &spec, &config, Some(1)));
+    for workers in [2, 3, 8] {
+        let report = SweepReport::from_cells(&run_sweep(&factory, &spec, &config, Some(workers)));
+        assert_eq!(reference, report, "workers = {workers}");
+    }
+}

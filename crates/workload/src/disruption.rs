@@ -140,6 +140,62 @@ impl Default for DisruptionConfig {
     }
 }
 
+impl DisruptionConfig {
+    /// Preset: target failures only (two failures, one recovering after a
+    /// quarter of the horizon). Used as the `failures` axis value of
+    /// `patrolctl sweep`.
+    pub fn failures_only(seed: u64, horizon_s: f64) -> Self {
+        DisruptionConfig {
+            seed,
+            horizon_s,
+            target_failures: 2,
+            recover_after_s: Some(horizon_s.max(0.0) * 0.25),
+            late_arrivals: 0,
+            mule_breakdowns: 0,
+            speed_windows: 0,
+            speed_factor: 0.5,
+        }
+    }
+
+    /// Preset: a single mule breakdown and nothing else.
+    pub fn breakdowns_only(seed: u64, horizon_s: f64) -> Self {
+        DisruptionConfig {
+            seed,
+            horizon_s,
+            target_failures: 0,
+            recover_after_s: None,
+            late_arrivals: 0,
+            mule_breakdowns: 1,
+            speed_windows: 0,
+            speed_factor: 0.5,
+        }
+    }
+
+    /// Preset: a bit of everything — one failure with recovery, one late
+    /// arrival, one breakdown, one half-speed window.
+    pub fn default_mixed(seed: u64, horizon_s: f64) -> Self {
+        DisruptionConfig {
+            seed,
+            horizon_s,
+            target_failures: 1,
+            recover_after_s: Some(horizon_s.max(0.0) * 0.2),
+            late_arrivals: 1,
+            mule_breakdowns: 1,
+            speed_windows: 1,
+            speed_factor: 0.5,
+        }
+    }
+
+    /// Returns this template with its `seed` and `horizon_s` replaced —
+    /// how the sweep runner derives each replica's disruption plan from
+    /// one axis value.
+    pub fn reseeded(mut self, seed: u64, horizon_s: f64) -> Self {
+        self.seed = seed;
+        self.horizon_s = horizon_s;
+        self
+    }
+}
+
 /// The disruptions of one dynamic scenario, in nondecreasing time order.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct DisruptionPlan {

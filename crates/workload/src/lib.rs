@@ -17,6 +17,9 @@
 //! * [`disruption`] — seeded mid-run disruption plans (target failures and
 //!   recoveries, late target arrivals, mule breakdowns, speed windows) that
 //!   the simulator compiles onto its event timeline.
+//! * [`sweep`] — declarative experiment grids ([`SweepSpec`]) over seeds ×
+//!   mule counts × speeds × disruption configs, executed in parallel by
+//!   `mule-sim` and driven by `patrolctl sweep`.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -26,9 +29,11 @@ pub mod disruption;
 pub mod layout;
 pub mod replication;
 pub mod scenario;
+pub mod sweep;
 pub mod weights;
 
 pub use config::{LayoutKind, MuleStartKind, ScenarioConfig, WeightSpec};
 pub use disruption::{Disruption, DisruptionConfig, DisruptionPlan};
 pub use replication::{seed_fan, ReplicationPlan};
 pub use scenario::Scenario;
+pub use sweep::{SweepCell, SweepSpec, PAPER_SPEED_M_PER_S};
