@@ -3,7 +3,8 @@
 //! tour-construction ablation called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mule_graph::{ChbConfig, TourConstruction};
+use mule_graph::{ChbConfig, SearchMode, TourConstruction};
+use mule_workload::layout::bench_layout;
 use mule_workload::{ScenarioConfig, WeightSpec};
 use patrol_core::{BreakEdgePolicy, WTctp};
 use std::hint::black_box;
@@ -39,6 +40,31 @@ fn tour_constructions(c: &mut Criterion) {
     group.finish();
 }
 
+/// Exact vs. candidate-list pipeline at scale: n ∈ {50, 200, 1000, 5000}.
+/// The exact pipeline is `O(n³)` in construction, so it is only timed up to
+/// 1000 points (the same cap `patrolctl bench-tours` applies by default).
+fn scaled_tour_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tour_construction_scaled");
+    let exact = ChbConfig::default().with_search(SearchMode::Exact);
+    let fast = ChbConfig::default().with_search(SearchMode::Candidates(10));
+    for &targets in &[50usize, 200, 1000, 5000] {
+        let points = bench_layout(42, targets);
+        group.bench_with_input(
+            BenchmarkId::new("candidates", targets),
+            &points,
+            |b, pts| {
+                b.iter(|| black_box(mule_graph::construct_circuit_with(black_box(pts), &fast)))
+            },
+        );
+        if targets <= 1000 {
+            group.bench_with_input(BenchmarkId::new("exact", targets), &points, |b, pts| {
+                b.iter(|| black_box(mule_graph::construct_circuit_with(black_box(pts), &exact)))
+            });
+        }
+    }
+    group.finish();
+}
+
 fn wpp_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("wpp_construction");
     for &vips in &[2usize, 6] {
@@ -65,4 +91,11 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = tour_constructions, wpp_construction
 }
-criterion_main!(benches);
+// The scaled group re-runs the exact O(n³) pipeline at n = 1000, so it gets
+// a small sample budget of its own.
+criterion_group! {
+    name = scaled;
+    config = Criterion::default().sample_size(2);
+    targets = scaled_tour_construction
+}
+criterion_main!(benches, scaled);

@@ -14,6 +14,7 @@
 //! | [`fig10`] | Fig. 10 — average SD vs. #VIPs × weight, Shortest vs Balancing | `cargo run -p mule-bench --bin fig10` |
 //! | [`pathlen`] | §V text claim: path-length comparison | `cargo run -p mule-bench --bin table_pathlen` |
 //! | [`ablations`] | RW-TCTP recharge behaviour, start-point spreading | `cargo run -p mule-bench --bin ablation_recharge`, `ablation_spread` |
+//! | [`tourbench`] | tour-engine scaling (exact vs. candidate lists) | `patrolctl bench-tours` |
 //!
 //! Every sweep averages over a seeded replication fan (the paper uses 20
 //! random topologies per point); the replica count is a parameter so the
@@ -39,6 +40,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod pathlen;
+pub mod tourbench;
 
 use mule_sim::{run_replicated, ReplicatedOutcome, SimulationConfig};
 use mule_workload::{ReplicationPlan, ScenarioConfig};

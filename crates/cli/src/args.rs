@@ -57,6 +57,46 @@ impl PlannerChoice {
     }
 }
 
+/// Which tour-search mode the planners' circuit construction uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchChoice {
+    /// Exact all-pairs construction and local search.
+    Exact,
+    /// Candidate-list (k-nearest-neighbour) search; `--knn` sets k.
+    Candidates,
+    /// Exact below the byte-stability threshold, candidate lists above
+    /// (the default — see `docs/DETERMINISM.md`).
+    #[default]
+    Auto,
+}
+
+impl SearchChoice {
+    /// Parses a search-mode name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" => Ok(SearchChoice::Exact),
+            "candidates" | "cand" | "knn" => Ok(SearchChoice::Candidates),
+            "auto" => Ok(SearchChoice::Auto),
+            other => Err(CliError::InvalidValue {
+                flag: "--search".into(),
+                value: other.into(),
+            }),
+        }
+    }
+
+    /// Translates the choice (plus the optional `--knn` width) into the
+    /// graph crate's search mode.
+    pub fn to_mode(self, knn: Option<usize>) -> mule_graph::SearchMode {
+        match self {
+            SearchChoice::Exact => mule_graph::SearchMode::Exact,
+            SearchChoice::Candidates => mule_graph::SearchMode::Candidates(
+                knn.unwrap_or(mule_graph::chb::DEFAULT_CANDIDATES_K).max(1),
+            ),
+            SearchChoice::Auto => mule_graph::SearchMode::Auto,
+        }
+    }
+}
+
 /// Scenario + execution options shared by every subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliOptions {
@@ -82,6 +122,11 @@ pub struct CliOptions {
     pub csv_prefix: Option<String>,
     /// ASCII canvas width for `render`.
     pub canvas_width: usize,
+    /// Tour-search mode of the circuit construction.
+    pub search: SearchChoice,
+    /// Candidate-list width (k nearest neighbours) when `search` is
+    /// `candidates`; `None` uses the engine default.
+    pub knn: Option<usize>,
 }
 
 impl Default for CliOptions {
@@ -98,6 +143,44 @@ impl Default for CliOptions {
             svg_path: None,
             csv_prefix: None,
             canvas_width: 72,
+            search: SearchChoice::Auto,
+            knn: None,
+        }
+    }
+}
+
+/// Options of the `bench-tours` subcommand (the tracked tour-engine
+/// benchmark; see `docs/PERFORMANCE.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchToursOptions {
+    /// Instance sizes to bench.
+    pub sizes: Vec<usize>,
+    /// Topology seed.
+    pub seed: u64,
+    /// Candidate-list width.
+    pub k: usize,
+    /// Largest size at which the exact pipeline is still timed.
+    pub exact_cap: usize,
+    /// Timed repetitions per measurement (minimum is reported).
+    pub samples: usize,
+    /// Optional path of the JSON artefact to write (`BENCH_tours.json`).
+    pub json_path: Option<String>,
+    /// When set, the command fails if any measured tour-length ratio
+    /// (candidates / exact) exceeds this bound — the CI regression gate.
+    pub max_ratio: Option<f64>,
+}
+
+impl Default for BenchToursOptions {
+    fn default() -> Self {
+        let defaults = mule_bench::tourbench::TourBenchParams::default();
+        BenchToursOptions {
+            sizes: defaults.sizes,
+            seed: defaults.seed,
+            k: defaults.k,
+            exact_cap: defaults.exact_cap,
+            samples: defaults.samples,
+            json_path: None,
+            max_ratio: None,
         }
     }
 }
@@ -231,6 +314,9 @@ pub enum CliCommand {
     /// Run a parallel replication sweep over a parameter grid and print
     /// the aggregated statistics table.
     Sweep(SweepOptions),
+    /// Benchmark the tour engine (exact vs. candidate-list search) and
+    /// optionally write the tracked `BENCH_tours.json` artefact.
+    BenchTours(BenchToursOptions),
 }
 
 /// Errors produced by the argument parser.
@@ -251,6 +337,15 @@ pub enum CliError {
         /// The value that failed to parse.
         value: String,
     },
+    /// A flag was given that only has an effect alongside another flag
+    /// (e.g. `--knn` without `--search candidates`). Erroring beats
+    /// silently ignoring the user's knob.
+    RequiresFlag {
+        /// The offending flag.
+        flag: String,
+        /// The flag (and value) it requires.
+        requires: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -263,6 +358,9 @@ impl fmt::Display for CliError {
             CliError::InvalidValue { flag, value } => {
                 write!(f, "invalid value `{value}` for flag `{flag}`")
             }
+            CliError::RequiresFlag { flag, requires } => {
+                write!(f, "flag `{flag}` requires `{requires}`")
+            }
         }
     }
 }
@@ -274,9 +372,9 @@ pub const USAGE: &str = "\
 patrolctl — data-mule patrolling toolkit (B-TCTP / W-TCTP / RW-TCTP)
 
 USAGE:
-    patrolctl <render|simulate|compare|dynamics|sweep|help> [flags]
+    patrolctl <render|simulate|compare|dynamics|sweep|bench-tours|help> [flags]
 
-FLAGS (all subcommands):
+FLAGS (scenario subcommands):
     --targets N        number of targets               [default: 10]
     --mules N          number of data mules            [default: 4]
     --seed S           scenario seed                   [default: 1]
@@ -284,6 +382,8 @@ FLAGS (all subcommands):
     --vip-weight W     weight of each VIP              [default: 2]
     --recharge         add a recharge station
     --planner P        b-tctp | shortest | balancing | rw-tctp | chb | sweep | random
+    --search M         tour search: exact | candidates | auto  [default: auto]
+    --knn K            candidate-list width (only with --search candidates)
     --horizon SECONDS  simulation horizon              [default: 40000]
     --svg FILE         write the plan as an SVG file   (simulate)
     --csv PREFIX       write visit/mule CSV traces     (simulate)
@@ -307,11 +407,22 @@ FLAGS (sweep only — the grid is the cartesian product of the axes):
     --workers N          worker threads (default: MULE_PAR_WORKERS or all cores)
     --csv FILE           write the aggregated statistics as CSV
 
+FLAGS (bench-tours only — the tracked tour-engine benchmark):
+    --sizes LIST         instance sizes                 [default: 50,200,1000,5000]
+    --seed S             topology seed                  [default: 42]
+    --knn K              candidate-list width           [default: 10]
+    --exact-cap N        largest size timing the exact pipeline  [default: 1000]
+    --samples N          timed repetitions (min is kept) [default: 3]
+    --json FILE          write the benchmark report as JSON
+    --max-ratio R        fail when candidates/exact tour length exceeds R
+
 EXAMPLES:
     patrolctl dynamics --targets 12 --mules 4 --seed 7 \\
         --fail-targets 1 --breakdowns 1 --recover-after 8000
     patrolctl sweep --targets 12 --seeds 1,2,3,4 --mule-counts 2,4 \\
         --disruptions none,mixed --replicas 20 --csv sweep.csv
+    patrolctl bench-tours --sizes 50,200,1000 --json BENCH_tours.json \\
+        --max-ratio 1.02
 ";
 
 fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
@@ -338,11 +449,42 @@ fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, C
     Ok(items)
 }
 
+/// Parses the flags of `bench-tours`, which shares no scenario flags with
+/// the other subcommands.
+fn parse_bench_tours(args: &[String]) -> Result<CliCommand, CliError> {
+    let mut options = BenchToursOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+        };
+        match flag {
+            "--sizes" => options.sizes = parse_list(flag, &take_value()?)?,
+            "--seed" => options.seed = parse_flag(flag, &take_value()?)?,
+            "--knn" => options.k = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--exact-cap" => options.exact_cap = parse_flag(flag, &take_value()?)?,
+            "--samples" => options.samples = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--json" => options.json_path = Some(take_value()?),
+            "--max-ratio" => options.max_ratio = Some(parse_flag(flag, &take_value()?)?),
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+        i += 1;
+    }
+    Ok(CliCommand::BenchTours(options))
+}
+
 /// Parses the argument list (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
     let command = args.first().ok_or(CliError::MissingCommand)?;
     if matches!(command.as_str(), "help" | "--help" | "-h") {
         return Ok(CliCommand::Help);
+    }
+    if command == "bench-tours" {
+        return parse_bench_tours(&args[1..]);
     }
     let is_dynamics = command == "dynamics";
     let is_sweep = command == "sweep";
@@ -372,6 +514,8 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
             "--horizon" => options.horizon_s = parse_flag(flag, &take_value()?)?,
             "--width" => options.canvas_width = parse_flag(flag, &take_value()?)?,
             "--planner" => options.planner = PlannerChoice::parse(&take_value()?)?,
+            "--search" => options.search = SearchChoice::parse(&take_value()?)?,
+            "--knn" => options.knn = Some(parse_flag::<usize>(flag, &take_value()?)?.max(1)),
             "--svg" => options.svg_path = Some(take_value()?),
             "--csv" => options.csv_prefix = Some(take_value()?),
             "--recharge" => options.recharge = true,
@@ -413,6 +557,17 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
     // invocation works.
     if options.planner == PlannerChoice::RwTctp {
         options.recharge = true;
+    }
+
+    // `--knn` tunes the candidate-list width, which only exists under
+    // `--search candidates` (auto resolves its own default width above the
+    // threshold). Silently discarding the user's knob would be worse than
+    // rejecting it.
+    if options.knn.is_some() && options.search != SearchChoice::Candidates {
+        return Err(CliError::RequiresFlag {
+            flag: "--knn".into(),
+            requires: "--search candidates".into(),
+        });
     }
 
     match command.as_str() {
@@ -701,6 +856,109 @@ mod tests {
         assert!(USAGE.contains("--mule-counts"));
         assert!(USAGE.contains("--disruptions"));
         assert!(USAGE.contains("patrolctl sweep"), "usage shows an example");
+    }
+
+    #[test]
+    fn search_flags_parse_on_scenario_subcommands() {
+        let CliCommand::Simulate(opts) =
+            parse_args(&argv("simulate --search candidates --knn 12")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(opts.search, SearchChoice::Candidates);
+        assert_eq!(opts.knn, Some(12));
+        assert_eq!(
+            opts.search.to_mode(opts.knn),
+            mule_graph::SearchMode::Candidates(12)
+        );
+
+        let CliCommand::Render(opts) = parse_args(&argv("render --search exact")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.search, SearchChoice::Exact);
+        assert_eq!(opts.search.to_mode(None), mule_graph::SearchMode::Exact);
+
+        // Default is auto; --knn without --search candidates is rejected
+        // (auto would silently ignore it).
+        assert_eq!(CliOptions::default().search, SearchChoice::Auto);
+        assert!(matches!(
+            parse_args(&argv("simulate --knn 5")).unwrap_err(),
+            CliError::RequiresFlag { flag, .. } if flag == "--knn"
+        ));
+        assert!(matches!(
+            parse_args(&argv("simulate --search exact --knn 5")).unwrap_err(),
+            CliError::RequiresFlag { .. }
+        ));
+        assert!(CliError::RequiresFlag {
+            flag: "--knn".into(),
+            requires: "--search candidates".into()
+        }
+        .to_string()
+        .contains("requires"));
+        // Flag order does not matter for the pairing.
+        assert!(parse_args(&argv("simulate --knn 5 --search candidates")).is_ok());
+        assert!(SearchChoice::parse("fuzzy").is_err());
+        assert_eq!(
+            SearchChoice::parse("CANDIDATES").unwrap(),
+            SearchChoice::Candidates
+        );
+        // A candidates choice without --knn uses the engine default.
+        assert_eq!(
+            SearchChoice::Candidates.to_mode(None),
+            mule_graph::SearchMode::Candidates(mule_graph::chb::DEFAULT_CANDIDATES_K)
+        );
+    }
+
+    #[test]
+    fn bench_tours_defaults_and_flags() {
+        let CliCommand::BenchTours(opts) = parse_args(&argv("bench-tours")).unwrap() else {
+            panic!("expected bench-tours");
+        };
+        assert_eq!(opts, BenchToursOptions::default());
+        assert_eq!(opts.sizes, vec![50, 200, 1000, 5000]);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.exact_cap, 1000);
+        assert!(opts.json_path.is_none());
+        assert!(opts.max_ratio.is_none());
+
+        let cmd = parse_args(&argv(
+            "bench-tours --sizes 50,200 --seed 9 --knn 8 --exact-cap 300 \
+             --samples 2 --json out.json --max-ratio 1.02",
+        ))
+        .unwrap();
+        let CliCommand::BenchTours(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.sizes, vec![50, 200]);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.k, 8);
+        assert_eq!(opts.exact_cap, 300);
+        assert_eq!(opts.samples, 2);
+        assert_eq!(opts.json_path.as_deref(), Some("out.json"));
+        assert_eq!(opts.max_ratio, Some(1.02));
+    }
+
+    #[test]
+    fn bench_tours_rejects_scenario_flags_and_bad_values() {
+        assert!(matches!(
+            parse_args(&argv("bench-tours --targets 10")).unwrap_err(),
+            CliError::UnknownFlag(f) if f == "--targets"
+        ));
+        assert!(matches!(
+            parse_args(&argv("bench-tours --sizes 50,x")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--sizes"
+        ));
+        assert!(matches!(
+            parse_args(&argv("bench-tours --json")).unwrap_err(),
+            CliError::MissingValue(_)
+        ));
+        // bench flags are rejected elsewhere.
+        assert!(matches!(
+            parse_args(&argv("simulate --sizes 50")).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+        assert!(USAGE.contains("bench-tours"));
+        assert!(USAGE.contains("--max-ratio"));
     }
 
     #[test]

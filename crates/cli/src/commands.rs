@@ -4,9 +4,11 @@
 //! written) instead of printing directly, so the logic is unit-testable.
 
 use crate::args::{
-    CliCommand, CliError, CliOptions, DisruptionPreset, DynamicsOptions, PlannerChoice,
-    SweepOptions, USAGE,
+    BenchToursOptions, CliCommand, CliError, CliOptions, DisruptionPreset, DynamicsOptions,
+    PlannerChoice, SweepOptions, USAGE,
 };
+use mule_bench::tourbench::{run_tour_bench, TourBenchParams};
+use mule_graph::ChbConfig;
 use mule_metrics::{
     DcdtSeries, EnergyEfficiencyReport, FairnessReport, IntervalReport, PhaseDelayReport,
     SweepReport, TextTable,
@@ -48,6 +50,8 @@ pub enum CommandError {
     Plan(PlanError),
     /// A file could not be written.
     Io(std::io::Error),
+    /// A quality/regression gate failed (e.g. `bench-tours --max-ratio`).
+    Check(String),
 }
 
 impl std::fmt::Display for CommandError {
@@ -56,6 +60,7 @@ impl std::fmt::Display for CommandError {
             CommandError::Cli(e) => write!(f, "{e}"),
             CommandError::Plan(e) => write!(f, "planning failed: {e}"),
             CommandError::Io(e) => write!(f, "i/o error: {e}"),
+            CommandError::Check(msg) => write!(f, "check failed: {msg}"),
         }
     }
 }
@@ -108,15 +113,34 @@ fn sim_config_for(options: &CliOptions) -> SimulationConfig {
     }
 }
 
-/// Instantiates the planner selected on the command line.
+/// The circuit-construction configuration the CLI options imply: default
+/// pass budgets with the selected tour-search mode.
+pub fn chb_config_for(options: &CliOptions) -> ChbConfig {
+    ChbConfig::default().with_search(options.search.to_mode(options.knn))
+}
+
+/// Instantiates the planner selected on the command line with the default
+/// circuit construction.
 pub fn build_planner(choice: PlannerChoice) -> Box<dyn Planner> {
+    build_planner_with(choice, ChbConfig::default())
+}
+
+/// Instantiates the planner selected on the command line, threading the
+/// circuit-construction configuration (pass budgets + search mode) through
+/// to every planner that builds a Hamiltonian circuit. The Random baseline
+/// plans no circuit and ignores it.
+pub fn build_planner_with(choice: PlannerChoice, chb: ChbConfig) -> Box<dyn Planner> {
     match choice {
-        PlannerChoice::BTctp => Box::new(BTctp::new()),
-        PlannerChoice::WTctpShortest => Box::new(WTctp::new(BreakEdgePolicy::ShortestLength)),
-        PlannerChoice::WTctpBalancing => Box::new(WTctp::new(BreakEdgePolicy::BalancingLength)),
-        PlannerChoice::RwTctp => Box::new(RwTctp::default()),
-        PlannerChoice::Chb => Box::new(ChbPlanner::new()),
-        PlannerChoice::Sweep => Box::new(SweepPlanner::new()),
+        PlannerChoice::BTctp => Box::new(BTctp::new().with_chb(chb)),
+        PlannerChoice::WTctpShortest => {
+            Box::new(WTctp::new(BreakEdgePolicy::ShortestLength).with_chb(chb))
+        }
+        PlannerChoice::WTctpBalancing => {
+            Box::new(WTctp::new(BreakEdgePolicy::BalancingLength).with_chb(chb))
+        }
+        PlannerChoice::RwTctp => Box::new(RwTctp::default().with_chb(chb)),
+        PlannerChoice::Chb => Box::new(ChbPlanner::new().with_chb(chb)),
+        PlannerChoice::Sweep => Box::new(SweepPlanner::new().with_chb(chb)),
         PlannerChoice::Random => Box::new(RandomPlanner::new()),
     }
 }
@@ -170,7 +194,7 @@ fn metrics_text(plan: &PatrolPlan, outcome: &SimulationOutcome) -> String {
 
 fn run_render(options: &CliOptions) -> Result<CommandOutput, CommandError> {
     let scenario = build_scenario(options);
-    let planner = build_planner(options.planner);
+    let planner = build_planner_with(options.planner, chb_config_for(options));
     let width = options.canvas_width.clamp(20, 200);
     let height = width / 2;
     let mut text = format!(
@@ -192,7 +216,7 @@ fn run_render(options: &CliOptions) -> Result<CommandOutput, CommandError> {
 
 fn run_simulate(options: &CliOptions) -> Result<CommandOutput, CommandError> {
     let scenario = build_scenario(options);
-    let planner = build_planner(options.planner);
+    let planner = build_planner_with(options.planner, chb_config_for(options));
     let plan = planner.plan(&scenario)?;
     let outcome = simulate(&scenario, &plan, options);
 
@@ -240,7 +264,7 @@ fn run_compare(options: &CliOptions) -> Result<CommandOutput, CommandError> {
         "survived",
     ]);
     for choice in choices {
-        let planner = build_planner(choice);
+        let planner = build_planner_with(choice, chb_config_for(options));
         let plan = match planner.plan(&scenario) {
             Ok(p) => p,
             Err(e) => {
@@ -281,7 +305,7 @@ fn run_dynamics(options: &DynamicsOptions) -> Result<CommandOutput, CommandError
     // Plan on the world as it looks at t = 0: late-arriving targets are
     // not yet known to the planner, so they are excluded until their
     // arrival triggers a replan.
-    let planner = build_planner(base.planner);
+    let planner = build_planner_with(base.planner, chb_config_for(base));
     let initial_world = scenario.restricted(
         &disruptions.late_target_ids(),
         scenario.mule_starts().to_vec(),
@@ -289,7 +313,7 @@ fn run_dynamics(options: &DynamicsOptions) -> Result<CommandOutput, CommandError
     let plan = planner.plan(&initial_world)?;
 
     let sim_config = sim_config_for(base);
-    let replanner = ReplanWithPlanner::new(build_planner(base.planner));
+    let replanner = ReplanWithPlanner::new(build_planner_with(base.planner, chb_config_for(base)));
     let mut sim = DynamicSimulation::new(&scenario, &plan, &disruptions).with_config(sim_config);
     if !options.no_replan {
         sim = sim.with_replanner(&replanner);
@@ -373,7 +397,8 @@ fn run_sweep(options: &SweepOptions) -> Result<CommandOutput, CommandError> {
 
     let sim_config = sim_config_for(base);
     let choice = base.planner;
-    let factory = move || build_planner(choice);
+    let chb = chb_config_for(base);
+    let factory = move || build_planner_with(choice, chb);
     let cells = mule_sim::run_sweep(&factory, &spec, &sim_config, options.workers);
     let report = SweepReport::from_cells(&cells);
 
@@ -408,6 +433,42 @@ fn run_sweep(options: &SweepOptions) -> Result<CommandOutput, CommandError> {
     Ok(output)
 }
 
+fn run_bench_tours(options: &BenchToursOptions) -> Result<CommandOutput, CommandError> {
+    let params = TourBenchParams {
+        sizes: options.sizes.clone(),
+        seed: options.seed,
+        k: options.k,
+        exact_cap: options.exact_cap,
+        samples: options.samples,
+    };
+    let report = run_tour_bench(&params);
+
+    let mut text = format!(
+        "tour engine benchmark: seed {}  k {}  exact cap {}  samples {}\n\n",
+        params.seed, params.k, params.exact_cap, params.samples
+    );
+    text.push_str(&report.to_table().render());
+
+    let mut output = CommandOutput::text_only(text);
+    if let Some(path) = &options.json_path {
+        std::fs::write(path, report.to_json())?;
+        output.files_written.push(path.clone());
+    }
+
+    // The regression gate runs *after* the JSON is written so a failing run
+    // still leaves the artefact around for diagnosis.
+    if let Some(bound) = options.max_ratio {
+        if let Some(worst) = report.max_len_ratio() {
+            if worst > bound {
+                return Err(CommandError::Check(format!(
+                    "tour-length ratio {worst:.4} exceeds --max-ratio {bound}"
+                )));
+            }
+        }
+    }
+    Ok(output)
+}
+
 /// Executes a parsed command.
 pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> {
     match command {
@@ -417,6 +478,7 @@ pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> 
         CliCommand::Compare(options) => run_compare(options),
         CliCommand::Dynamics(options) => run_dynamics(options),
         CliCommand::Sweep(options) => run_sweep(options),
+        CliCommand::BenchTours(options) => run_bench_tours(options),
     }
 }
 
@@ -649,6 +711,76 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip(&a.text), strip(&b.text));
+    }
+
+    fn bench_tours_options() -> BenchToursOptions {
+        BenchToursOptions {
+            sizes: vec![20, 40],
+            seed: 5,
+            k: 8,
+            exact_cap: 40,
+            samples: 1,
+            json_path: None,
+            max_ratio: None,
+        }
+    }
+
+    #[test]
+    fn bench_tours_reports_speedups_and_ratios() {
+        let out = run_command(&CliCommand::BenchTours(bench_tours_options())).unwrap();
+        assert!(out.text.contains("tour engine benchmark"));
+        assert!(out.text.contains("speedup"));
+        assert!(out.text.contains("length ratio"));
+        assert!(out.files_written.is_empty());
+    }
+
+    #[test]
+    fn bench_tours_writes_the_json_artefact() {
+        let dir = std::env::temp_dir().join("patrolctl_benchtours_test_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut opts = bench_tours_options();
+        let path = dir.join("BENCH_tours.json").to_string_lossy().into_owned();
+        opts.json_path = Some(path.clone());
+        let out = run_command(&CliCommand::BenchTours(opts)).unwrap();
+        assert_eq!(out.files_written, vec![path.clone()]);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"bench-tours/v1\""));
+        assert!(json.contains("\"n\": 20"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_tours_ratio_gate_passes_and_fails() {
+        // A generous bound passes …
+        let mut opts = bench_tours_options();
+        opts.max_ratio = Some(2.0);
+        assert!(run_command(&CliCommand::BenchTours(opts)).is_ok());
+        // … an impossible bound fails with a Check error (ratios are > 0.9
+        // on any real instance).
+        let mut opts = bench_tours_options();
+        opts.max_ratio = Some(0.5);
+        let err = run_command(&CliCommand::BenchTours(opts)).unwrap_err();
+        assert!(err.to_string().contains("check failed"), "{err}");
+        assert!(err.to_string().contains("--max-ratio"));
+    }
+
+    #[test]
+    fn search_mode_threads_through_to_identical_small_scenario_plans() {
+        // At paper sizes, auto and exact must produce byte-identical
+        // reports (the determinism contract); candidates may differ but
+        // must still run every planner successfully.
+        let base = options();
+        let mut exact = options();
+        exact.search = crate::args::SearchChoice::Exact;
+        let a = run_command(&CliCommand::Simulate(base)).unwrap();
+        let b = run_command(&CliCommand::Simulate(exact)).unwrap();
+        assert_eq!(a, b);
+
+        let mut cand = options();
+        cand.search = crate::args::SearchChoice::Candidates;
+        cand.knn = Some(6);
+        let c = run_command(&CliCommand::Simulate(cand)).unwrap();
+        assert!(c.text.contains("planner: B-TCTP"));
     }
 
     #[test]

@@ -24,6 +24,13 @@ impl ChbPlanner {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Builder-style override of the circuit-construction configuration
+    /// (pass budgets and exact/candidate-list search mode).
+    pub fn with_chb(mut self, chb: ChbConfig) -> Self {
+        self.chb = chb;
+        self
+    }
 }
 
 impl Planner for ChbPlanner {

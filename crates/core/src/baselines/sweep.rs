@@ -52,6 +52,13 @@ impl SweepPlanner {
         }
     }
 
+    /// Builder-style override of the per-group circuit-construction
+    /// configuration (pass budgets and exact/candidate-list search mode).
+    pub fn with_chb(mut self, chb: ChbConfig) -> Self {
+        self.chb = chb;
+        self
+    }
+
     /// Splits the targets of `scenario` into `groups` groups with the given
     /// strategy, returning one vector of node indices (into the field's node
     /// list) per group.

@@ -54,6 +54,13 @@ impl BTctp {
             spread_start_points: false,
         }
     }
+
+    /// Builder-style override of the circuit-construction configuration
+    /// (pass budgets and exact/candidate-list search mode).
+    pub fn with_chb(mut self, chb: ChbConfig) -> Self {
+        self.chb = chb;
+        self
+    }
 }
 
 impl Planner for BTctp {

@@ -121,6 +121,33 @@ mod tests {
     }
 
     #[test]
+    fn large_scenarios_build_circuits_via_the_candidate_path() {
+        // 400 targets is far above `AUTO_EXACT_THRESHOLD`, so the default
+        // config routes through candidate-list search — this is the path
+        // every planner takes on ROADMAP-scale topologies. With the exact
+        // pipeline this test would take minutes in debug builds.
+        let s = mule_workload::ScenarioConfig::large_scale(400)
+            .with_seed(3)
+            .generate();
+        let c = SharedCircuit::build(&s, &ChbConfig::default()).unwrap();
+        assert_eq!(c.waypoints.len(), s.patrolled_positions().len());
+        let mut ids = c.node_ids();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), c.waypoints.len(), "no node repeats");
+        // Deterministic: same scenario, same circuit.
+        let again = SharedCircuit::build(&s, &ChbConfig::default()).unwrap();
+        assert_eq!(c, again);
+        // Explicit candidate mode with another k also works end to end.
+        let explicit = SharedCircuit::build(
+            &s,
+            &ChbConfig::default().with_search(mule_graph::SearchMode::Candidates(6)),
+        )
+        .unwrap();
+        assert_eq!(explicit.waypoints.len(), c.waypoints.len());
+    }
+
+    #[test]
     fn single_node_scenarios_yield_single_waypoint_circuits() {
         let s = ScenarioConfig::paper_default()
             .with_targets(0)

@@ -101,6 +101,13 @@ impl RwTctp {
         }
     }
 
+    /// Builder-style override of the circuit-construction configuration
+    /// (pass budgets and exact/candidate-list search mode).
+    pub fn with_chb(mut self, chb: ChbConfig) -> Self {
+        self.chb = chb;
+        self
+    }
+
     /// Builds the WPP, the WRP and the Eq. 4 schedule for `scenario`.
     pub fn build_schedule(&self, scenario: &Scenario) -> Result<RechargeSchedule, PlanError> {
         let station = scenario

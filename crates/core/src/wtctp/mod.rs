@@ -75,6 +75,13 @@ impl WTctp {
         }
     }
 
+    /// Builder-style override of the circuit-construction configuration
+    /// (pass budgets and exact/candidate-list search mode).
+    pub fn with_chb(mut self, chb: ChbConfig) -> Self {
+        self.chb = chb;
+        self
+    }
+
     /// Builds the weighted patrolling path for `scenario` and returns the
     /// walk as waypoints (shared by all mules). Exposed so RW-TCTP can reuse
     /// it and so benches can measure WPP length directly.

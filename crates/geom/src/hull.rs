@@ -59,6 +59,50 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     hull
 }
 
+/// Farthest-apart pair of vertices of a convex polygon given in CCW order
+/// (as produced by [`convex_hull`]), found with the rotating-calipers
+/// antipodal-pair walk in `O(h)` for `h` hull vertices. Returns indices into
+/// `hull`, smaller index first. `None` for fewer than two vertices.
+///
+/// Because the farthest pair of *any* point set is always a pair of its
+/// convex-hull vertices, `hull_diameter(&convex_hull(points))` finds the
+/// diameter of the whole set in `O(n log n)` — replacing the `O(n²)`
+/// all-pairs scan of `DistanceMatrix::farthest_pair` on large instances.
+pub fn hull_diameter(hull: &[Point]) -> Option<(usize, usize)> {
+    let n = hull.len();
+    match n {
+        0 | 1 => return None,
+        2 => return Some((0, 1)),
+        _ => {}
+    }
+
+    // Area of the triangle spanned by edge (i, i+1) and vertex j, used to
+    // advance the antipodal pointer while the width keeps growing.
+    let cross =
+        |i: usize, j: usize| -> f64 { orientation(&hull[i], &hull[(i + 1) % n], &hull[j]).abs() };
+
+    let mut best = (0usize, 1usize);
+    let mut best_d2 = hull[0].distance_squared(&hull[1]);
+    let consider = |i: usize, j: usize, best: &mut (usize, usize), best_d2: &mut f64| {
+        let d2 = hull[i].distance_squared(&hull[j]);
+        if d2 > *best_d2 {
+            *best_d2 = d2;
+            *best = if i < j { (i, j) } else { (j, i) };
+        }
+    };
+
+    let mut j = 1;
+    for i in 0..n {
+        // Advance j while the support distance from edge (i, i+1) grows.
+        while cross(i, (j + 1) % n) > cross(i, j) {
+            j = (j + 1) % n;
+        }
+        consider(i, j, &mut best, &mut best_d2);
+        consider((i + 1) % n, j, &mut best, &mut best_d2);
+    }
+    Some(best)
+}
+
 /// Returns `true` when `polygon` (given in order, either orientation) is a
 /// convex polygon. Polygons with fewer than 3 vertices are trivially
 /// considered convex.
@@ -230,6 +274,49 @@ mod tests {
         ];
         assert!(!is_convex_polygon(&dented));
         assert!(is_convex_polygon(&[Point::ORIGIN, Point::new(1.0, 1.0)]));
+    }
+
+    #[test]
+    fn hull_diameter_matches_brute_force() {
+        // Deterministic pseudo-random sets, diameter cross-checked against
+        // the all-pairs scan over the hull vertices.
+        for salt in 0..8u64 {
+            let pts: Vec<Point> = (0..40u64)
+                .map(|i| {
+                    let h = i.wrapping_mul(6364136223846793005).wrapping_add(salt);
+                    Point::new((h % 900) as f64, ((h >> 20) % 900) as f64)
+                })
+                .collect();
+            let hull = convex_hull(&pts);
+            let (a, b) = hull_diameter(&hull).unwrap();
+            let calipers = hull[a].distance(&hull[b]);
+            let brute = hull
+                .iter()
+                .flat_map(|p| hull.iter().map(move |q| p.distance(q)))
+                .fold(0.0f64, f64::max);
+            assert!(
+                approx_eq(calipers, brute),
+                "salt {salt}: calipers {calipers} vs brute {brute}"
+            );
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn hull_diameter_of_degenerate_hulls() {
+        assert!(hull_diameter(&[]).is_none());
+        assert!(hull_diameter(&[Point::ORIGIN]).is_none());
+        // Collinear input collapses to the two extremes.
+        let hull = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(9.0, 0.0),
+        ]);
+        assert_eq!(hull_diameter(&hull), Some((0, 1)));
+        // On a square the diameter is a diagonal.
+        let hull = convex_hull(&square());
+        let (a, b) = hull_diameter(&hull).unwrap();
+        assert!(approx_eq(hull[a].distance(&hull[b]), 32.0f64.sqrt()));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod segment;
 pub use angle::{ccw_included_angle, normalize_angle, Bearing};
 pub use bbox::BoundingBox;
 pub use grid::UniformGrid;
-pub use hull::{convex_hull, is_convex_polygon, point_in_convex_polygon};
+pub use hull::{convex_hull, hull_diameter, is_convex_polygon, point_in_convex_polygon};
 pub use kdtree::KdTree;
 pub use point::Point;
 pub use polyline::Polyline;

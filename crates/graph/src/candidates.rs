@@ -1,0 +1,495 @@
+//! Candidate-list local search (k-nearest-neighbour 2-opt / Or-opt).
+//!
+//! The exact [`two_opt`](crate::two_opt()) / [`or_opt`](crate::or_opt())
+//! sweeps examine all `O(n²)` point pairs per pass, which is fine at the
+//! paper's ≤ 50 targets but hopeless at thousands. This module implements
+//! the classic scaling remedy (Bentley's TSP engineering): almost every
+//! improving move replaces a tour edge with an edge to one of a point's few
+//! geometrically nearest neighbours, so it suffices to examine **candidate
+//! edges** only:
+//!
+//! * [`CandidateLists`] — per-point k-nearest-neighbour lists built from the
+//!   [`mule_geom::KdTree`] in `O(n·k·log n)`, sorted by distance;
+//! * [`two_opt_candidates`] — 2-opt restricted to candidate edges, with
+//!   *don't-look bits* (a point whose neighbourhood yields no improving move
+//!   is skipped until one of its tour edges changes) and shorter-arc
+//!   reversals via [`Tour::reverse_arc`];
+//! * [`or_opt_candidates`] — chain relocation (lengths 1–3) whose
+//!   reinsertion edges come from the chain endpoints' candidate lists.
+//!
+//! Both searches work directly off the point coordinates (distances are
+//! recomputed on demand), so no `O(n²)` [`DistanceMatrix`] allocation is
+//! needed — at n = 5000 the dense matrix alone would cost 200 MB.
+//!
+//! Like their exact counterparts, both searches only ever *shorten* the
+//! tour (acceptance threshold `1e-10`) and terminate when no candidate move
+//! improves or the round budget is exhausted. They are deterministic: points
+//! are scanned in index order and moves applied eagerly.
+//!
+//! [`DistanceMatrix`]: crate::DistanceMatrix
+
+use crate::tour::Tour;
+use mule_geom::{KdTree, Point};
+
+/// Acceptance threshold shared with the exact local searches: a move must
+/// shorten the tour by more than this to be applied, which guards against
+/// floating-point churn on already-optimal tours.
+const GAIN_EPS: f64 = 1e-10;
+
+/// Per-point k-nearest-neighbour candidate lists, sorted by distance.
+#[derive(Debug, Clone)]
+pub struct CandidateLists {
+    /// `lists[i]` holds the indices of the k nearest neighbours of point
+    /// `i` (excluding `i` itself), nearest first.
+    lists: Vec<Vec<u32>>,
+    k: usize,
+}
+
+impl CandidateLists {
+    /// Builds k-nearest-neighbour lists over `points` using a kd-tree.
+    /// `k` is clamped to `points.len() - 1`.
+    pub fn build(points: &[Point], k: usize) -> Self {
+        let n = points.len();
+        let k = k.min(n.saturating_sub(1));
+        if k == 0 {
+            return CandidateLists {
+                lists: vec![Vec::new(); n],
+                k,
+            };
+        }
+        let tree = KdTree::build(points);
+        let lists = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // Query k+1 and drop the point itself (duplicates of `p` at
+                // other indices are legitimate candidates).
+                tree.k_nearest(p, k + 1)
+                    .into_iter()
+                    .filter(|&(j, _)| j != i)
+                    .take(k)
+                    .map(|(j, _)| j as u32)
+                    .collect()
+            })
+            .collect();
+        CandidateLists { lists, k }
+    }
+
+    /// The neighbour list of point `i`, nearest first.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.lists[i]
+    }
+
+    /// The `k` the lists were built with (after clamping).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of points the lists cover.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Returns `true` when built over an empty point set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+}
+
+#[inline]
+fn dist(points: &[Point], i: usize, j: usize) -> f64 {
+    points[i].distance(&points[j])
+}
+
+/// 2-opt restricted to candidate edges, with don't-look bits.
+///
+/// For each "active" point `t1` and each of its two tour edges `(t1, t2)`,
+/// only reconnections `(t1, t3)` with `t3` in `t1`'s candidate list are
+/// examined; since the list is sorted, the scan stops as soon as
+/// `d(t1, t3) ≥ d(t1, t2)` (no such move can improve — the symmetric case
+/// is found from `t3`'s own scan). A point with no improving move goes to
+/// sleep until a move changes one of its edges.
+///
+/// `max_rounds` bounds the number of full passes over all points (mirroring
+/// the exact `two_opt`'s `max_passes`). Returns the number of improving
+/// moves applied; the tour is never lengthened.
+pub fn two_opt_candidates(
+    tour: &mut Tour,
+    points: &[Point],
+    candidates: &CandidateLists,
+    max_rounds: usize,
+) -> usize {
+    let n = tour.len();
+    if n < 4 {
+        return 0;
+    }
+    debug_assert_eq!(candidates.len(), n, "candidate lists cover the tour");
+    let mut pos = tour.position_index();
+    let mut dont_look = vec![false; n];
+    let mut moves = 0usize;
+
+    for _ in 0..max_rounds {
+        let mut improved_any = false;
+        for t1 in 0..n {
+            if dont_look[t1] {
+                continue;
+            }
+            let mut improved_here = false;
+            // `succ = true` examines edge (t1, succ(t1)); `succ = false`
+            // examines edge (pred(t1), t1) from t1's side.
+            for succ in [true, false] {
+                loop {
+                    let p1 = pos[t1];
+                    let t2 = if succ {
+                        tour.order()[(p1 + 1) % n]
+                    } else {
+                        tour.order()[(p1 + n - 1) % n]
+                    };
+                    let d_t1_t2 = dist(points, t1, t2);
+                    let mut applied = false;
+                    for &c in candidates.neighbors(t1) {
+                        let t3 = c as usize;
+                        let d_t1_t3 = dist(points, t1, t3);
+                        if d_t1_t3 >= d_t1_t2 {
+                            break; // sorted list: no shorter new edge left
+                        }
+                        let p3 = pos[t3];
+                        let t4 = if succ {
+                            tour.order()[(p3 + 1) % n]
+                        } else {
+                            tour.order()[(p3 + n - 1) % n]
+                        };
+                        if t3 == t2 || t4 == t1 {
+                            continue; // adjacent edges — reversal is a no-op
+                        }
+                        let gain = d_t1_t2 + dist(points, t3, t4) - d_t1_t3 - dist(points, t2, t4);
+                        if gain > GAIN_EPS {
+                            // Removing (t1,t2) and (t3,t4), adding (t1,t3)
+                            // and (t2,t4): reverse the run between the two
+                            // removed edges.
+                            if succ {
+                                tour.reverse_arc(pos[t2], pos[t3], &mut pos);
+                            } else {
+                                tour.reverse_arc(pos[t1], pos[t4], &mut pos);
+                            }
+                            moves += 1;
+                            applied = true;
+                            improved_here = true;
+                            improved_any = true;
+                            for t in [t1, t2, t3, t4] {
+                                dont_look[t] = false;
+                            }
+                            break;
+                        }
+                    }
+                    if !applied {
+                        break; // this edge of t1 is locally optimal
+                    }
+                }
+            }
+            if !improved_here {
+                dont_look[t1] = true;
+            }
+        }
+        if !improved_any {
+            break;
+        }
+    }
+    moves
+}
+
+/// Or-opt (chain relocation, lengths 1–3) restricted to candidate edges.
+///
+/// For each active point `a`, the chains starting at `a` are tried against
+/// reinsertion edges adjacent to the candidates of the chain's endpoints.
+/// The chain may be inserted forward or reversed, whichever is cheaper, and
+/// the best improving candidate position is taken. Don't-look bits skip
+/// points whose neighbourhood yielded no improving relocation.
+///
+/// Returns the number of improving relocations applied; the tour is never
+/// lengthened.
+pub fn or_opt_candidates(
+    tour: &mut Tour,
+    points: &[Point],
+    candidates: &CandidateLists,
+    max_rounds: usize,
+) -> usize {
+    let n = tour.len();
+    if n < 5 {
+        return 0;
+    }
+    debug_assert_eq!(candidates.len(), n, "candidate lists cover the tour");
+    let mut pos = tour.position_index();
+    let mut dont_look = vec![false; n];
+    let mut moves = 0usize;
+
+    for _ in 0..max_rounds {
+        let mut improved_any = false;
+        for a in 0..n {
+            if dont_look[a] {
+                continue;
+            }
+            if let Some(touched) = try_relocate_candidates(tour, points, candidates, a, &mut pos) {
+                moves += 1;
+                improved_any = true;
+                for t in touched {
+                    dont_look[t] = false;
+                }
+            } else {
+                dont_look[a] = true;
+            }
+        }
+        if !improved_any {
+            break;
+        }
+    }
+    moves
+}
+
+/// Tries the best candidate relocation of the chains of length 1–3 starting
+/// at point `a`. On success applies the move, refreshes `pos`, and returns
+/// the points whose tour edges changed.
+fn try_relocate_candidates(
+    tour: &mut Tour,
+    points: &[Point],
+    candidates: &CandidateLists,
+    a: usize,
+    pos: &mut Vec<usize>,
+) -> Option<[usize; 6]> {
+    let n = tour.len();
+    let mut best: Option<(f64, [usize; 3], usize, usize, bool)> = None; // (gain, chain, chain_len, edge_start, reversed)
+
+    for chain_len in 1..=3usize {
+        if chain_len >= n - 2 {
+            break;
+        }
+        let start = pos[a];
+        let mut chain = [0usize; 3];
+        for (s, slot) in chain.iter_mut().enumerate().take(chain_len) {
+            *slot = tour.order()[(start + s) % n];
+        }
+        let chain_first = chain[0];
+        let chain_last = chain[chain_len - 1];
+        let before = tour.order()[(start + n - 1) % n];
+        let after = tour.order()[(start + chain_len) % n];
+        if chain[..chain_len].contains(&before) || chain[..chain_len].contains(&after) {
+            continue; // chain wraps the whole tour
+        }
+        let removed = dist(points, before, chain_first) + dist(points, chain_last, after)
+            - dist(points, before, after);
+        if removed <= GAIN_EPS {
+            continue; // excision itself saves nothing; no reinsertion can win
+        }
+
+        // Candidate reinsertion edges: (c, succ(c)) for c near either chain
+        // endpoint. Scanning both endpoints' lists covers forward and
+        // reversed insertions.
+        for list in [
+            candidates.neighbors(chain_first),
+            candidates.neighbors(chain_last),
+        ] {
+            for &c in list {
+                let i = c as usize;
+                if chain[..chain_len].contains(&i) || i == before {
+                    continue; // edge inside the chain or the excised edge
+                }
+                let j = tour.order()[(pos[i] + 1) % n];
+                if chain[..chain_len].contains(&j) {
+                    continue;
+                }
+                let d_i_j = dist(points, i, j);
+                let fwd = dist(points, i, chain_first) + dist(points, chain_last, j) - d_i_j;
+                let rev = dist(points, i, chain_last) + dist(points, chain_first, j) - d_i_j;
+                let (added, reversed) = if rev < fwd { (rev, true) } else { (fwd, false) };
+                let gain = removed - added;
+                if gain > GAIN_EPS && best.map(|(g, ..)| gain > g).unwrap_or(true) {
+                    best = Some((gain, chain, chain_len, i, reversed));
+                }
+            }
+        }
+    }
+
+    let (_, chain, chain_len, edge_start, reversed) = best?;
+    let chain_first = chain[0];
+    let chain_last = chain[chain_len - 1];
+    let start = pos[chain_first];
+    let before = tour.order()[(start + n - 1) % n];
+    let after = tour.order()[(start + chain_len) % n];
+    let edge_end = tour.order()[(pos[edge_start] + 1) % n];
+
+    // Splice: rebuild the order without the chain, then insert it after
+    // `edge_start`. O(n), but only paid on applied (improving) moves.
+    let mut new_order = Vec::with_capacity(n);
+    for p in 0..n {
+        let idx = tour.order()[p];
+        if chain[..chain_len].contains(&idx) {
+            continue;
+        }
+        new_order.push(idx);
+        if idx == edge_start {
+            if reversed {
+                new_order.extend(chain[..chain_len].iter().rev().copied());
+            } else {
+                new_order.extend(chain[..chain_len].iter().copied());
+            }
+        }
+    }
+    debug_assert_eq!(new_order.len(), n);
+    *tour = Tour::new(new_order);
+    *pos = tour.position_index();
+    Some([before, after, chain_first, chain_last, edge_start, edge_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance_matrix::DistanceMatrix;
+    use crate::insertion::convex_hull_insertion;
+    use crate::test_support::pseudo_random_points;
+
+    #[test]
+    fn candidate_lists_are_sorted_and_exclude_self() {
+        let pts = pseudo_random_points(40, 3);
+        let cand = CandidateLists::build(&pts, 8);
+        assert_eq!(cand.len(), 40);
+        assert_eq!(cand.k(), 8);
+        for i in 0..pts.len() {
+            let list = cand.neighbors(i);
+            assert_eq!(list.len(), 8);
+            assert!(list.iter().all(|&j| j as usize != i));
+            for w in list.windows(2) {
+                assert!(
+                    dist(&pts, i, w[0] as usize) <= dist(&pts, i, w[1] as usize) + 1e-12,
+                    "list of {i} is sorted by distance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_lists_match_brute_force_nearest() {
+        let pts = pseudo_random_points(60, 9);
+        let cand = CandidateLists::build(&pts, 5);
+        for i in 0..pts.len() {
+            let mut brute: Vec<usize> = (0..pts.len()).filter(|&j| j != i).collect();
+            brute.sort_by(|&a, &b| dist(&pts, i, a).total_cmp(&dist(&pts, i, b)));
+            let brute_d: Vec<f64> = brute[..5].iter().map(|&j| dist(&pts, i, j)).collect();
+            let got_d: Vec<f64> = cand
+                .neighbors(i)
+                .iter()
+                .map(|&j| dist(&pts, i, j as usize))
+                .collect();
+            for (g, b) in got_d.iter().zip(&brute_d) {
+                assert!((g - b).abs() < 1e-9, "point {i}: {got_d:?} vs {brute_d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_lists_clamp_k_and_handle_tiny_sets() {
+        let pts = pseudo_random_points(3, 1);
+        let cand = CandidateLists::build(&pts, 10);
+        assert_eq!(cand.k(), 2);
+        assert!(!cand.is_empty());
+        let empty = CandidateLists::build(&[], 4);
+        assert!(empty.is_empty());
+        assert_eq!(empty.k(), 0);
+        let single = CandidateLists::build(&[Point::ORIGIN], 4);
+        assert_eq!(single.k(), 0);
+        assert!(single.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn candidate_two_opt_uncrosses_and_never_lengthens() {
+        for salt in [7u64, 21, 90] {
+            let pts = pseudo_random_points(60, salt);
+            let cand = CandidateLists::build(&pts, 10);
+            let mut tour = Tour::identity(pts.len());
+            let before = tour.length(&pts);
+            let moves = two_opt_candidates(&mut tour, &pts, &cand, 100);
+            assert!(moves > 0, "salt {salt}: the identity tour is improvable");
+            assert!(tour.is_valid());
+            assert!(tour.length(&pts) < before);
+        }
+    }
+
+    #[test]
+    fn candidate_or_opt_relocates_and_never_lengthens() {
+        for salt in [5u64, 33] {
+            let pts = pseudo_random_points(50, salt);
+            let cand = CandidateLists::build(&pts, 10);
+            let dm = DistanceMatrix::from_points(&pts);
+            let mut tour = convex_hull_insertion(&pts, &dm);
+            let before = tour.length(&pts);
+            or_opt_candidates(&mut tour, &pts, &cand, 100);
+            assert!(tour.is_valid());
+            assert!(tour.length(&pts) <= before + 1e-9);
+        }
+    }
+
+    #[test]
+    fn candidate_search_matches_exact_quality_closely() {
+        // On mid-size instances, candidate-list polishing lands within a
+        // couple of percent of the exact all-pairs polishing.
+        for salt in [11u64, 47, 101] {
+            let pts = pseudo_random_points(120, salt);
+            let dm = DistanceMatrix::from_points(&pts);
+
+            let mut exact = convex_hull_insertion(&pts, &dm);
+            crate::two_opt(&mut exact, &dm, 30);
+            crate::or_opt(&mut exact, &dm, 30);
+            crate::two_opt(&mut exact, &dm, 30);
+
+            let cand = CandidateLists::build(&pts, 10);
+            let mut fast = convex_hull_insertion(&pts, &dm);
+            two_opt_candidates(&mut fast, &pts, &cand, 100);
+            or_opt_candidates(&mut fast, &pts, &cand, 100);
+            two_opt_candidates(&mut fast, &pts, &cand, 100);
+
+            let ratio = fast.length(&pts) / exact.length(&pts);
+            assert!(
+                ratio <= 1.02,
+                "salt {salt}: candidate search ratio {ratio:.4}"
+            );
+            assert!(fast.is_valid());
+        }
+    }
+
+    #[test]
+    fn tiny_tours_are_untouched() {
+        let pts = pseudo_random_points(3, 2);
+        let cand = CandidateLists::build(&pts, 2);
+        let mut tour = Tour::identity(3);
+        assert_eq!(two_opt_candidates(&mut tour, &pts, &cand, 10), 0);
+        assert_eq!(or_opt_candidates(&mut tour, &pts, &cand, 10), 0);
+        assert_eq!(tour.order(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_round_budget_is_a_no_op() {
+        let pts = pseudo_random_points(30, 8);
+        let cand = CandidateLists::build(&pts, 8);
+        let mut tour = Tour::identity(pts.len());
+        assert_eq!(two_opt_candidates(&mut tour, &pts, &cand, 0), 0);
+        assert_eq!(or_opt_candidates(&mut tour, &pts, &cand, 0), 0);
+        assert_eq!(tour.order(), Tour::identity(pts.len()).order());
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let mut pts = pseudo_random_points(20, 4);
+        pts.push(pts[0]);
+        pts.push(pts[5]);
+        let cand = CandidateLists::build(&pts, 6);
+        let mut tour = Tour::identity(pts.len());
+        let before = tour.length(&pts);
+        two_opt_candidates(&mut tour, &pts, &cand, 50);
+        or_opt_candidates(&mut tour, &pts, &cand, 50);
+        assert!(tour.is_valid());
+        assert!(tour.length(&pts) <= before + 1e-9);
+    }
+}

@@ -14,13 +14,71 @@
 //! target list, they all obtain *the same* circuit — the distributed-
 //! agreement property the paper relies on.
 
+use crate::candidates::{or_opt_candidates, two_opt_candidates, CandidateLists};
 use crate::distance_matrix::DistanceMatrix;
-use crate::insertion::convex_hull_insertion;
+use crate::insertion::{convex_hull_insertion, convex_hull_insertion_incremental};
 use crate::or_opt::or_opt;
 use crate::tour::Tour;
 use crate::two_opt::two_opt;
 use mule_geom::Point;
 use serde::{Deserialize, Serialize};
+
+/// Instance size up to which [`SearchMode::Auto`] uses the exact pipeline.
+///
+/// This is the determinism contract documented in `docs/DETERMINISM.md`:
+/// every instance with at most this many points goes through the exact
+/// all-pairs path and is **byte-identical** to historical tours; larger
+/// instances switch to candidate-list search. The paper's evaluation tops
+/// out at ~50 targets, so all golden scenarios sit comfortably below.
+pub const AUTO_EXACT_THRESHOLD: usize = 128;
+
+/// Default candidate-list width (`k` nearest neighbours per point) used by
+/// [`SearchMode::Auto`] and anywhere a `k` is not given explicitly.
+pub const DEFAULT_CANDIDATES_K: usize = 10;
+
+/// Which neighbourhood the construction pipeline searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SearchMode {
+    /// Exact all-pairs construction and local search (`O(n³)` worst-case
+    /// construction, `O(n²)` per polish pass). Byte-stable; the only mode
+    /// that existed before candidate lists.
+    Exact,
+    /// Candidate-list search with the given `k` (nearest neighbours per
+    /// point): incremental convex-hull insertion plus neighbour-list
+    /// 2-opt / Or-opt with don't-look bits. Near `O(n log n)` in practice.
+    Candidates(usize),
+    /// Exact at or below [`AUTO_EXACT_THRESHOLD`] points (keeping small
+    /// instances byte-identical), candidate lists with
+    /// [`DEFAULT_CANDIDATES_K`] above it. The default.
+    #[default]
+    Auto,
+}
+
+impl SearchMode {
+    /// Resolves `Auto` for an instance of `n` points; the result is always
+    /// `Exact` or `Candidates(k)`.
+    pub fn resolve(self, n: usize) -> SearchMode {
+        match self {
+            SearchMode::Auto => {
+                if n <= AUTO_EXACT_THRESHOLD {
+                    SearchMode::Exact
+                } else {
+                    SearchMode::Candidates(DEFAULT_CANDIDATES_K)
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Short human-readable label used in bench output.
+    pub fn label(&self) -> String {
+        match self {
+            SearchMode::Exact => "exact".to_string(),
+            SearchMode::Candidates(k) => format!("candidates({k})"),
+            SearchMode::Auto => "auto".to_string(),
+        }
+    }
+}
 
 /// Configuration of the CHB circuit-construction pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,15 +87,20 @@ pub struct ChbConfig {
     pub two_opt_passes: usize,
     /// Maximum number of full Or-opt sweeps (0 disables Or-opt).
     pub or_opt_passes: usize,
+    /// Which neighbourhood the construction and polish passes search.
+    pub search: SearchMode,
 }
 
 impl Default for ChbConfig {
     fn default() -> Self {
         // Enough passes to converge at the paper's instance sizes (≤ 50
-        // targets) while keeping construction instantaneous.
+        // targets) while keeping construction instantaneous. `Auto` search
+        // keeps those sizes on the exact (byte-stable) path and switches to
+        // candidate lists only above `AUTO_EXACT_THRESHOLD`.
         ChbConfig {
             two_opt_passes: 30,
             or_opt_passes: 30,
+            search: SearchMode::Auto,
         }
     }
 }
@@ -49,7 +112,14 @@ impl ChbConfig {
         ChbConfig {
             two_opt_passes: 0,
             or_opt_passes: 0,
+            search: SearchMode::Auto,
         }
+    }
+
+    /// Builder-style override of the search mode.
+    pub fn with_search(mut self, search: SearchMode) -> Self {
+        self.search = search;
+        self
     }
 }
 
@@ -60,17 +130,39 @@ pub fn construct_circuit(points: &[Point]) -> Tour {
 }
 
 /// Builds the CHB Hamiltonian circuit with an explicit configuration.
+///
+/// In candidate-list mode (explicit or via `Auto` above the threshold) no
+/// dense distance matrix is allocated — the `O(n²)` matrix is the first
+/// thing that stops fitting at thousands of targets.
 pub fn construct_circuit_with(points: &[Point], config: &ChbConfig) -> Tour {
-    let dm = DistanceMatrix::from_points(points);
-    construct_circuit_with_matrix(points, &dm, config)
+    match config.search.resolve(points.len()) {
+        SearchMode::Candidates(k) => construct_circuit_candidates(points, config, k),
+        _ => {
+            let dm = DistanceMatrix::from_points(points);
+            construct_circuit_exact(points, &dm, config)
+        }
+    }
 }
 
 /// Builds the CHB Hamiltonian circuit reusing a precomputed distance matrix.
+///
+/// The matrix only feeds the exact path; in candidate-list mode distances
+/// come straight from the coordinates (the candidate search never touches
+/// `O(n²)` state).
 pub fn construct_circuit_with_matrix(
     points: &[Point],
     dm: &DistanceMatrix,
     config: &ChbConfig,
 ) -> Tour {
+    match config.search.resolve(points.len()) {
+        SearchMode::Candidates(k) => construct_circuit_candidates(points, config, k),
+        _ => construct_circuit_exact(points, dm, config),
+    }
+}
+
+/// The exact pipeline: all-pairs convex-hull insertion, 2-opt, Or-opt, and
+/// a final 2-opt. Byte-stable — golden tests pin its tours.
+fn construct_circuit_exact(points: &[Point], dm: &DistanceMatrix, config: &ChbConfig) -> Tour {
     let mut tour = convex_hull_insertion(points, dm);
     if config.two_opt_passes > 0 {
         two_opt(&mut tour, dm, config.two_opt_passes);
@@ -85,18 +177,30 @@ pub fn construct_circuit_with_matrix(
     tour
 }
 
+/// The candidate-list pipeline: incremental insertion plus neighbour-list
+/// local search, mirroring the exact pipeline's pass structure.
+fn construct_circuit_candidates(points: &[Point], config: &ChbConfig, k: usize) -> Tour {
+    let mut tour = convex_hull_insertion_incremental(points);
+    if config.two_opt_passes == 0 && config.or_opt_passes == 0 {
+        return tour;
+    }
+    let candidates = CandidateLists::build(points, k.max(1));
+    if config.two_opt_passes > 0 {
+        two_opt_candidates(&mut tour, points, &candidates, config.two_opt_passes);
+    }
+    if config.or_opt_passes > 0 {
+        or_opt_candidates(&mut tour, points, &candidates, config.or_opt_passes);
+        if config.two_opt_passes > 0 {
+            two_opt_candidates(&mut tour, points, &candidates, config.two_opt_passes);
+        }
+    }
+    tour
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn pseudo_random_points(n: usize, salt: u64) -> Vec<Point> {
-        (0..n as u64)
-            .map(|i| {
-                let h = i.wrapping_mul(6364136223846793005).wrapping_add(salt);
-                Point::new((h % 800) as f64, ((h >> 17) % 800) as f64)
-            })
-            .collect()
-    }
+    use crate::test_support::pseudo_random_points;
 
     #[test]
     fn circuit_is_a_valid_hamiltonian_cycle() {
@@ -147,8 +251,77 @@ mod tests {
     fn default_config_enables_both_polishers() {
         let c = ChbConfig::default();
         assert!(c.two_opt_passes > 0 && c.or_opt_passes > 0);
+        assert_eq!(c.search, SearchMode::Auto);
         let raw = ChbConfig::construction_only();
         assert_eq!(raw.two_opt_passes, 0);
         assert_eq!(raw.or_opt_passes, 0);
+    }
+
+    #[test]
+    fn auto_mode_resolves_around_the_threshold() {
+        assert_eq!(
+            SearchMode::Auto.resolve(AUTO_EXACT_THRESHOLD),
+            SearchMode::Exact
+        );
+        assert_eq!(
+            SearchMode::Auto.resolve(AUTO_EXACT_THRESHOLD + 1),
+            SearchMode::Candidates(DEFAULT_CANDIDATES_K)
+        );
+        assert_eq!(SearchMode::Exact.resolve(10_000), SearchMode::Exact);
+        assert_eq!(
+            SearchMode::Candidates(7).resolve(5),
+            SearchMode::Candidates(7)
+        );
+        assert_eq!(SearchMode::Candidates(7).label(), "candidates(7)");
+        assert_eq!(SearchMode::Auto.label(), "auto");
+        assert_eq!(SearchMode::Exact.label(), "exact");
+    }
+
+    #[test]
+    fn auto_is_byte_identical_to_exact_below_the_threshold() {
+        for n in [5usize, 25, 50, AUTO_EXACT_THRESHOLD] {
+            let pts = pseudo_random_points(n, 64);
+            let auto = construct_circuit_with(&pts, &ChbConfig::default());
+            let exact =
+                construct_circuit_with(&pts, &ChbConfig::default().with_search(SearchMode::Exact));
+            assert_eq!(auto.order(), exact.order(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn candidate_mode_yields_valid_near_exact_tours() {
+        let pts = pseudo_random_points(150, 2024);
+        let exact =
+            construct_circuit_with(&pts, &ChbConfig::default().with_search(SearchMode::Exact));
+        let fast = construct_circuit_with(
+            &pts,
+            &ChbConfig::default().with_search(SearchMode::Candidates(10)),
+        );
+        assert!(fast.is_valid());
+        assert_eq!(fast.len(), pts.len());
+        let ratio = fast.length(&pts) / exact.length(&pts);
+        assert!(ratio <= 1.02, "candidate pipeline ratio {ratio:.4}");
+    }
+
+    #[test]
+    fn candidate_mode_construction_only_skips_candidate_build() {
+        let pts = pseudo_random_points(40, 7);
+        let tour = construct_circuit_with(
+            &pts,
+            &ChbConfig::construction_only().with_search(SearchMode::Candidates(8)),
+        );
+        assert!(tour.is_valid());
+        assert_eq!(tour.len(), pts.len());
+    }
+
+    #[test]
+    fn auto_switches_to_candidates_above_the_threshold() {
+        // Above the threshold the default config must still produce a valid
+        // circuit (via the candidate path — this is what planners hit on
+        // large scenarios).
+        let pts = pseudo_random_points(AUTO_EXACT_THRESHOLD + 50, 5);
+        let tour = construct_circuit(&pts);
+        assert!(tour.is_valid());
+        assert_eq!(tour.len(), pts.len());
     }
 }

@@ -12,15 +12,21 @@
 //! * Construction heuristics: [`nearest_neighbor()`], [`cheapest_insertion`],
 //!   [`convex_hull_insertion`] (the "CHB" construction), [`mst`] (Prim) with
 //!   a pre-order-walk tour for a 2-approximation cross-check.
-//! * Improvement: [`two_opt()`] and [`or_opt()`] local search.
+//! * Improvement: [`two_opt()`] and [`or_opt()`] local search (exact,
+//!   all-pairs), plus their scalable candidate-list twins in
+//!   [`candidates`] — k-nearest-neighbour lists with don't-look bits.
 //! * [`partition`] — angular and k-means target grouping (used by the Sweep
 //!   baseline and the grouping ablation).
 //! * [`chb`] — the packaged pipeline (convex-hull insertion + 2-opt + Or-opt)
-//!   used by the planners: `chb::construct_circuit(points)`.
+//!   used by the planners: `chb::construct_circuit(points)`. Its
+//!   [`SearchMode`] knob picks exact vs. candidate-list search; the default
+//!   `Auto` keeps paper-size instances byte-identical and switches to
+//!   candidate lists above [`chb::AUTO_EXACT_THRESHOLD`] points.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod candidates;
 pub mod chb;
 pub mod distance_matrix;
 pub mod insertion;
@@ -31,11 +37,12 @@ pub mod partition;
 pub mod tour;
 pub mod two_opt;
 
+pub use candidates::{or_opt_candidates, two_opt_candidates, CandidateLists};
 pub use chb::{
-    construct_circuit, construct_circuit_with, construct_circuit_with_matrix, ChbConfig,
+    construct_circuit, construct_circuit_with, construct_circuit_with_matrix, ChbConfig, SearchMode,
 };
 pub use distance_matrix::DistanceMatrix;
-pub use insertion::{cheapest_insertion, convex_hull_insertion};
+pub use insertion::{cheapest_insertion, convex_hull_insertion, convex_hull_insertion_incremental};
 pub use mst::{minimum_spanning_tree, mst_preorder_tour};
 pub use nearest_neighbor::nearest_neighbor;
 pub use or_opt::or_opt;
@@ -44,6 +51,23 @@ pub use tour::Tour;
 pub use two_opt::two_opt;
 
 use mule_geom::Point;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use mule_geom::Point;
+
+    /// Deterministic pseudo-random point sets shared by the unit tests of
+    /// the construction and search modules (one LCG hash, one 800 m field,
+    /// one copy — keep fixtures from silently diverging).
+    pub(crate) fn pseudo_random_points(n: usize, salt: u64) -> Vec<Point> {
+        (0..n as u64)
+            .map(|i| {
+                let h = i.wrapping_mul(6364136223846793005).wrapping_add(salt);
+                Point::new((h % 800) as f64, ((h >> 17) % 800) as f64)
+            })
+            .collect()
+    }
+}
 
 /// Which construction heuristic to use for the initial Hamiltonian circuit.
 ///

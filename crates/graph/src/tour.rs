@@ -10,7 +10,10 @@ use mule_geom::{Point, Polyline};
 use serde::{Deserialize, Serialize};
 
 /// An ordered Hamiltonian cycle over the point indices `0..n`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The `Default` tour is empty (no points), which lets callers
+/// `std::mem::take` a tour to work on its order without cloning.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Tour {
     order: Vec<usize>,
 }
@@ -117,9 +120,64 @@ impl Tour {
     /// Reverses the sub-sequence of positions `[i, j]` (inclusive), the
     /// 2-opt move primitive. Indices are positions in the tour, not point
     /// indices; `i <= j` is required.
+    ///
+    /// This is the *literal* (array-level) reversal used by the exact
+    /// pipeline, kept byte-for-byte stable so golden tours never change.
+    /// The candidate-list local search uses [`Tour::reverse_arc`] instead,
+    /// which reverses whichever cyclic arc is shorter.
     pub fn reverse_segment(&mut self, i: usize, j: usize) {
         if i < j && j < self.order.len() {
             self.order[i..=j].reverse();
+        }
+    }
+
+    /// Builds the inverse mapping `pos[point] = position` of the current
+    /// order, i.e. `pos[self.order()[p]] == p` for every position `p`.
+    /// The candidate-list local search keeps this index up to date across
+    /// [`Tour::reverse_arc`] calls to answer successor/predecessor queries
+    /// in `O(1)`.
+    pub fn position_index(&self) -> Vec<usize> {
+        let mut pos = vec![0usize; self.order.len()];
+        for (p, &i) in self.order.iter().enumerate() {
+            pos[i] = p;
+        }
+        pos
+    }
+
+    /// Reverses the cyclic run of positions from `from` to `to` (inclusive,
+    /// walking forward and wrapping past the end), updating the caller's
+    /// position index in place.
+    ///
+    /// Unlike [`Tour::reverse_segment`] this is orientation-agnostic: when
+    /// the complementary arc is shorter, *that* arc is physically reversed
+    /// instead — an equivalent cycle under symmetric distances — so a 2-opt
+    /// move always costs `O(min(arc, n − arc))` element swaps instead of a
+    /// full-arc `O(n)` reverse. Length bookkeeping stays exact because the
+    /// removed and added edges are identical either way.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when `pos` is not the position index of the
+    /// current order.
+    pub fn reverse_arc(&mut self, from: usize, to: usize, pos: &mut [usize]) {
+        let n = self.order.len();
+        if n < 2 {
+            return;
+        }
+        debug_assert_eq!(pos.len(), n, "position index length mismatch");
+        let inner = (to + n - from) % n + 1;
+        // Reverse whichever arc is shorter; reversing the complement
+        // `[to+1, from-1]` produces the same cycle.
+        let (mut a, mut b, len) = if inner <= n - inner {
+            (from, to, inner)
+        } else {
+            ((to + 1) % n, (from + n - 1) % n, n - inner)
+        };
+        for _ in 0..len / 2 {
+            self.order.swap(a, b);
+            pos[self.order[a]] = a;
+            pos[self.order[b]] = b;
+            a = (a + 1) % n;
+            b = (b + n - 1) % n;
         }
     }
 
@@ -228,6 +286,84 @@ mod tests {
         assert_eq!(tour.order(), &[0, 1, 2, 3]);
         assert!(tour.length(&pts) < before);
         assert!(tour.is_valid());
+    }
+
+    #[test]
+    fn position_index_inverts_the_order() {
+        let tour = Tour::new(vec![3, 1, 0, 2]);
+        let pos = tour.position_index();
+        for (p, &i) in tour.order().iter().enumerate() {
+            assert_eq!(pos[i], p);
+        }
+    }
+
+    #[test]
+    fn reverse_arc_matches_reverse_segment_on_inner_arcs() {
+        let mut a = Tour::new(vec![0, 1, 2, 3, 4, 5]);
+        let mut b = a.clone();
+        let mut pos = b.position_index();
+        a.reverse_segment(1, 2);
+        b.reverse_arc(1, 2, &mut pos);
+        assert_eq!(a.order(), b.order());
+        assert_eq!(pos, b.position_index());
+    }
+
+    #[test]
+    fn reverse_arc_of_the_long_way_reverses_the_complement() {
+        // Reversing positions 4..=1 (wrapping) touches {4, 5, 0, 1}; the
+        // complement {2, 3} is shorter, so that is what physically moves.
+        let pts = square_points();
+        let mut tour = Tour::new(vec![0, 2, 1, 3]);
+        let before = tour.length(&pts);
+        let mut pos = tour.position_index();
+        // Same 2-opt move as reverse_segment(1, 2) expressed as the
+        // complementary wrapped arc 3..=0.
+        tour.reverse_arc(3, 0, &mut pos);
+        assert!(tour.is_valid());
+        assert!(tour.length(&pts) < before, "the square is uncrossed");
+        assert_eq!(pos, tour.position_index());
+        // The cycle is 0-1-2-3 up to rotation/direction: every edge has
+        // length 10.
+        let dm = DistanceMatrix::from_points(&pts);
+        assert!((tour.length_with_matrix(&dm) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_arc_keeps_cycles_equivalent_on_random_moves() {
+        // Cross-check: reverse_arc(from, to) and an order rebuilt by hand
+        // give identical cyclic lengths for every (from, to) pair.
+        let pts: Vec<Point> = (0..9u64)
+            .map(|i| {
+                Point::new(
+                    (i.wrapping_mul(131) % 300) as f64,
+                    (i.wrapping_mul(57) % 300) as f64,
+                )
+            })
+            .collect();
+        let n = pts.len();
+        for from in 0..n {
+            for to in 0..n {
+                let mut tour = Tour::identity(n);
+                let mut pos = tour.position_index();
+                tour.reverse_arc(from, to, &mut pos);
+                assert!(tour.is_valid(), "from={from} to={to}");
+                assert_eq!(pos, tour.position_index(), "from={from} to={to}");
+
+                // Reference: reverse the cyclic run [from, to] explicitly.
+                let mut reference: Vec<usize> = (0..n).collect();
+                let len = (to + n - from) % n + 1;
+                let run: Vec<usize> = (0..len).map(|s| reference[(from + s) % n]).collect();
+                for (s, &v) in run.iter().rev().enumerate() {
+                    reference[(from + s) % n] = v;
+                }
+                let expected = Tour::new(reference).length(&pts);
+                assert!(
+                    (tour.length(&pts) - expected).abs() < 1e-9,
+                    "from={from} to={to}: {} vs {expected}",
+                    tour.length(&pts)
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub fn two_opt(tour: &mut Tour, dm: &DistanceMatrix, max_passes: usize) -> usize
     if n < 4 {
         return 0;
     }
+    // Take the order out of the tour so the inner loop indexes one local
+    // slice directly instead of re-borrowing `tour.order()` per pair (the
+    // hottest loop in the exact pipeline). The scan order, acceptance test
+    // and reversal are unchanged, so the move sequence — and the resulting
+    // tour — stay byte-identical.
+    let mut order = std::mem::take(tour).into_order();
     let mut moves = 0;
     for _ in 0..max_passes {
         let mut improved = false;
@@ -33,7 +39,6 @@ pub fn two_opt(tour: &mut Tour, dm: &DistanceMatrix, max_passes: usize) -> usize
                 if prev == j || next == i {
                     continue; // adjacent edges — reversal is a no-op
                 }
-                let order = tour.order();
                 let a0 = order[prev];
                 let a1 = order[i];
                 let b0 = order[j];
@@ -41,7 +46,7 @@ pub fn two_opt(tour: &mut Tour, dm: &DistanceMatrix, max_passes: usize) -> usize
                 let current = dm.get(a0, a1) + dm.get(b0, b1);
                 let candidate = dm.get(a0, b0) + dm.get(a1, b1);
                 if candidate + 1e-10 < current {
-                    tour.reverse_segment(i, j);
+                    order[i..=j].reverse();
                     moves += 1;
                     improved = true;
                 }
@@ -51,6 +56,7 @@ pub fn two_opt(tour: &mut Tour, dm: &DistanceMatrix, max_passes: usize) -> usize
             break;
         }
     }
+    *tour = Tour::new(order);
     moves
 }
 

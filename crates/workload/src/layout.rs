@@ -20,6 +20,29 @@ pub fn uniform_layout(rng: &mut StdRng, bounds: &BoundingBox, count: usize) -> V
         .collect()
 }
 
+/// Side length (metres) of a square field holding `targets` uniformly
+/// random targets at the paper's densest evaluated density (50 targets in
+/// the 800 m × 800 m field). Never shrinks below the paper's field so small
+/// counts keep their original geometry.
+pub fn scaled_field_side_m(targets: usize) -> f64 {
+    let paper_side = 800.0f64;
+    let paper_density_targets = 50.0f64;
+    paper_side * (targets as f64 / paper_density_targets).sqrt().max(1.0)
+}
+
+/// Generates the `bench-tours` stress topology directly as points: `count`
+/// uniformly random targets in the density-scaled field of
+/// [`scaled_field_side_m`], seeded and deterministic. Skipping the full
+/// [`Scenario`](crate::Scenario) machinery (nodes, radios, buffers) keeps
+/// large-n tour benchmarks measuring the tour engine and nothing else.
+pub fn bench_layout(seed: u64, count: usize) -> Vec<Point> {
+    use rand::SeedableRng;
+    let side = scaled_field_side_m(count);
+    let bounds = BoundingBox::square(side);
+    let mut rng = StdRng::seed_from_u64(seed);
+    uniform_layout(&mut rng, &bounds, count)
+}
+
 /// Draws `count` points grouped into `clusters` disconnected areas.
 ///
 /// Cluster centres are drawn uniformly but rejected until they are at least
@@ -112,6 +135,29 @@ mod tests {
         let c = uniform_layout(&mut rng(43), &bounds, 20);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scaled_field_keeps_paper_density() {
+        // 50 targets is the paper's densest setup: same field.
+        assert!((scaled_field_side_m(50) - 800.0).abs() < 1e-9);
+        // 5000 targets = 100× the count ⇒ 10× the side (100× the area).
+        assert!((scaled_field_side_m(5000) - 8000.0).abs() < 1e-9);
+        // Small counts never shrink the field below the paper's.
+        assert!((scaled_field_side_m(10) - 800.0).abs() < 1e-9);
+        assert!((scaled_field_side_m(0) - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_layout_is_seeded_and_in_bounds() {
+        let a = bench_layout(9, 500);
+        let b = bench_layout(9, 500);
+        let c = bench_layout(10, 500);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let bounds = BoundingBox::square(scaled_field_side_m(500));
+        assert!(a.iter().all(|p| bounds.contains(p)));
     }
 
     #[test]
