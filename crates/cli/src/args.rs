@@ -55,6 +55,20 @@ impl PlannerChoice {
             PlannerChoice::Random => "Random",
         }
     }
+
+    /// Canonical wire name used in `ScenarioSpec` requests — the name the
+    /// `mule-serve` API (and [`PlannerChoice::parse`]) accepts.
+    pub fn canonical_name(&self) -> &'static str {
+        match self {
+            PlannerChoice::BTctp => "b-tctp",
+            PlannerChoice::WTctpShortest => "w-tctp-shortest",
+            PlannerChoice::WTctpBalancing => "w-tctp-balancing",
+            PlannerChoice::RwTctp => "rw-tctp",
+            PlannerChoice::Chb => "chb",
+            PlannerChoice::Sweep => "sweep",
+            PlannerChoice::Random => "random",
+        }
+    }
 }
 
 /// Which tour-search mode the planners' circuit construction uses.
@@ -297,6 +311,81 @@ impl Default for SweepOptions {
     }
 }
 
+/// Options of the `serve` subcommand (the `mule-serve` daemon).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Connection-handler worker threads.
+    pub workers: usize,
+    /// Plan-cache capacity in entries (0 disables caching).
+    pub cache_size: usize,
+    /// Maximum concurrently admitted connections; beyond it, new
+    /// connections get `503` + `Retry-After`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let defaults = mule_serve::ServerConfig::default();
+        ServeOptions {
+            addr: defaults.addr,
+            workers: defaults.workers,
+            cache_size: defaults.cache_capacity,
+            queue_depth: defaults.queue_depth,
+        }
+    }
+}
+
+/// Options of the `loadgen` subcommand (the server load benchmark).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenOptions {
+    /// Server address to fire at.
+    pub addr: String,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Distinct scenario specs rotated through (controls the expected
+    /// cache hit rate).
+    pub spec_pool: usize,
+    /// Targets of the base spec.
+    pub targets: usize,
+    /// Mules of the base spec.
+    pub mules: usize,
+    /// Base seed (request *i* uses `seed + (i mod spec_pool)`).
+    pub seed: u64,
+    /// Planner of the base spec.
+    pub planner: PlannerChoice,
+    /// Optional path of the JSON artefact (`BENCH_server.json`).
+    pub json_path: Option<String>,
+    /// Regression gate: fail when p99 latency exceeds this many
+    /// milliseconds.
+    pub max_p99_ms: Option<f64>,
+    /// Regression gate: fail when throughput falls below this many
+    /// requests per second.
+    pub min_rps: Option<f64>,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        let defaults = mule_serve::LoadgenParams::default();
+        LoadgenOptions {
+            addr: defaults.addr,
+            requests: defaults.requests,
+            connections: defaults.connections,
+            spec_pool: defaults.spec_pool,
+            targets: defaults.base.targets,
+            mules: defaults.base.mules,
+            seed: defaults.base.seed,
+            planner: PlannerChoice::BTctp,
+            json_path: None,
+            max_p99_ms: None,
+            min_rps: None,
+        }
+    }
+}
+
 /// A parsed `patrolctl` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliCommand {
@@ -304,6 +393,9 @@ pub enum CliCommand {
     Help,
     /// Render the scenario and the planned route as ASCII art.
     Render(CliOptions),
+    /// Print the plan-response JSON for a scenario — byte-identical to
+    /// what `serve` answers on `POST /v1/plan` for the same spec.
+    Plan(CliOptions),
     /// Simulate one planner and print its metric reports.
     Simulate(CliOptions),
     /// Run every planner on the same scenario and print a comparison table.
@@ -317,6 +409,11 @@ pub enum CliCommand {
     /// Benchmark the tour engine (exact vs. candidate-list search) and
     /// optionally write the tracked `BENCH_tours.json` artefact.
     BenchTours(BenchToursOptions),
+    /// Run the planning service daemon (blocks forever).
+    Serve(ServeOptions),
+    /// Fire concurrent requests at a running server and optionally write
+    /// the tracked `BENCH_server.json` artefact.
+    Loadgen(LoadgenOptions),
 }
 
 /// Errors produced by the argument parser.
@@ -372,7 +469,7 @@ pub const USAGE: &str = "\
 patrolctl — data-mule patrolling toolkit (B-TCTP / W-TCTP / RW-TCTP)
 
 USAGE:
-    patrolctl <render|simulate|compare|dynamics|sweep|bench-tours|help> [flags]
+    patrolctl <render|plan|simulate|compare|dynamics|sweep|bench-tours|serve|loadgen|help> [flags]
 
 FLAGS (scenario subcommands):
     --targets N        number of targets               [default: 10]
@@ -407,6 +504,22 @@ FLAGS (sweep only — the grid is the cartesian product of the axes):
     --workers N          worker threads (default: MULE_PAR_WORKERS or all cores)
     --csv FILE           write the aggregated statistics as CSV
 
+FLAGS (serve only — the planning-service daemon, see docs/SERVER.md):
+    --addr HOST:PORT     bind address                   [default: 127.0.0.1:7878]
+    --workers N          connection-handler threads     [default: 4]
+    --cache-size N       plan-cache entries (0 = off)   [default: 128]
+    --queue-depth N      concurrent connections before 503  [default: 64]
+
+FLAGS (loadgen only — the tracked server load benchmark):
+    --addr HOST:PORT     server to fire at              [default: 127.0.0.1:7878]
+    --requests N         total requests                 [default: 1000]
+    --connections M      concurrent connections         [default: 4]
+    --spec-pool K        distinct specs rotated through [default: 4]
+    --targets/--mules/--seed/--planner   base spec      (as above)
+    --json FILE          write the report as JSON (BENCH_server.json)
+    --max-p99 MS         fail when p99 latency exceeds MS milliseconds
+    --min-rps R          fail when throughput falls below R req/s
+
 FLAGS (bench-tours only — the tracked tour-engine benchmark):
     --sizes LIST         instance sizes                 [default: 50,200,1000,5000]
     --seed S             topology seed                  [default: 42]
@@ -423,6 +536,9 @@ EXAMPLES:
         --disruptions none,mixed --replicas 20 --csv sweep.csv
     patrolctl bench-tours --sizes 50,200,1000 --json BENCH_tours.json \\
         --max-ratio 1.02
+    patrolctl serve --addr 127.0.0.1:7878 --workers 4 --cache-size 128
+    patrolctl loadgen --requests 1000 --connections 4 \\
+        --json BENCH_server.json --max-p99 250 --min-rps 50
 ";
 
 fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
@@ -477,6 +593,65 @@ fn parse_bench_tours(args: &[String]) -> Result<CliCommand, CliError> {
     Ok(CliCommand::BenchTours(options))
 }
 
+/// Parses the flags of `serve`.
+fn parse_serve(args: &[String]) -> Result<CliCommand, CliError> {
+    let mut options = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+        };
+        match flag {
+            "--addr" => options.addr = take_value()?,
+            "--workers" => options.workers = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--cache-size" => options.cache_size = parse_flag(flag, &take_value()?)?,
+            "--queue-depth" => {
+                options.queue_depth = parse_flag::<usize>(flag, &take_value()?)?.max(1)
+            }
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+        i += 1;
+    }
+    Ok(CliCommand::Serve(options))
+}
+
+/// Parses the flags of `loadgen`.
+fn parse_loadgen(args: &[String]) -> Result<CliCommand, CliError> {
+    let mut options = LoadgenOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+        };
+        match flag {
+            "--addr" => options.addr = take_value()?,
+            "--requests" => options.requests = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--connections" => {
+                options.connections = parse_flag::<usize>(flag, &take_value()?)?.max(1)
+            }
+            "--spec-pool" => options.spec_pool = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--targets" => options.targets = parse_flag(flag, &take_value()?)?,
+            "--mules" => options.mules = parse_flag(flag, &take_value()?)?,
+            "--seed" => options.seed = parse_flag(flag, &take_value()?)?,
+            "--planner" => options.planner = PlannerChoice::parse(&take_value()?)?,
+            "--json" => options.json_path = Some(take_value()?),
+            "--max-p99" => options.max_p99_ms = Some(parse_flag(flag, &take_value()?)?),
+            "--min-rps" => options.min_rps = Some(parse_flag(flag, &take_value()?)?),
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+        i += 1;
+    }
+    Ok(CliCommand::Loadgen(options))
+}
+
 /// Parses the argument list (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
     let command = args.first().ok_or(CliError::MissingCommand)?;
@@ -485,6 +660,12 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
     }
     if command == "bench-tours" {
         return parse_bench_tours(&args[1..]);
+    }
+    if command == "serve" {
+        return parse_serve(&args[1..]);
+    }
+    if command == "loadgen" {
+        return parse_loadgen(&args[1..]);
     }
     let is_dynamics = command == "dynamics";
     let is_sweep = command == "sweep";
@@ -572,6 +753,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
 
     match command.as_str() {
         "render" => Ok(CliCommand::Render(options)),
+        "plan" => Ok(CliCommand::Plan(options)),
         "simulate" => Ok(CliCommand::Simulate(options)),
         "compare" => Ok(CliCommand::Compare(options)),
         "dynamics" => {
@@ -959,6 +1141,126 @@ mod tests {
         ));
         assert!(USAGE.contains("bench-tours"));
         assert!(USAGE.contains("--max-ratio"));
+    }
+
+    #[test]
+    fn plan_shares_the_scenario_flags() {
+        let CliCommand::Plan(opts) =
+            parse_args(&argv("plan --targets 12 --mules 3 --seed 7 --planner chb")).unwrap()
+        else {
+            panic!("expected plan");
+        };
+        assert_eq!(opts.targets, 12);
+        assert_eq!(opts.mules, 3);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.planner, PlannerChoice::Chb);
+        assert!(USAGE.contains("plan"));
+    }
+
+    #[test]
+    fn canonical_planner_names_parse_back_to_the_same_choice() {
+        for choice in [
+            PlannerChoice::BTctp,
+            PlannerChoice::WTctpShortest,
+            PlannerChoice::WTctpBalancing,
+            PlannerChoice::RwTctp,
+            PlannerChoice::Chb,
+            PlannerChoice::Sweep,
+            PlannerChoice::Random,
+        ] {
+            assert_eq!(
+                PlannerChoice::parse(choice.canonical_name()).unwrap(),
+                choice,
+                "{}",
+                choice.canonical_name()
+            );
+        }
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let CliCommand::Serve(opts) = parse_args(&argv("serve")).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(opts, ServeOptions::default());
+        assert_eq!(opts.addr, "127.0.0.1:7878");
+
+        let cmd = parse_args(&argv(
+            "serve --addr 0.0.0.0:9000 --workers 8 --cache-size 256 --queue-depth 32",
+        ))
+        .unwrap();
+        let CliCommand::Serve(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.addr, "0.0.0.0:9000");
+        assert_eq!(opts.workers, 8);
+        assert_eq!(opts.cache_size, 256);
+        assert_eq!(opts.queue_depth, 32);
+
+        // Worker/queue floors: zero would deadlock the daemon.
+        let CliCommand::Serve(opts) =
+            parse_args(&argv("serve --workers 0 --queue-depth 0")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(opts.workers, 1);
+        assert_eq!(opts.queue_depth, 1);
+        // Cache size zero is a legal "caching off" configuration.
+        let CliCommand::Serve(opts) = parse_args(&argv("serve --cache-size 0")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.cache_size, 0);
+
+        assert!(matches!(
+            parse_args(&argv("serve --targets 5")).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+        assert!(USAGE.contains("serve"));
+        assert!(USAGE.contains("--queue-depth"));
+    }
+
+    #[test]
+    fn loadgen_defaults_flags_and_gates() {
+        let CliCommand::Loadgen(opts) = parse_args(&argv("loadgen")).unwrap() else {
+            panic!("expected loadgen");
+        };
+        assert_eq!(opts, LoadgenOptions::default());
+        assert_eq!(opts.requests, 1000);
+        assert_eq!(opts.connections, 4);
+        assert!(opts.max_p99_ms.is_none());
+
+        let cmd = parse_args(&argv(
+            "loadgen --addr 127.0.0.1:7979 --requests 2000 --connections 8 --spec-pool 16 \
+             --targets 12 --mules 3 --seed 9 --planner chb --json BENCH_server.json \
+             --max-p99 250 --min-rps 50",
+        ))
+        .unwrap();
+        let CliCommand::Loadgen(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.addr, "127.0.0.1:7979");
+        assert_eq!(opts.requests, 2000);
+        assert_eq!(opts.connections, 8);
+        assert_eq!(opts.spec_pool, 16);
+        assert_eq!(opts.targets, 12);
+        assert_eq!(opts.mules, 3);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.planner, PlannerChoice::Chb);
+        assert_eq!(opts.json_path.as_deref(), Some("BENCH_server.json"));
+        assert_eq!(opts.max_p99_ms, Some(250.0));
+        assert_eq!(opts.min_rps, Some(50.0));
+
+        assert!(matches!(
+            parse_args(&argv("loadgen --svg x.svg")).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            parse_args(&argv("loadgen --max-p99 fast")).unwrap_err(),
+            CliError::InvalidValue { .. }
+        ));
+        assert!(USAGE.contains("loadgen"));
+        assert!(USAGE.contains("--max-p99"));
+        assert!(USAGE.contains("--min-rps"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::args::{
     BenchToursOptions, CliCommand, CliError, CliOptions, DisruptionPreset, DynamicsOptions,
-    PlannerChoice, SweepOptions, USAGE,
+    LoadgenOptions, PlannerChoice, ServeOptions, SweepOptions, USAGE,
 };
 use mule_bench::tourbench::{run_tour_bench, TourBenchParams};
 use mule_graph::ChbConfig;
@@ -16,7 +16,7 @@ use mule_metrics::{
 use mule_sim::{DynamicSimulation, Simulation, SimulationConfig, SimulationOutcome};
 use mule_viz::{plan_to_svg, render_plan, render_scenario, SvgStyle};
 use mule_workload::{
-    DisruptionConfig, DisruptionPlan, Scenario, ScenarioConfig, SweepSpec, WeightSpec,
+    DisruptionConfig, DisruptionPlan, Scenario, ScenarioConfig, ScenarioSpec, SweepSpec,
 };
 use patrol_core::baselines::{ChbPlanner, RandomPlanner, SweepPlanner};
 use patrol_core::{
@@ -79,22 +79,27 @@ impl From<std::io::Error> for CommandError {
     }
 }
 
+/// The service-layer scenario spec the CLI options describe. This is the
+/// single source of truth for flag → scenario mapping: both the offline
+/// commands (via [`build_scenario_config`]) and the serving path
+/// (`patrolctl plan`, `loadgen`, the server) build their scenarios from a
+/// [`ScenarioSpec`], so the two front ends cannot drift.
+pub fn spec_from_options(options: &CliOptions) -> ScenarioSpec {
+    ScenarioSpec {
+        targets: options.targets,
+        mules: options.mules,
+        seed: options.seed,
+        vips: options.vips,
+        vip_weight: options.vip_weight,
+        recharge: options.recharge,
+        planner: options.planner.canonical_name().to_string(),
+        horizon_s: options.horizon_s,
+    }
+}
+
 /// Builds the scenario configuration described by the CLI options.
 pub fn build_scenario_config(options: &CliOptions) -> ScenarioConfig {
-    let weights = if options.vips > 0 {
-        WeightSpec::UniformVips {
-            count: options.vips,
-            weight: options.vip_weight.max(2),
-        }
-    } else {
-        WeightSpec::AllNormal
-    };
-    ScenarioConfig::paper_default()
-        .with_targets(options.targets)
-        .with_mules(options.mules)
-        .with_seed(options.seed)
-        .with_weights(weights)
-        .with_recharge_station(options.recharge)
+    spec_from_options(options).scenario_config()
 }
 
 /// Builds the scenario described by the CLI options.
@@ -469,16 +474,107 @@ fn run_bench_tours(options: &BenchToursOptions) -> Result<CommandOutput, Command
     Ok(output)
 }
 
+/// Maps a service-layer error onto the command error taxonomy.
+fn api_error(e: mule_serve::ApiError) -> CommandError {
+    match e {
+        mule_serve::ApiError::Plan(plan_err) => CommandError::Plan(plan_err),
+        mule_serve::ApiError::BadRequest(msg) => CommandError::Check(msg),
+    }
+}
+
+/// `patrolctl plan`: print the plan-response document for the scenario
+/// flags — byte-identical to what a server answers on `POST /v1/plan`
+/// for the same spec (the CI smoke job diffs the two).
+fn run_plan(options: &CliOptions) -> Result<CommandOutput, CommandError> {
+    let spec = spec_from_options(options);
+    let json = mule_serve::plan_response_json(&spec).map_err(api_error)?;
+    Ok(CommandOutput::text_only(json))
+}
+
+/// `patrolctl serve`: run the daemon. Blocks until the process is
+/// killed; the listening line goes to stderr so stdout stays clean for
+/// tooling.
+fn run_serve(options: &ServeOptions) -> Result<CommandOutput, CommandError> {
+    let config = mule_serve::ServerConfig {
+        addr: options.addr.clone(),
+        workers: options.workers,
+        cache_capacity: options.cache_size,
+        queue_depth: options.queue_depth,
+        ..mule_serve::ServerConfig::default()
+    };
+    let server = mule_serve::start(config)?;
+    eprintln!("mule-serve listening on http://{}", server.addr());
+    eprintln!("endpoints: GET /healthz  GET /metrics  POST /v1/plan  POST /v1/simulate");
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `patrolctl loadgen`: drive a running server and report/gate the
+/// results.
+fn run_loadgen(options: &LoadgenOptions) -> Result<CommandOutput, CommandError> {
+    let base = ScenarioSpec {
+        targets: options.targets,
+        mules: options.mules,
+        seed: options.seed,
+        planner: options.planner.canonical_name().to_string(),
+        ..ScenarioSpec::default()
+    };
+    let params = mule_serve::LoadgenParams {
+        addr: options.addr.clone(),
+        requests: options.requests,
+        connections: options.connections,
+        spec_pool: options.spec_pool,
+        base,
+        ..mule_serve::LoadgenParams::default()
+    };
+    let report = mule_serve::run_loadgen(&params);
+
+    let mut output = CommandOutput::text_only(report.render());
+    if let Some(path) = &options.json_path {
+        std::fs::write(path, report.to_json())?;
+        output.files_written.push(path.clone());
+    }
+
+    // Gates run after the artefact is written, like `bench-tours`.
+    if report.ok == 0 {
+        return Err(CommandError::Check(format!(
+            "no request succeeded against {} ({} errors) — is the server up?",
+            options.addr, report.errors
+        )));
+    }
+    if let Some(bound) = options.max_p99_ms {
+        let p99 = report.p99_ms();
+        if p99 > bound {
+            return Err(CommandError::Check(format!(
+                "p99 latency {p99:.2} ms exceeds --max-p99 {bound} ms"
+            )));
+        }
+    }
+    if let Some(bound) = options.min_rps {
+        if report.rps < bound {
+            return Err(CommandError::Check(format!(
+                "throughput {:.1} req/s below --min-rps {bound}",
+                report.rps
+            )));
+        }
+    }
+    Ok(output)
+}
+
 /// Executes a parsed command.
 pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> {
     match command {
         CliCommand::Help => Ok(CommandOutput::text_only(USAGE.to_string())),
         CliCommand::Render(options) => run_render(options),
+        CliCommand::Plan(options) => run_plan(options),
         CliCommand::Simulate(options) => run_simulate(options),
         CliCommand::Compare(options) => run_compare(options),
         CliCommand::Dynamics(options) => run_dynamics(options),
         CliCommand::Sweep(options) => run_sweep(options),
         CliCommand::BenchTours(options) => run_bench_tours(options),
+        CliCommand::Serve(options) => run_serve(options),
+        CliCommand::Loadgen(options) => run_loadgen(options),
     }
 }
 
@@ -781,6 +877,51 @@ mod tests {
         cand.knn = Some(6);
         let c = run_command(&CliCommand::Simulate(cand)).unwrap();
         assert!(c.text.contains("planner: B-TCTP"));
+    }
+
+    #[test]
+    fn spec_from_options_mirrors_the_scenario_mapping() {
+        let mut opts = options();
+        opts.vips = 2;
+        opts.vip_weight = 3;
+        opts.recharge = true;
+        opts.planner = PlannerChoice::RwTctp;
+        let spec = spec_from_options(&opts);
+        assert_eq!(spec.targets, 8);
+        assert_eq!(spec.planner, "rw-tctp");
+        assert_eq!(spec.horizon_s, 15_000.0);
+        // The config built through the spec is the config the offline
+        // commands use — one mapping, two front ends.
+        assert_eq!(spec.scenario_config(), build_scenario_config(&opts));
+    }
+
+    #[test]
+    fn plan_prints_the_service_response_document() {
+        let out = run_command(&CliCommand::Plan(options())).unwrap();
+        assert!(out.files_written.is_empty());
+        // Byte-identical to the service-layer computation for the same
+        // spec — the contract the CI smoke job diffs over HTTP.
+        let expected = mule_serve::plan_response_json(&spec_from_options(&options())).unwrap();
+        assert_eq!(out.text, expected);
+        assert!(out.text.contains("\"schema\": \"plan-response/v1\""));
+        assert!(out.text.ends_with('\n'));
+
+        let mut bad = options();
+        bad.mules = 0;
+        let err = run_command(&CliCommand::Plan(bad)).unwrap_err();
+        assert!(err.to_string().contains("planning failed"));
+    }
+
+    #[test]
+    fn loadgen_against_a_dead_address_fails_the_gate() {
+        let opts = LoadgenOptions {
+            addr: "127.0.0.1:1".to_string(),
+            requests: 4,
+            connections: 2,
+            ..LoadgenOptions::default()
+        };
+        let err = run_command(&CliCommand::Loadgen(opts)).unwrap_err();
+        assert!(err.to_string().contains("no request succeeded"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Log-bucketed latency histograms for the serving path.
+//!
+//! `mule-serve`'s `/metrics` endpoint and the `patrolctl loadgen` client
+//! both need cheap, mergeable latency percentiles. A sorted-sample
+//! percentile is exact but O(n) memory per request stream; a
+//! [`LatencyHistogram`] is O(1) per observation and O(buckets) to merge,
+//! at a bounded relative error.
+//!
+//! ## Bucket layout
+//!
+//! Observations are bucketed on integer **nanoseconds** with a
+//! log-linear layout (the HdrHistogram idea, radically simplified): every
+//! power-of-two octave is split into [`SUB_BUCKETS`] equal-width linear
+//! sub-buckets. Below `SUB_BUCKETS` nanoseconds each bucket holds exactly
+//! one nanosecond value, so the layout is exact there. The scheme is
+//! *static* — no configuration, no rescaling — which is what makes two
+//! histograms recorded on different threads (or different machines)
+//! mergeable by plain element-wise addition.
+//!
+//! The width of a bucket in octave `e` is `2^(e-3)` ns while its smallest
+//! member is at least `8 · 2^(e-3)` ns, so a reported quantile (the
+//! **upper bound** of the bucket holding the requested rank) overestimates
+//! the true sample quantile by at most 12.5 %.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Number of linear sub-buckets per power-of-two octave (must be a power
+/// of two; 8 gives ≤ 12.5 % relative quantile error).
+pub const SUB_BUCKETS: u64 = 8;
+
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Total bucket count: one exact bucket per nanosecond below
+/// [`SUB_BUCKETS`], then [`SUB_BUCKETS`] per octave up to `u64::MAX` ns.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUB_BUCKETS as usize;
+
+/// Bucket index of a nanosecond observation. Total and monotone over the
+/// whole `u64` range: every value lands in exactly one bucket, and larger
+/// values never land in earlier buckets.
+pub fn bucket_index(nanos: u64) -> usize {
+    if nanos < SUB_BUCKETS {
+        return nanos as usize;
+    }
+    let e = 63 - nanos.leading_zeros(); // position of the leading bit, ≥ SUB_BITS
+    let shift = e - SUB_BITS;
+    let sub = (nanos >> shift) & (SUB_BUCKETS - 1);
+    ((e - SUB_BITS + 1) as usize) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Inclusive `[lower, upper]` nanosecond range of bucket `index`.
+///
+/// Every `n` with `bucket_index(n) == index` lies in this range, and the
+/// bounds themselves map back to `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let sub_buckets = SUB_BUCKETS as usize;
+    if index < sub_buckets {
+        return (index as u64, index as u64);
+    }
+    let e = (index / sub_buckets) as u32 + SUB_BITS - 1;
+    let sub = (index % sub_buckets) as u64;
+    let width = 1u64 << (e - SUB_BITS);
+    let lower = (SUB_BUCKETS + sub) << (e - SUB_BITS);
+    (lower, lower + (width - 1))
+}
+
+/// A mergeable log-bucketed latency histogram with exact count / mean /
+/// min / max and bounded-error quantiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    counts: Vec<u64>,
+    /// Total observations.
+    count: u64,
+    /// Sum of all observations, nanoseconds. Integer so that merging two
+    /// histograms is exactly the same as interleaved recording — no
+    /// floating-point accumulation-order effects.
+    sum_ns: u128,
+    /// Smallest observation, nanoseconds.
+    min_ns: u64,
+    /// Largest observation, nanoseconds.
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one observation given in seconds. Negative and non-finite
+    /// values clamp to zero (they can only come from clock misuse and must
+    /// not poison the buckets).
+    pub fn record(&mut self, seconds: f64) {
+        let nanos = if seconds.is_finite() && seconds > 0.0 {
+            let ns = (seconds * 1e9).round();
+            if ns >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                ns as u64
+            }
+        } else {
+            0
+        };
+        self.record_nanos(nanos);
+    }
+
+    /// Records one observation given as a [`Duration`].
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Records one observation given in integer nanoseconds.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.counts[bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(nanos);
+        self.min_ns = self.min_ns.min(nanos);
+        self.max_ns = self.max_ns.max(nanos);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of all observations, seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / 1e9 / self.count as f64
+        }
+    }
+
+    /// Exact smallest observation, seconds (0 when empty).
+    pub fn min_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_ns as f64 / 1e9
+        }
+    }
+
+    /// Exact largest observation, seconds (0 when empty).
+    pub fn max_s(&self) -> f64 {
+        self.max_ns as f64 / 1e9
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) in seconds: the upper
+    /// bound of the bucket containing the observation of rank
+    /// `ceil(q · count)`. Overestimates the true sample quantile by at
+    /// most 12.5 % (and never past the recorded maximum). Zero when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, upper) = bucket_bounds(i);
+                return upper.min(self.max_ns) as f64 / 1e9;
+            }
+        }
+        self.max_s()
+    }
+
+    /// Median latency, seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency, seconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency, seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one. Because the bucket layout
+    /// is static, merging is element-wise addition and the result is
+    /// identical to having recorded both observation streams into a
+    /// single histogram, in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_below_sub_buckets_are_exact() {
+        for n in 0..SUB_BUCKETS {
+            assert_eq!(bucket_index(n), n as usize);
+            assert_eq!(bucket_bounds(n as usize), (n, n));
+        }
+    }
+
+    #[test]
+    fn exact_bucket_boundaries_first_octaves() {
+        // First bucketed octave [8, 16): width 1, still exact.
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(15), 15);
+        // Second octave [16, 32): width 2.
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(17), 16, "16 and 17 share a bucket");
+        assert_eq!(bucket_index(18), 17);
+        assert_eq!(bucket_index(31), 23);
+        // Third octave [32, 64): width 4.
+        assert_eq!(bucket_index(32), 24);
+        assert_eq!(bucket_index(35), 24);
+        assert_eq!(bucket_index(36), 25);
+        assert_eq!(bucket_bounds(24), (32, 35));
+    }
+
+    #[test]
+    fn bounds_and_index_are_mutually_consistent() {
+        // For a spread of buckets: every value in [lower, upper] maps back
+        // to the bucket, and the neighbours map outside it.
+        for index in [0usize, 7, 8, 15, 16, 23, 24, 100, 200, 300, 400] {
+            let (lower, upper) = bucket_bounds(index);
+            assert_eq!(bucket_index(lower), index, "lower bound of {index}");
+            assert_eq!(bucket_index(upper), index, "upper bound of {index}");
+            if lower > 0 {
+                assert_eq!(bucket_index(lower - 1), index - 1);
+            }
+            if upper < u64::MAX {
+                assert_eq!(bucket_index(upper + 1), index + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_total_and_monotone_at_extremes() {
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert!(bucket_index(u64::MAX / 2) < bucket_index(u64::MAX));
+        let (_, upper) = bucket_bounds(NUM_BUCKETS - 1);
+        assert_eq!(upper, u64::MAX);
+    }
+
+    #[test]
+    fn count_mean_min_max_are_exact() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        for ms in [1.0, 2.0, 3.0, 10.0] {
+            h.record(ms / 1000.0);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean_s() - 0.004).abs() < 1e-9);
+        assert!((h.min_s() - 0.001).abs() < 1e-12);
+        assert!((h.max_s() - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_within_the_error_bound() {
+        let mut h = LatencyHistogram::new();
+        // 1..=1000 µs, uniformly.
+        for us in 1..=1000u64 {
+            h.record_nanos(us * 1000);
+        }
+        for (q, exact_us) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got_us = h.quantile(q) * 1e6;
+            assert!(
+                got_us >= exact_us && got_us <= exact_us * 1.125 + 1.0,
+                "q={q}: got {got_us} µs, exact {exact_us} µs"
+            );
+        }
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert!(h.p99() <= h.max_s());
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(empty.mean_s(), 0.0);
+        assert_eq!(empty.min_s(), 0.0);
+        assert_eq!(empty.max_s(), 0.0);
+
+        let mut one = LatencyHistogram::new();
+        one.record(0.001);
+        // Every quantile of a single observation is that observation's
+        // bucket, capped at the recorded max — i.e. exactly 1 ms here.
+        assert_eq!(one.quantile(0.0), 0.001);
+        assert_eq!(one.quantile(1.0), 0.001);
+
+        let mut h = LatencyHistogram::new();
+        h.record(-5.0); // clamps to zero instead of corrupting state
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_s(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_histogram() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let ns = (i + 1) * 7919; // spread across several octaves
+            if i % 2 == 0 {
+                a.record_nanos(ns);
+            } else {
+                b.record_nanos(ns);
+            }
+            combined.record_nanos(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.count(), 500);
+        assert_eq!(a.p99(), combined.p99());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.002);
+        let before = h.clone();
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h, before);
+
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn duration_recording_matches_seconds() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_duration(Duration::from_micros(1500));
+        b.record(0.0015);
+        assert_eq!(a, b);
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`SweepReport`] — per-cell mean / stddev / 95 % CI aggregation of a
 //!   parallel [`mule_workload::SweepSpec`] run (the `patrolctl sweep`
 //!   table and CSV).
+//! * [`LatencyHistogram`] — mergeable log-bucketed latency histogram with
+//!   `p50`/`p95`/`p99`, backing the `mule-serve` `/metrics` endpoint and
+//!   the `patrolctl loadgen` report.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -28,6 +31,7 @@ pub mod dcdt;
 pub mod energy_eff;
 pub mod fairness;
 pub mod intervals;
+pub mod latency;
 pub mod phases;
 pub mod summary;
 pub mod sweep_report;
@@ -37,6 +41,7 @@ pub use dcdt::DcdtSeries;
 pub use energy_eff::EnergyEfficiencyReport;
 pub use fairness::{jain_index, FairnessReport};
 pub use intervals::IntervalReport;
+pub use latency::LatencyHistogram;
 pub use phases::{PhaseDelay, PhaseDelayReport};
 pub use summary::SummaryStatistics;
 pub use sweep_report::{SweepCellSummary, SweepReport};

@@ -31,6 +31,11 @@
 //!   parallel replication sweep inside a parallel figure grid is bounded by
 //!   one pool's worth of threads, not workers².
 //!
+//! Beyond the scoped maps, [`pool::TaskPool`] provides **long-lived**
+//! workers for job streams that outlive any one call — `mule-serve` runs
+//! its connection handlers on one — with a join-on-drop shutdown
+//! contract.
+//!
 //! ## Worker-count resolution
 //!
 //! [`resolve_workers`] picks the pool size from, in priority order:
@@ -52,6 +57,10 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+
+pub mod pool;
+
+pub use pool::TaskPool;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,237 @@
+//! A long-lived task pool: spawn heterogeneous jobs onto a fixed set of
+//! worker threads and join every worker on shutdown.
+//!
+//! The parallel maps in the crate root are *scoped*: they spawn workers,
+//! drain one index range, and join before returning — perfect for sweeps,
+//! useless for a server that must run an unbounded stream of independent
+//! jobs (connection handlers) over its whole lifetime. [`TaskPool`] fills
+//! that gap:
+//!
+//! * [`TaskPool::spawn`] enqueues a boxed `FnOnce` job; an idle worker
+//!   picks it up in FIFO order.
+//! * Dropping the pool is the shutdown protocol: workers finish the
+//!   already-queued jobs, then exit, and `Drop` **joins every worker**
+//!   before returning — no detached threads survive the pool.
+//! * A panicking job does not kill its worker: the panic is caught,
+//!   counted (see [`TaskPool::panic_count`]) and the worker moves on to
+//!   the next job. A server must not lose capacity because one handler
+//!   panicked.
+//!
+//! Unlike the scoped maps, pool workers do **not** set the in-worker flag:
+//! a job may itself issue a parallel map (e.g. a `/v1/simulate` handler
+//! running a replication sweep), and that map should still parallelise on
+//! its own scoped pool rather than degrade to sequential execution.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job submitted to the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    /// Jobs that panicked (caught, worker kept alive).
+    panics: AtomicUsize,
+    /// Workers that have fully exited their run loop (used by tests to
+    /// prove the drop-join contract).
+    exited: AtomicUsize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of long-lived worker threads executing submitted
+/// jobs in FIFO order. See the module docs for the shutdown contract.
+pub struct TaskPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("workers", &self.workers.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl TaskPool {
+    /// Starts a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            panics: AtomicUsize::new(0),
+            exited: AtomicUsize::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        TaskPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of jobs queued and not yet started.
+    pub fn pending(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool mutex poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Number of jobs that panicked so far (the panics are caught; the
+    /// workers survive).
+    pub fn panic_count(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a job. An idle worker runs it as soon as possible; jobs
+    /// submitted before a shutdown are guaranteed to run before the pool's
+    /// `Drop` returns.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside a job (impossible by
+            // construction, but join is fallible) must not abort the drop
+            // of the remaining handles.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool mutex poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    // Queue drained and shutdown requested: exit.
+                    shared.exited.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                state = shared.available.wait(state).expect("pool mutex poisoned");
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_drop_joins_every_worker() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = TaskPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let shared = Arc::clone(&pool.shared);
+        for _ in 0..64 {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                std::thread::sleep(Duration::from_micros(200));
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        // Drop returns only after every queued job ran and every worker
+        // exited its loop — the join-on-shutdown contract.
+        assert_eq!(ran.load(Ordering::SeqCst), 64);
+        assert_eq!(shared.exited.load(Ordering::SeqCst), 4);
+        assert!(shared.state.lock().unwrap().jobs.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = TaskPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let done2 = Arc::clone(&done);
+        pool.spawn(move || {
+            done2.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panicking_jobs_are_counted_and_do_not_kill_workers() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = TaskPool::new(1);
+        pool.spawn(|| panic!("handler bug"));
+        let ran2 = Arc::clone(&ran);
+        // The single worker must survive the panic to run this job.
+        pool.spawn(move || {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        });
+        let shared = Arc::clone(&pool.shared);
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(shared.panics.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.exited.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn an_idle_pool_shuts_down_immediately() {
+        let pool = TaskPool::new(3);
+        let shared = Arc::clone(&pool.shared);
+        drop(pool);
+        assert_eq!(shared.exited.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn jobs_can_run_nested_parallel_maps() {
+        // A pool job issuing a scoped parallel map must still parallelise
+        // correctly (pool workers do not set the in-worker flag).
+        let pool = TaskPool::new(2);
+        let result = Arc::new(Mutex::new(Vec::new()));
+        let result2 = Arc::clone(&result);
+        pool.spawn(move || {
+            let squares = crate::parallel_map_indexed_with(2, 10, |i| i * i);
+            *result2.lock().unwrap() = squares;
+        });
+        drop(pool);
+        let expected: Vec<usize> = (0..10).map(|i| i * i).collect();
+        assert_eq!(*result.lock().unwrap(), expected);
+    }
+}

@@ -1,0 +1,433 @@
+//! The load generator: fire N `/v1/plan` requests over M concurrent
+//! keep-alive connections and aggregate throughput, latency percentiles
+//! and the client-observed cache behaviour into a [`LoadReport`] — the
+//! tracked `BENCH_server.json` artefact behind `patrolctl loadgen`.
+//!
+//! Each connection runs on its own thread with its own
+//! [`LatencyHistogram`]; the per-connection histograms are **merged**
+//! at the end (static bucket layout — merging is exact), so the reported
+//! percentiles cover the whole run without any cross-thread contention
+//! during measurement.
+//!
+//! Requests rotate through a pool of `spec_pool` distinct scenario seeds,
+//! so a run exercises both the cold path (first occurrence of each spec)
+//! and the cache path (every repeat). The cache outcome of every request
+//! is taken from the server's `X-Cache` header, making the reported hit
+//! rate an end-to-end observation rather than a server-side claim.
+
+use crate::api::spec_to_json;
+use crate::http::{read_response, write_request, ClientResponse, HttpError};
+use crate::json::JsonValue;
+use mule_metrics::LatencyHistogram;
+use mule_workload::ScenarioSpec;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenParams {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Concurrent connections (each a thread).
+    pub connections: usize,
+    /// Number of distinct specs rotated through (≥ 1); the run's expected
+    /// cache hit rate is roughly `1 − spec_pool / requests`.
+    pub spec_pool: usize,
+    /// Base spec; request *i* uses `base.seed + (i mod spec_pool)`.
+    pub base: ScenarioSpec,
+    /// Per-request response timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenParams {
+    fn default() -> Self {
+        LoadgenParams {
+            addr: "127.0.0.1:7878".to_string(),
+            requests: 1000,
+            connections: 4,
+            spec_pool: 4,
+            base: ScenarioSpec::default(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregated results of a load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// Connections used.
+    pub connections: usize,
+    /// Distinct specs rotated through.
+    pub spec_pool: usize,
+    /// Requests answered 200.
+    pub ok: usize,
+    /// Requests that failed (transport error or non-200 status).
+    pub errors: usize,
+    /// Wall-clock duration of the whole run, seconds.
+    pub duration_s: f64,
+    /// Successful requests per second.
+    pub rps: f64,
+    /// Merged latency histogram over successful requests.
+    pub latency: LatencyHistogram,
+    /// Requests served from cache (`X-Cache: hit`).
+    pub hits: usize,
+    /// Requests that computed (`X-Cache: miss`).
+    pub misses: usize,
+    /// Requests coalesced onto a concurrent compute
+    /// (`X-Cache: coalesced`).
+    pub coalesced: usize,
+}
+
+impl LoadReport {
+    /// Client-observed cache hit rate; coalesced requests count as served
+    /// from cache (they did not recompute).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / total as f64
+        }
+    }
+
+    /// 99th-percentile latency in milliseconds (the `--max-p99` gate).
+    pub fn p99_ms(&self) -> f64 {
+        self.latency.p99() * 1e3
+    }
+
+    /// Renders the tracked `BENCH_server.json` document.
+    pub fn to_json(&self) -> String {
+        let doc = JsonValue::object(vec![
+            ("schema", "bench-server/v1".into()),
+            ("requests", self.requests.into()),
+            ("connections", self.connections.into()),
+            ("spec_pool", self.spec_pool.into()),
+            ("ok", self.ok.into()),
+            ("errors", self.errors.into()),
+            ("duration_s", self.duration_s.into()),
+            ("throughput_rps", self.rps.into()),
+            (
+                "latency_ms",
+                JsonValue::object(vec![
+                    ("mean", (self.latency.mean_s() * 1e3).into()),
+                    ("p50", (self.latency.p50() * 1e3).into()),
+                    ("p95", (self.latency.p95() * 1e3).into()),
+                    ("p99", self.p99_ms().into()),
+                    ("max", (self.latency.max_s() * 1e3).into()),
+                ]),
+            ),
+            (
+                "cache",
+                JsonValue::object(vec![
+                    ("hits", self.hits.into()),
+                    ("misses", self.misses.into()),
+                    ("coalesced", self.coalesced.into()),
+                    ("hit_rate", self.hit_rate().into()),
+                ]),
+            ),
+        ]);
+        doc.to_pretty_string()
+    }
+
+    /// Renders the human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: {} requests over {} connections ({} distinct specs)\n\
+             ok: {}  errors: {}  duration: {:.2} s  throughput: {:.0} req/s\n\
+             latency: mean {:.2} ms  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  max {:.2} ms\n\
+             cache: {} hits, {} misses, {} coalesced  hit rate: {:.1} %\n",
+            self.requests,
+            self.connections,
+            self.spec_pool,
+            self.ok,
+            self.errors,
+            self.duration_s,
+            self.rps,
+            self.latency.mean_s() * 1e3,
+            self.latency.p50() * 1e3,
+            self.latency.p95() * 1e3,
+            self.p99_ms(),
+            self.latency.max_s() * 1e3,
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.hit_rate() * 100.0,
+        )
+    }
+}
+
+/// Per-connection tallies, merged after the run.
+#[derive(Default)]
+struct ConnectionStats {
+    ok: usize,
+    errors: usize,
+    hits: usize,
+    misses: usize,
+    coalesced: usize,
+    latency: LatencyHistogram,
+}
+
+/// The spec request `index` (0-based, global across connections) sends:
+/// the base spec with a seed from the rotating pool.
+fn spec_for_request(params: &LoadgenParams, index: usize) -> ScenarioSpec {
+    let offset = (index % params.spec_pool.max(1)) as u64;
+    params
+        .base
+        .clone()
+        .with_seed(params.base.seed.wrapping_add(offset))
+}
+
+/// Sends one request and reads its response; a transport-level failure
+/// anywhere in the exchange is one error.
+fn one_request(
+    params: &LoadgenParams,
+    index: usize,
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+) -> Result<ClientResponse, HttpError> {
+    let spec = spec_for_request(params, index);
+    let body = spec_to_json(&spec).to_json_string();
+    write_request(writer, "POST", "/v1/plan", body.as_bytes())?;
+    read_response(reader)
+}
+
+/// Runs one connection's share of the load. Infallible by design: a
+/// transport error (failed connect, mid-run disconnect, timeout) counts
+/// the affected — and only the affected — requests as errors, while the
+/// statistics of the requests that already succeeded are kept.
+fn run_connection(params: &LoadgenParams, first_index: usize, count: usize) -> ConnectionStats {
+    let mut stats = ConnectionStats {
+        latency: LatencyHistogram::new(),
+        ..ConnectionStats::default()
+    };
+    let connected = TcpStream::connect(&params.addr).and_then(|stream| {
+        stream.set_read_timeout(Some(params.timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok((writer, BufReader::new(stream)))
+    });
+    let (mut writer, mut reader) = match connected {
+        Ok(pair) => pair,
+        Err(_) => {
+            stats.errors = count;
+            return stats;
+        }
+    };
+    for i in 0..count {
+        let started = Instant::now();
+        match one_request(params, first_index + i, &mut writer, &mut reader) {
+            Ok(response) if response.status == 200 => {
+                stats.ok += 1;
+                stats.latency.record_duration(started.elapsed());
+                match response.header("x-cache") {
+                    Some("hit") => stats.hits += 1,
+                    Some("coalesced") => stats.coalesced += 1,
+                    _ => stats.misses += 1,
+                }
+            }
+            Ok(_) => stats.errors += 1,
+            Err(_) => {
+                // The connection is gone; everything not yet attempted
+                // fails with it, but the completed requests stand.
+                stats.errors += count - i;
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// Runs the load generation and aggregates the per-connection results.
+///
+/// Connection errors mid-run are tolerated: the affected connection's
+/// unfinished requests count as errors while its completed requests'
+/// statistics are kept. A dead server yields a report with `ok == 0`
+/// rather than a panic.
+pub fn run_loadgen(params: &LoadgenParams) -> LoadReport {
+    let connections = params.connections.max(1);
+    let requests = params.requests;
+    // Split requests across connections, front-loading the remainder.
+    let per = requests / connections;
+    let extra = requests % connections;
+
+    let started = Instant::now();
+    let results: Vec<ConnectionStats> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut first_index = 0;
+        for c in 0..connections {
+            let count = per + usize::from(c < extra);
+            let start = first_index;
+            first_index += count;
+            handles.push(scope.spawn(move || run_connection(params, start, count)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection thread panicked"))
+            .collect()
+    });
+    let duration_s = started.elapsed().as_secs_f64();
+
+    let mut report = LoadReport {
+        requests,
+        connections,
+        spec_pool: params.spec_pool.max(1),
+        ok: 0,
+        errors: 0,
+        duration_s,
+        rps: 0.0,
+        latency: LatencyHistogram::new(),
+        hits: 0,
+        misses: 0,
+        coalesced: 0,
+    };
+    for stats in results {
+        report.ok += stats.ok;
+        report.errors += stats.errors;
+        report.hits += stats.hits;
+        report.misses += stats.misses;
+        report.coalesced += stats.coalesced;
+        report.latency.merge(&stats.latency);
+    }
+    report.rps = if duration_s > 0.0 {
+        report.ok as f64 / duration_s
+    } else {
+        0.0
+    };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_rotation_cycles_through_the_pool() {
+        let params = LoadgenParams {
+            spec_pool: 3,
+            base: ScenarioSpec::default().with_seed(100),
+            ..LoadgenParams::default()
+        };
+        let seeds: Vec<u64> = (0..7).map(|i| spec_for_request(&params, i).seed).collect();
+        assert_eq!(seeds, vec![100, 101, 102, 100, 101, 102, 100]);
+        // Only the seed varies; everything else matches the base.
+        let spec = spec_for_request(&params, 5);
+        assert_eq!(spec.with_seed(100), params.base);
+    }
+
+    #[test]
+    fn seed_rotation_wraps_instead_of_overflowing() {
+        let params = LoadgenParams {
+            spec_pool: 4,
+            base: ScenarioSpec::default().with_seed(u64::MAX),
+            ..LoadgenParams::default()
+        };
+        assert_eq!(spec_for_request(&params, 1).seed, 0);
+    }
+
+    #[test]
+    fn a_mid_run_disconnect_keeps_completed_request_stats() {
+        // A throwaway server that answers exactly three requests on one
+        // connection, then drops it.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            for _ in 0..3 {
+                crate::http::read_request(&mut reader).unwrap().unwrap();
+                crate::http::Response::json(200, "{}")
+                    .with_header("X-Cache", "miss")
+                    .write_to(&mut writer, true)
+                    .unwrap();
+            }
+            // Dropping the streams closes the connection mid-run.
+        });
+
+        let params = LoadgenParams {
+            addr: addr.to_string(),
+            requests: 10,
+            connections: 1,
+            timeout: Duration::from_secs(5),
+            ..LoadgenParams::default()
+        };
+        let report = run_loadgen(&params);
+        server.join().unwrap();
+
+        // The three completed requests survive in every statistic; only
+        // the unfinished seven count as errors.
+        assert_eq!(report.ok, 3);
+        assert_eq!(report.errors, 7);
+        assert_eq!(report.misses, 3);
+        assert_eq!(report.latency.count(), 3);
+        assert!(report.rps > 0.0);
+    }
+
+    #[test]
+    fn a_dead_server_yields_errors_not_panics() {
+        // Port 1 on localhost is essentially never listening.
+        let params = LoadgenParams {
+            addr: "127.0.0.1:1".to_string(),
+            requests: 10,
+            connections: 2,
+            timeout: Duration::from_millis(200),
+            ..LoadgenParams::default()
+        };
+        let report = run_loadgen(&params);
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.errors, 10);
+        assert_eq!(report.rps, 0.0);
+        assert_eq!(report.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn report_json_is_parseable_and_complete() {
+        let report = LoadReport {
+            requests: 100,
+            connections: 4,
+            spec_pool: 4,
+            ok: 99,
+            errors: 1,
+            duration_s: 2.0,
+            rps: 49.5,
+            latency: {
+                let mut h = LatencyHistogram::new();
+                h.record(0.002);
+                h.record(0.004);
+                h
+            },
+            hits: 90,
+            misses: 4,
+            coalesced: 5,
+        };
+        let json = report.to_json();
+        let doc = crate::json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("bench-server/v1")
+        );
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_usize), Some(99));
+        let latency = doc.get("latency_ms").unwrap();
+        for key in ["mean", "p50", "p95", "p99", "max"] {
+            assert!(
+                latency.get(key).and_then(JsonValue::as_f64).is_some(),
+                "{key}"
+            );
+        }
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(JsonValue::as_usize), Some(90));
+        assert!(
+            (cache.get("hit_rate").and_then(JsonValue::as_f64).unwrap() - 0.959_595_959_595_96)
+                .abs()
+                < 1e-9
+        );
+        let text = report.render();
+        assert!(text.contains("p99"));
+        assert!(text.contains("hit rate"));
+    }
+}

@@ -1,0 +1,485 @@
+//! The daemon: a `TcpListener` accept loop feeding a bounded set of
+//! connection handlers on a long-lived `mule-par` [`TaskPool`].
+//!
+//! ## Request flow
+//!
+//! 1. The accept thread admits a connection if fewer than
+//!    `queue_depth` connections are currently admitted; otherwise it
+//!    answers `503 Service Unavailable` with `Retry-After` immediately
+//!    and closes — **backpressure is explicit and cheap**, not a growing
+//!    queue.
+//! 2. Admitted connections are handed to the worker pool. A worker owns
+//!    the connection for its lifetime (keep-alive requests run
+//!    back-to-back on one worker), bounded by the idle read timeout.
+//! 3. `/v1/plan` bodies are parsed into a `ScenarioSpec`, fingerprinted,
+//!    and served through the [`PlanCache`] — hit, coalesced or computed,
+//!    the bytes are identical (see `docs/DETERMINISM.md`). The `X-Cache`
+//!    response header reports which path served the request.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (also run on drop) flips the shutdown flag,
+//! pokes the listener with a loopback connection to unblock `accept`,
+//! and drops the pool — which joins every worker after the in-flight
+//! connections wind down (the idle timeout bounds how long an idle
+//! keep-alive peer can delay this).
+
+use crate::api;
+use crate::cache::{CacheOutcome, PlanCache};
+use crate::http::{read_request, HttpError, Request, Response};
+use mule_metrics::LatencyHistogram;
+use mule_par::TaskPool;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`start`]ed server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Plan-cache capacity (entries); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Maximum concurrently admitted connections; beyond it new
+    /// connections get `503` + `Retry-After`.
+    pub queue_depth: usize,
+    /// Worker override for `/v1/simulate` replication sweeps (`None` =
+    /// `mule_par::resolve_workers` default).
+    pub sim_workers: Option<usize>,
+    /// How long a worker waits for the next request on an idle keep-alive
+    /// connection before closing it.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            cache_capacity: 128,
+            queue_depth: 64,
+            sim_workers: None,
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The value of the `Retry-After` header on 503 responses, seconds.
+pub const RETRY_AFTER_S: u32 = 1;
+
+/// Request counters, latency histogram and cache statistics, exposed as
+/// the `/metrics` document.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    inner: Mutex<MetricsInner>,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    healthz: u64,
+    metrics: u64,
+    plan: u64,
+    simulate: u64,
+    other: u64,
+    ok_2xx: u64,
+    client_err_4xx: u64,
+    server_err_5xx: u64,
+    rejected_503: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_coalesced: u64,
+    latency: LatencyHistogram,
+}
+
+/// Which endpoint a request hit, for the per-route counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    Healthz,
+    Metrics,
+    Plan,
+    Simulate,
+    Other,
+}
+
+impl ServerMetrics {
+    /// Records one handled request.
+    fn observe(&self, route: Route, status: u16, elapsed: Duration, cache: Option<CacheOutcome>) {
+        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        match route {
+            Route::Healthz => inner.healthz += 1,
+            Route::Metrics => inner.metrics += 1,
+            Route::Plan => inner.plan += 1,
+            Route::Simulate => inner.simulate += 1,
+            Route::Other => inner.other += 1,
+        }
+        match status {
+            200..=299 => inner.ok_2xx += 1,
+            400..=499 => inner.client_err_4xx += 1,
+            _ => inner.server_err_5xx += 1,
+        }
+        match cache {
+            Some(CacheOutcome::Hit) => inner.cache_hits += 1,
+            Some(CacheOutcome::Miss) => inner.cache_misses += 1,
+            Some(CacheOutcome::Coalesced) => inner.cache_coalesced += 1,
+            None => {}
+        }
+        inner.latency.record_duration(elapsed);
+    }
+
+    /// Records one connection rejected by backpressure (no request was
+    /// read, so nothing else is counted).
+    fn observe_rejected(&self) {
+        self.inner
+            .lock()
+            .expect("metrics mutex poisoned")
+            .rejected_503 += 1;
+    }
+
+    /// Renders the `/metrics` document. Cache hit rate counts coalesced
+    /// requests as served-from-cache: they did not recompute.
+    pub fn to_json(&self) -> String {
+        use crate::json::JsonValue;
+        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        let total = inner.healthz + inner.metrics + inner.plan + inner.simulate + inner.other;
+        let cache_total = inner.cache_hits + inner.cache_misses + inner.cache_coalesced;
+        let hit_rate = if cache_total == 0 {
+            0.0
+        } else {
+            (inner.cache_hits + inner.cache_coalesced) as f64 / cache_total as f64
+        };
+        let doc = JsonValue::object(vec![
+            ("schema", "server-metrics/v1".into()),
+            (
+                "requests",
+                JsonValue::object(vec![
+                    ("total", total.into()),
+                    ("healthz", inner.healthz.into()),
+                    ("metrics", inner.metrics.into()),
+                    ("plan", inner.plan.into()),
+                    ("simulate", inner.simulate.into()),
+                    ("other", inner.other.into()),
+                ]),
+            ),
+            (
+                "responses",
+                JsonValue::object(vec![
+                    ("ok_2xx", inner.ok_2xx.into()),
+                    ("client_error_4xx", inner.client_err_4xx.into()),
+                    ("server_error_5xx", inner.server_err_5xx.into()),
+                    ("rejected_503", inner.rejected_503.into()),
+                ]),
+            ),
+            (
+                "latency_ms",
+                JsonValue::object(vec![
+                    ("count", inner.latency.count().into()),
+                    ("mean", (inner.latency.mean_s() * 1e3).into()),
+                    ("p50", (inner.latency.p50() * 1e3).into()),
+                    ("p95", (inner.latency.p95() * 1e3).into()),
+                    ("p99", (inner.latency.p99() * 1e3).into()),
+                    ("max", (inner.latency.max_s() * 1e3).into()),
+                ]),
+            ),
+            (
+                "cache",
+                JsonValue::object(vec![
+                    ("hits", inner.cache_hits.into()),
+                    ("misses", inner.cache_misses.into()),
+                    ("coalesced", inner.cache_coalesced.into()),
+                    ("hit_rate", hit_rate.into()),
+                ]),
+            ),
+        ]);
+        doc.to_pretty_string()
+    }
+}
+
+struct Shared {
+    cache: PlanCache,
+    metrics: ServerMetrics,
+    admitted: AtomicUsize,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+/// A running server. Dropping the handle shuts the server down and joins
+/// every thread it started.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Dropped before the accept thread is joined; its own drop joins the
+    /// connection workers.
+    pool: Option<TaskPool>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current `/metrics` document (for embedding servers).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.to_json()
+    }
+
+    /// Stops accepting, drains the in-flight connections and joins every
+    /// thread. Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        // Dropping the pool joins the connection workers after they
+        // finish their queued connections.
+        self.pool.take();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Binds the listener and starts the accept loop and worker pool.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cache: PlanCache::new(config.cache_capacity),
+        metrics: ServerMetrics::default(),
+        admitted: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+        config: config.clone(),
+    });
+    let pool = TaskPool::new(config.workers);
+
+    let accept_shared = Arc::clone(&shared);
+    // Admitted connections travel from the accept thread to the pool
+    // workers over a channel. When the accept thread exits it drops the
+    // sender, the workers' `recv` fails, and their jobs finish — which is
+    // what lets the pool's join-on-drop shutdown terminate.
+    let (conn_tx, conn_rx) = std::sync::mpsc::channel::<TcpStream>();
+    let accept_thread = std::thread::spawn(move || {
+        accept_loop(&listener, &accept_shared, conn_tx);
+    });
+
+    // One long-lived job per worker, each pulling connections off the
+    // shared queue; `queue_depth` (checked at accept time) bounds how
+    // many connections wait here.
+    let conn_rx = ConnReceiver {
+        rx: Arc::new(Mutex::new(conn_rx)),
+    };
+    for _ in 0..config.workers {
+        let shared = Arc::clone(&shared);
+        let rx = ConnReceiver::clone_handle(&conn_rx);
+        pool.spawn(move || {
+            while let Some(stream) = rx.recv() {
+                handle_connection(stream, &shared);
+                shared.admitted.fetch_sub(1, Ordering::SeqCst);
+            }
+        });
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        pool: Some(pool),
+    })
+}
+
+/// `mpsc::Receiver` is single-consumer; wrap it in a mutex so every pool
+/// worker can pull connections from one queue.
+struct ConnReceiver {
+    rx: Arc<Mutex<std::sync::mpsc::Receiver<TcpStream>>>,
+}
+
+impl ConnReceiver {
+    fn clone_handle(rx: &ConnReceiver) -> ConnReceiver {
+        ConnReceiver {
+            rx: Arc::clone(&rx.rx),
+        }
+    }
+
+    fn recv(&self) -> Option<TcpStream> {
+        self.rx.lock().expect("receiver mutex poisoned").recv().ok()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Shared,
+    conn_tx: std::sync::mpsc::Sender<TcpStream>,
+) {
+    loop {
+        let (mut stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Backpressure: admit up to `queue_depth` concurrent connections,
+        // reject the rest immediately. The counter is incremented here —
+        // in the single accept thread — so admission decisions are
+        // sequential and deterministic for a given arrival order.
+        let admitted = shared.admitted.load(Ordering::SeqCst);
+        if admitted >= shared.config.queue_depth {
+            shared.metrics.observe_rejected();
+            let response = Response::error(503, "server at capacity, retry later")
+                .with_header("Retry-After", RETRY_AFTER_S.to_string());
+            let _ = response.write_to(&mut stream, false);
+            continue;
+        }
+        shared.admitted.fetch_add(1, Ordering::SeqCst);
+        if conn_tx.send(stream).is_err() {
+            return; // workers are gone: shutting down
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive();
+                let started = Instant::now();
+                let (route, cache, response) = route_request(&request, shared);
+                shared
+                    .metrics
+                    .observe(route, response.status, started.elapsed(), cache);
+                if response.write_to(&mut writer, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive || shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(HttpError::Io(_)) | Err(HttpError::Closed) => return, // timeout / peer went away
+            Err(e) => {
+                let status = match e {
+                    HttpError::TooLarge("request head") => 431,
+                    HttpError::TooLarge(_) => 413,
+                    HttpError::LengthRequired => 411,
+                    _ => 400,
+                };
+                let _ = Response::error(status, &e.to_string()).write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}
+
+fn route_request(request: &Request, shared: &Shared) -> (Route, Option<CacheOutcome>, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let doc = crate::json::JsonValue::object(vec![
+                ("status", "ok".into()),
+                ("service", "mule-serve".into()),
+            ]);
+            (
+                Route::Healthz,
+                None,
+                Response::json(200, doc.to_pretty_string()),
+            )
+        }
+        ("GET", "/metrics") => (
+            Route::Metrics,
+            None,
+            Response::json(200, shared.metrics.to_json()),
+        ),
+        ("POST", "/v1/plan") => {
+            let (cache, response) = handle_plan(&request.body, shared);
+            (Route::Plan, cache, response)
+        }
+        ("POST", "/v1/simulate") => (
+            Route::Simulate,
+            None,
+            handle_simulate(&request.body, shared),
+        ),
+        (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/simulate") => (
+            Route::Other,
+            None,
+            Response::error(405, "method not allowed for this path"),
+        ),
+        _ => (
+            Route::Other,
+            None,
+            Response::error(404, &format!("no such endpoint: {}", request.path)),
+        ),
+    }
+}
+
+fn api_error_response(e: &api::ApiError) -> Response {
+    match e {
+        api::ApiError::BadRequest(msg) => Response::error(400, msg),
+        api::ApiError::Plan(plan_err) => Response::error(422, &plan_err.to_string()),
+    }
+}
+
+fn handle_plan(body: &[u8], shared: &Shared) -> (Option<CacheOutcome>, Response) {
+    let spec = match api::spec_from_body(body) {
+        Ok(spec) => spec,
+        Err(e) => return (None, api_error_response(&e)),
+    };
+    let key = spec.fingerprint();
+    match shared.cache.get_or_compute(key, || plan_bytes(&spec)) {
+        Ok((bytes, outcome)) => {
+            let response = Response::json(200, bytes.as_slice().to_vec())
+                .with_header("X-Cache", outcome.label())
+                .with_header("X-Fingerprint", format!("{key:016x}"));
+            (Some(outcome), response)
+        }
+        Err(e) => (None, api_error_response(&e)),
+    }
+}
+
+fn plan_bytes(spec: &mule_workload::ScenarioSpec) -> Result<Vec<u8>, api::ApiError> {
+    api::plan_response_json(spec).map(String::into_bytes)
+}
+
+fn handle_simulate(body: &[u8], shared: &Shared) -> Response {
+    let request = match api::simulate_request_from_body(body) {
+        Ok(request) => request,
+        Err(e) => return api_error_response(&e),
+    };
+    match api::simulate_response_json(&request, shared.config.sim_workers) {
+        Ok(doc) => Response::json(200, doc),
+        Err(e) => api_error_response(&e),
+    }
+}

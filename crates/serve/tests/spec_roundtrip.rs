@@ -1,0 +1,88 @@
+//! Property tests of the scenario-spec wire format and its canonical
+//! hashing: `ScenarioSpec → JSON → ScenarioSpec` is the identity, equal
+//! specs hash equal, and unequal specs hash unequal.
+
+use mule_serve::api::{spec_from_body, spec_to_json};
+use mule_workload::ScenarioSpec;
+use proptest::prelude::*;
+
+/// Characters the planner-name strategy draws from: realistic names plus
+/// everything that stresses JSON escaping and canonical-form delimiting.
+const NAME_CHARS: &[char] = &[
+    'a', 'b', 'z', '0', '9', '-', '_', ' ', ';', '=', ':', ',', '"', '\\', '/', '\n', '\t',
+    '\u{1}', 'é', 'λ', '🦀',
+];
+
+fn planner_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..NAME_CHARS.len(), 0..=12)
+        .prop_map(|indices| indices.into_iter().map(|i| NAME_CHARS[i]).collect())
+}
+
+#[allow(clippy::type_complexity)]
+fn spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        // Not 0..=u64::MAX: the rand shim's span arithmetic rejects the
+        // full-width range. MAX-1 still exercises seeds far above 2^53.
+        (0..500usize, 0..16usize, 0..=u64::MAX - 1, 0..8usize),
+        (1..10u32, 0..2usize, planner_name(), 0.0..100_000.0f64),
+    )
+        .prop_map(
+            |((targets, mules, seed, vips), (vip_weight, recharge, planner, horizon_s))| {
+                ScenarioSpec {
+                    targets,
+                    mules,
+                    seed,
+                    vips,
+                    vip_weight,
+                    recharge: recharge == 1,
+                    planner,
+                    horizon_s,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spec_to_json_to_spec_is_identity(spec in spec()) {
+        let compact = spec_to_json(&spec).to_json_string();
+        let back = spec_from_body(compact.as_bytes())
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(&back, &spec, "compact roundtrip");
+
+        let pretty = spec_to_json(&spec).to_pretty_string();
+        let back_pretty = spec_from_body(pretty.as_bytes())
+            .map_err(|e| TestCaseError::fail(format!("pretty parse failed: {e}")))?;
+        prop_assert_eq!(&back_pretty, &spec, "pretty roundtrip");
+    }
+
+    #[test]
+    fn equal_specs_hash_equal(spec in spec()) {
+        let twin = spec.clone();
+        prop_assert_eq!(spec.fingerprint(), twin.fingerprint());
+        prop_assert_eq!(spec.canonical_string(), twin.canonical_string());
+        // Hashing is stable across the JSON round trip too (the server
+        // fingerprints the *parsed* spec).
+        let reparsed = spec_from_body(spec_to_json(&spec).to_json_string().as_bytes()).unwrap();
+        prop_assert_eq!(reparsed.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn unequal_specs_hash_unequal(a in spec(), b in spec()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        prop_assert_ne!(a.canonical_string(), b.canonical_string());
+    }
+
+    #[test]
+    fn single_field_mutations_change_the_fingerprint(base in spec(), delta in 1..1000u64) {
+        let mutated = base.clone().with_seed(base.seed.wrapping_add(delta));
+        prop_assert_ne!(base.fingerprint(), mutated.fingerprint());
+        let mutated = base.clone().with_targets(base.targets + delta as usize);
+        prop_assert_ne!(base.fingerprint(), mutated.fingerprint());
+        let mutated = ScenarioSpec { recharge: !base.recharge, ..base.clone() };
+        prop_assert_ne!(base.fingerprint(), mutated.fingerprint());
+    }
+}

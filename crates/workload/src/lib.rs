@@ -20,6 +20,9 @@
 //! * [`sweep`] — declarative experiment grids ([`SweepSpec`]) over seeds ×
 //!   mule counts × speeds × disruption configs, executed in parallel by
 //!   `mule-sim` and driven by `patrolctl sweep`.
+//! * [`spec`] — the planning-service request type ([`ScenarioSpec`]):
+//!   scenario knobs + planner as pure data, with canonical-form hashing
+//!   for the `mule-serve` plan cache.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -29,6 +32,7 @@ pub mod disruption;
 pub mod layout;
 pub mod replication;
 pub mod scenario;
+pub mod spec;
 pub mod sweep;
 pub mod weights;
 
@@ -36,4 +40,5 @@ pub use config::{LayoutKind, MuleStartKind, ScenarioConfig, WeightSpec};
 pub use disruption::{Disruption, DisruptionConfig, DisruptionPlan};
 pub use replication::{seed_fan, ReplicationPlan};
 pub use scenario::Scenario;
+pub use spec::ScenarioSpec;
 pub use sweep::{SweepCell, SweepSpec, PAPER_SPEED_M_PER_S};

@@ -2,7 +2,8 @@
 //!
 //! One-stop re-export of the whole workspace: geometry, tours, the wireless
 //! field substrate, the energy model, scenario generation, the simulator,
-//! the TCTP planners and the evaluation metrics.
+//! the TCTP planners, the evaluation metrics and the planning service
+//! (`serve`).
 //!
 //! Most applications only need:
 //!
@@ -30,6 +31,7 @@ pub use mule_geom as geom;
 pub use mule_graph as graph;
 pub use mule_metrics as metrics;
 pub use mule_net as net;
+pub use mule_serve as serve;
 pub use mule_sim as sim;
 pub use mule_workload as workload;
 pub use patrol_core as patrol;
