@@ -40,6 +40,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod pathlen;
+pub mod routebench;
 pub mod tourbench;
 
 use mule_sim::{run_replicated, ReplicatedOutcome, SimulationConfig};

@@ -111,6 +111,15 @@ impl SearchChoice {
     }
 }
 
+/// Parses a `--metric` value (case-insensitive; `road` aliases the grid
+/// network).
+fn parse_metric(value: &str) -> Result<mule_workload::MetricSpec, CliError> {
+    mule_workload::MetricSpec::parse(value).ok_or_else(|| CliError::InvalidValue {
+        flag: "--metric".into(),
+        value: value.into(),
+    })
+}
+
 /// Scenario + execution options shared by every subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliOptions {
@@ -141,6 +150,9 @@ pub struct CliOptions {
     /// Candidate-list width (k nearest neighbours) when `search` is
     /// `candidates`; `None` uses the engine default.
     pub knn: Option<usize>,
+    /// Travel metric of the scenario (`euclidean` | `road`/`road-grid` |
+    /// `road-planar`).
+    pub metric: mule_workload::MetricSpec,
 }
 
 impl Default for CliOptions {
@@ -159,6 +171,7 @@ impl Default for CliOptions {
             canvas_width: 72,
             search: SearchChoice::Auto,
             knn: None,
+            metric: mule_workload::MetricSpec::Euclidean,
         }
     }
 }
@@ -195,6 +208,40 @@ impl Default for BenchToursOptions {
             samples: defaults.samples,
             json_path: None,
             max_ratio: None,
+        }
+    }
+}
+
+/// Options of the `bench-routes` subcommand (the tracked road-routing
+/// benchmark; see `docs/ROADS.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRoutesOptions {
+    /// Approximate network sizes (node counts) to bench.
+    pub sizes: Vec<usize>,
+    /// Network + query seed.
+    pub seed: u64,
+    /// Point-to-point queries per flavour.
+    pub queries: usize,
+    /// ALT landmark count.
+    pub landmarks: usize,
+    /// Optional path of the JSON artefact to write (`BENCH_routes.json`).
+    pub json_path: Option<String>,
+    /// When set, the command fails if the largest network's ALT speedup
+    /// over plain Dijkstra falls below this bound — the CI regression
+    /// gate for the tracked "ALT ≥ 3× Dijkstra at 10k nodes" claim.
+    pub min_speedup: Option<f64>,
+}
+
+impl Default for BenchRoutesOptions {
+    fn default() -> Self {
+        let defaults = mule_bench::routebench::RouteBenchParams::default();
+        BenchRoutesOptions {
+            sizes: defaults.sizes,
+            seed: defaults.seed,
+            queries: defaults.queries,
+            landmarks: defaults.landmarks,
+            json_path: None,
+            min_speedup: None,
         }
     }
 }
@@ -409,6 +456,9 @@ pub enum CliCommand {
     /// Benchmark the tour engine (exact vs. candidate-list search) and
     /// optionally write the tracked `BENCH_tours.json` artefact.
     BenchTours(BenchToursOptions),
+    /// Benchmark road routing (Dijkstra vs. A* vs. ALT) and optionally
+    /// write the tracked `BENCH_routes.json` artefact.
+    BenchRoutes(BenchRoutesOptions),
     /// Run the planning service daemon (blocks forever).
     Serve(ServeOptions),
     /// Fire concurrent requests at a running server and optionally write
@@ -469,7 +519,7 @@ pub const USAGE: &str = "\
 patrolctl — data-mule patrolling toolkit (B-TCTP / W-TCTP / RW-TCTP)
 
 USAGE:
-    patrolctl <render|plan|simulate|compare|dynamics|sweep|bench-tours|serve|loadgen|help> [flags]
+    patrolctl <render|plan|simulate|compare|dynamics|sweep|bench-tours|bench-routes|serve|loadgen|help> [flags]
 
 FLAGS (scenario subcommands):
     --targets N        number of targets               [default: 10]
@@ -480,6 +530,9 @@ FLAGS (scenario subcommands):
     --recharge         add a recharge station
     --planner P        b-tctp | shortest | balancing | rw-tctp | chb | sweep | random
     --search M         tour search: exact | candidates | auto  [default: auto]
+    --metric M         travel metric: euclidean | road | road-grid | road-planar
+                       (road scenarios snap targets/sink to the network and
+                       plan + simulate over shortest road paths)
     --knn K            candidate-list width (only with --search candidates)
     --horizon SECONDS  simulation horizon              [default: 40000]
     --svg FILE         write the plan as an SVG file   (simulate)
@@ -529,6 +582,15 @@ FLAGS (bench-tours only — the tracked tour-engine benchmark):
     --json FILE          write the benchmark report as JSON
     --max-ratio R        fail when candidates/exact tour length exceeds R
 
+FLAGS (bench-routes only — the tracked road-routing benchmark):
+    --sizes LIST         network node counts            [default: 1000,10000]
+    --seed S             network + query seed           [default: 42]
+    --queries N          point-to-point queries per flavour  [default: 200]
+    --landmarks K        ALT landmark count             [default: 8]
+    --json FILE          write the benchmark report as JSON (BENCH_routes.json)
+    --min-speedup R      fail when ALT speedup over Dijkstra falls below R
+                         at the largest network size
+
 EXAMPLES:
     patrolctl dynamics --targets 12 --mules 4 --seed 7 \\
         --fail-targets 1 --breakdowns 1 --recover-after 8000
@@ -536,6 +598,9 @@ EXAMPLES:
         --disruptions none,mixed --replicas 20 --csv sweep.csv
     patrolctl bench-tours --sizes 50,200,1000 --json BENCH_tours.json \\
         --max-ratio 1.02
+    patrolctl plan --targets 12 --mules 3 --metric road
+    patrolctl bench-routes --sizes 1000,10000 --json BENCH_routes.json \\
+        --min-speedup 3.0
     patrolctl serve --addr 127.0.0.1:7878 --workers 4 --cache-size 128
     patrolctl loadgen --requests 1000 --connections 4 \\
         --json BENCH_server.json --max-p99 250 --min-rps 50
@@ -591,6 +656,33 @@ fn parse_bench_tours(args: &[String]) -> Result<CliCommand, CliError> {
         i += 1;
     }
     Ok(CliCommand::BenchTours(options))
+}
+
+/// Parses the flags of `bench-routes`, which shares no scenario flags with
+/// the other subcommands.
+fn parse_bench_routes(args: &[String]) -> Result<CliCommand, CliError> {
+    let mut options = BenchRoutesOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+        };
+        match flag {
+            "--sizes" => options.sizes = parse_list(flag, &take_value()?)?,
+            "--seed" => options.seed = parse_flag(flag, &take_value()?)?,
+            "--queries" => options.queries = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--landmarks" => options.landmarks = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--json" => options.json_path = Some(take_value()?),
+            "--min-speedup" => options.min_speedup = Some(parse_flag(flag, &take_value()?)?),
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+        i += 1;
+    }
+    Ok(CliCommand::BenchRoutes(options))
 }
 
 /// Parses the flags of `serve`.
@@ -661,6 +753,9 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
     if command == "bench-tours" {
         return parse_bench_tours(&args[1..]);
     }
+    if command == "bench-routes" {
+        return parse_bench_routes(&args[1..]);
+    }
     if command == "serve" {
         return parse_serve(&args[1..]);
     }
@@ -696,6 +791,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
             "--width" => options.canvas_width = parse_flag(flag, &take_value()?)?,
             "--planner" => options.planner = PlannerChoice::parse(&take_value()?)?,
             "--search" => options.search = SearchChoice::parse(&take_value()?)?,
+            "--metric" => options.metric = parse_metric(&take_value()?)?,
             "--knn" => options.knn = Some(parse_flag::<usize>(flag, &take_value()?)?.max(1)),
             "--svg" => options.svg_path = Some(take_value()?),
             "--csv" => options.csv_prefix = Some(take_value()?),
@@ -1141,6 +1237,74 @@ mod tests {
         ));
         assert!(USAGE.contains("bench-tours"));
         assert!(USAGE.contains("--max-ratio"));
+    }
+
+    #[test]
+    fn metric_flag_parses_on_scenario_subcommands() {
+        use mule_workload::MetricSpec;
+        assert_eq!(CliOptions::default().metric, MetricSpec::Euclidean);
+        let CliCommand::Simulate(opts) = parse_args(&argv("simulate --metric road")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(opts.metric, MetricSpec::Road(mule_road::RoadNetKind::Grid));
+        let CliCommand::Plan(opts) = parse_args(&argv("plan --metric road-planar")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            opts.metric,
+            MetricSpec::Road(mule_road::RoadNetKind::Planar)
+        );
+        let CliCommand::Render(opts) = parse_args(&argv("render --metric EUCLIDEAN")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(opts.metric, MetricSpec::Euclidean);
+        assert!(matches!(
+            parse_args(&argv("simulate --metric warp")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--metric"
+        ));
+        assert!(USAGE.contains("--metric"));
+    }
+
+    #[test]
+    fn bench_routes_defaults_and_flags() {
+        let CliCommand::BenchRoutes(opts) = parse_args(&argv("bench-routes")).unwrap() else {
+            panic!("expected bench-routes");
+        };
+        assert_eq!(opts, BenchRoutesOptions::default());
+        assert_eq!(opts.sizes, vec![1000, 10000]);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.queries, 200);
+        assert_eq!(opts.landmarks, 8);
+        assert!(opts.json_path.is_none());
+        assert!(opts.min_speedup.is_none());
+
+        let cmd = parse_args(&argv(
+            "bench-routes --sizes 500,2000 --seed 9 --queries 50 --landmarks 4 \
+             --json BENCH_routes.json --min-speedup 3.0",
+        ))
+        .unwrap();
+        let CliCommand::BenchRoutes(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.sizes, vec![500, 2000]);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.queries, 50);
+        assert_eq!(opts.landmarks, 4);
+        assert_eq!(opts.json_path.as_deref(), Some("BENCH_routes.json"));
+        assert_eq!(opts.min_speedup, Some(3.0));
+
+        assert!(matches!(
+            parse_args(&argv("bench-routes --targets 5")).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            parse_args(&argv("bench-routes --sizes abc")).unwrap_err(),
+            CliError::InvalidValue { .. }
+        ));
+        assert!(USAGE.contains("bench-routes"));
+        assert!(USAGE.contains("--min-speedup"));
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! written) instead of printing directly, so the logic is unit-testable.
 
 use crate::args::{
-    BenchToursOptions, CliCommand, CliError, CliOptions, DisruptionPreset, DynamicsOptions,
-    LoadgenOptions, PlannerChoice, ServeOptions, SweepOptions, USAGE,
+    BenchRoutesOptions, BenchToursOptions, CliCommand, CliError, CliOptions, DisruptionPreset,
+    DynamicsOptions, LoadgenOptions, PlannerChoice, ServeOptions, SweepOptions, USAGE,
 };
+use mule_bench::routebench::{run_route_bench, RouteBenchParams};
 use mule_bench::tourbench::{run_tour_bench, TourBenchParams};
 use mule_graph::ChbConfig;
 use mule_metrics::{
@@ -94,6 +95,7 @@ pub fn spec_from_options(options: &CliOptions) -> ScenarioSpec {
         recharge: options.recharge,
         planner: options.planner.canonical_name().to_string(),
         horizon_s: options.horizon_s,
+        metric: options.metric,
     }
 }
 
@@ -206,6 +208,31 @@ fn run_render(options: &CliOptions) -> Result<CommandOutput, CommandError> {
         "scenario: {} targets, {} mules, seed {}\n\n",
         options.targets, options.mules, options.seed
     );
+    // Road scenarios get a network summary plus travel-metric
+    // connectivity: two geometrically close targets separated by deleted
+    // blocks are *not* travel-neighbours, which is what decides whether
+    // mules are needed at all. (Euclidean output is unchanged.)
+    if let Some(index) = scenario.metric().road_index() {
+        let range = scenario.field().radio().communication_range_m;
+        let components = scenario.patrolled_components(range).len();
+        let report = index.component();
+        text.push_str(&format!(
+            "road network ({}): {} nodes, {} edges, {:.1} km of road\n\
+             patrolled connectivity at {:.0} m (travel metric): {} component(s)\n\n",
+            scenario.metric().label(),
+            index.graph().len(),
+            index.graph().edge_count(),
+            index.graph().total_length_m() / 1000.0,
+            range,
+            components,
+        ));
+        if report.dropped_nodes > 0 {
+            text.push_str(&format!(
+                "(generator kept the largest of {} components: {} of {} nodes)\n\n",
+                report.component_count, report.kept_nodes, report.total_nodes,
+            ));
+        }
+    }
     text.push_str(&render_scenario(&scenario, width, height));
     text.push_str("\n\n");
     match planner.plan(&scenario) {
@@ -474,6 +501,41 @@ fn run_bench_tours(options: &BenchToursOptions) -> Result<CommandOutput, Command
     Ok(output)
 }
 
+fn run_bench_routes(options: &BenchRoutesOptions) -> Result<CommandOutput, CommandError> {
+    let params = RouteBenchParams {
+        sizes: options.sizes.clone(),
+        seed: options.seed,
+        queries: options.queries,
+        landmarks: options.landmarks,
+    };
+    let report = run_route_bench(&params);
+
+    let mut text = format!(
+        "road routing benchmark: seed {}  queries {}  landmarks {}\n\n",
+        params.seed, params.queries, params.landmarks
+    );
+    text.push_str(&report.to_table().render());
+
+    let mut output = CommandOutput::text_only(text);
+    if let Some(path) = &options.json_path {
+        std::fs::write(path, report.to_json())?;
+        output.files_written.push(path.clone());
+    }
+
+    // Like `bench-tours`, the gate runs *after* the JSON is written so a
+    // failing run still leaves the artefact around for diagnosis.
+    if let Some(bound) = options.min_speedup {
+        if let Some(speedup) = report.largest_alt_speedup() {
+            if speedup < bound {
+                return Err(CommandError::Check(format!(
+                    "ALT speedup {speedup:.2}× below --min-speedup {bound} at the largest size"
+                )));
+            }
+        }
+    }
+    Ok(output)
+}
+
 /// Maps a service-layer error onto the command error taxonomy.
 fn api_error(e: mule_serve::ApiError) -> CommandError {
     match e {
@@ -573,6 +635,7 @@ pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> 
         CliCommand::Dynamics(options) => run_dynamics(options),
         CliCommand::Sweep(options) => run_sweep(options),
         CliCommand::BenchTours(options) => run_bench_tours(options),
+        CliCommand::BenchRoutes(options) => run_bench_routes(options),
         CliCommand::Serve(options) => run_serve(options),
         CliCommand::Loadgen(options) => run_loadgen(options),
     }
@@ -858,6 +921,85 @@ mod tests {
         let err = run_command(&CliCommand::BenchTours(opts)).unwrap_err();
         assert!(err.to_string().contains("check failed"), "{err}");
         assert!(err.to_string().contains("--max-ratio"));
+    }
+
+    fn bench_routes_options() -> BenchRoutesOptions {
+        BenchRoutesOptions {
+            sizes: vec![100, 400],
+            seed: 5,
+            queries: 30,
+            landmarks: 4,
+            json_path: None,
+            min_speedup: None,
+        }
+    }
+
+    #[test]
+    fn bench_routes_reports_speedups_and_writes_json() {
+        let out = run_command(&CliCommand::BenchRoutes(bench_routes_options())).unwrap();
+        assert!(out.text.contains("road routing benchmark"));
+        assert!(out.text.contains("ALT speedup"));
+        assert!(out.files_written.is_empty());
+
+        let dir = std::env::temp_dir().join("patrolctl_benchroutes_test_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut opts = bench_routes_options();
+        let path = dir.join("BENCH_routes.json").to_string_lossy().into_owned();
+        opts.json_path = Some(path.clone());
+        let out = run_command(&CliCommand::BenchRoutes(opts)).unwrap();
+        assert_eq!(out.files_written, vec![path.clone()]);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"bench-routes/v1\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_routes_speedup_gate_passes_and_fails() {
+        // An impossible bound fails with a Check error even at tiny sizes…
+        let mut opts = bench_routes_options();
+        opts.min_speedup = Some(1_000_000.0);
+        let err = run_command(&CliCommand::BenchRoutes(opts)).unwrap_err();
+        assert!(err.to_string().contains("--min-speedup"), "{err}");
+        // …and a trivial bound passes.
+        let mut opts = bench_routes_options();
+        opts.min_speedup = Some(0.0);
+        assert!(run_command(&CliCommand::BenchRoutes(opts)).is_ok());
+    }
+
+    #[test]
+    fn road_metric_threads_from_flags_to_plans_and_simulations() {
+        let mut opts = options();
+        opts.metric = mule_workload::MetricSpec::Road(mule_road::RoadNetKind::Grid);
+        // The spec carries the metric, so `plan` and the server agree.
+        let spec = spec_from_options(&opts);
+        assert_eq!(spec.metric, opts.metric);
+        let out = run_command(&CliCommand::Plan(opts.clone())).unwrap();
+        assert!(out.text.contains("\"metric\": \"road-grid\""));
+        assert!(out.text.contains("\"path\""), "road geometry in response");
+        // Simulate runs end to end over the road world.
+        let sim = run_command(&CliCommand::Simulate(opts.clone())).unwrap();
+        assert!(sim.text.contains("planner: B-TCTP"));
+        // Deterministic.
+        assert_eq!(
+            run_command(&CliCommand::Plan(opts.clone())).unwrap().text,
+            out.text
+        );
+        // And distinct from the Euclidean plan for the same knobs.
+        let euclid = run_command(&CliCommand::Plan(options())).unwrap();
+        assert_ne!(euclid.text, out.text);
+    }
+
+    #[test]
+    fn render_reports_the_road_network_and_its_connectivity() {
+        let mut opts = options();
+        opts.metric = mule_workload::MetricSpec::Road(mule_road::RoadNetKind::Grid);
+        let out = run_command(&CliCommand::Render(opts)).unwrap();
+        assert!(out.text.contains("road network (road-grid):"));
+        assert!(out.text.contains("patrolled connectivity"));
+        assert!(out.text.contains("component(s)"));
+        // Euclidean render output carries no road lines.
+        let euclid = run_command(&CliCommand::Render(options())).unwrap();
+        assert!(!euclid.text.contains("road network"));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Pins the default (Euclidean) outputs byte-for-byte against the
+//! pre-road-metric state.
+//!
+//! The road-metric subsystem threads a `TravelMetric` through every layer
+//! of the stack; the contract (docs/DETERMINISM.md, "Road metrics") is
+//! that scenarios which do not opt in are **bit-for-bit unchanged** —
+//! same plans, same service responses, same sweep statistics. These
+//! FNV-1a-64 hashes were captured from the tree immediately *before* the
+//! road subsystem landed; they must never change as a side effect of
+//! metric work. (An intentional, reviewed output change elsewhere in the
+//! stack may re-pin them — with the diff in hand, not by reflex.)
+
+use patrol_cli::args::parse_args;
+use patrol_cli::commands::run_command;
+
+/// FNV-1a 64-bit — the same stable hash the spec fingerprint uses.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn run(cmdline: &str) -> patrol_cli::commands::CommandOutput {
+    run_command(&parse_args(&argv(cmdline)).unwrap()).unwrap()
+}
+
+#[test]
+fn default_plan_response_is_byte_identical_to_pre_road_output() {
+    let out = run("plan");
+    assert_eq!(
+        fnv1a(out.text.as_bytes()),
+        0xce63_f754_91df_2162,
+        "`patrolctl plan` (default spec) drifted from the pre-road bytes"
+    );
+}
+
+#[test]
+fn pinned_plan_response_is_byte_identical_to_pre_road_output() {
+    let out = run("plan --targets 12 --mules 3 --seed 7");
+    assert_eq!(
+        fnv1a(out.text.as_bytes()),
+        0xcf67_9c09_7f94_9e4b,
+        "`patrolctl plan --targets 12 --mules 3 --seed 7` drifted from the pre-road bytes"
+    );
+}
+
+#[test]
+fn pinned_sweep_csv_is_byte_identical_to_pre_road_output() {
+    let dir = std::env::temp_dir().join("patrolctl_golden_euclidean");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("sweep.csv");
+    let cmdline = format!(
+        "sweep --targets 8 --seeds 1,2 --mule-counts 2,3 --replicas 2 --horizon 5000 --csv {}",
+        csv_path.display()
+    );
+    let _ = run(&cmdline);
+    let csv = std::fs::read(&csv_path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        fnv1a(&csv),
+        0xa52f_bd00_bd21_83b0,
+        "the pinned sweep CSV drifted from the pre-road bytes"
+    );
+}

@@ -86,7 +86,7 @@ impl Planner for RandomPlanner {
             })
             .collect();
 
-        Ok(PatrolPlan::new(self.name(), itineraries))
+        Ok(PatrolPlan::new(self.name(), itineraries).with_metric_geometry(scenario.metric()))
     }
 }
 

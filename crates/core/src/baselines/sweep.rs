@@ -12,7 +12,7 @@
 use crate::plan::{MuleItinerary, PatrolPlan, PlanError, Waypoint};
 use crate::planner::{validate_common, Planner};
 use mule_geom::Point;
-use mule_graph::{construct_circuit_with, ChbConfig};
+use mule_graph::{construct_circuit_metric, ChbConfig};
 use mule_net::NodeKind;
 use mule_workload::Scenario;
 
@@ -152,7 +152,7 @@ impl Planner for SweepPlanner {
                     return MuleItinerary::new(m, *start, vec![]);
                 }
                 let positions: Vec<Point> = nodes.iter().map(|(_, p)| *p).collect();
-                let tour = construct_circuit_with(&positions, &self.chb);
+                let tour = construct_circuit_metric(&positions, scenario.metric(), &self.chb);
                 let cycle: Vec<Waypoint> = tour
                     .order()
                     .iter()
@@ -165,7 +165,7 @@ impl Planner for SweepPlanner {
             })
             .collect();
 
-        Ok(PatrolPlan::new(self.name(), itineraries))
+        Ok(PatrolPlan::new(self.name(), itineraries).with_metric_geometry(scenario.metric()))
     }
 }
 

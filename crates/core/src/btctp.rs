@@ -99,7 +99,7 @@ impl Planner for BTctp {
                 .collect()
         };
 
-        Ok(PatrolPlan::new(self.name(), itineraries))
+        Ok(PatrolPlan::new(self.name(), itineraries).with_metric_geometry(scenario.metric()))
     }
 }
 

@@ -10,7 +10,7 @@
 use crate::plan::Waypoint;
 use mule_geom::polyline::northmost_index;
 use mule_geom::Point;
-use mule_graph::{construct_circuit_with, ChbConfig};
+use mule_graph::{construct_circuit_metric, ChbConfig};
 use mule_net::NodeId;
 use mule_workload::Scenario;
 
@@ -24,7 +24,10 @@ pub struct SharedCircuit {
 }
 
 impl SharedCircuit {
-    /// Builds the circuit for `scenario` with the given CHB configuration.
+    /// Builds the circuit for `scenario` with the given CHB configuration,
+    /// under the scenario's travel metric: Euclidean scenarios take the
+    /// historical (byte-identical) construction path, road scenarios build
+    /// and polish the tour over shortest-path road distances.
     ///
     /// Returns `None` when the scenario has no patrolled nodes.
     pub fn build(scenario: &Scenario, chb: &ChbConfig) -> Option<Self> {
@@ -35,8 +38,8 @@ impl SharedCircuit {
         }
 
         // The Hamiltonian circuit over local indices 0..k of the patrolled
-        // set.
-        let tour = construct_circuit_with(&positions, chb);
+        // set, costed by the scenario's metric.
+        let tour = construct_circuit_metric(&positions, scenario.metric(), chb);
         let mut order = tour.into_order();
 
         // Rotate so the most north patrolled node comes first — the paper's

@@ -7,9 +7,18 @@
 //! traversal — plus the arc-length offset at which the mule enters the walk
 //! (the B-TCTP start-point spreading) and the mule's physical start
 //! position.
+//!
+//! Under a road metric, an itinerary additionally carries the **leg
+//! geometry**: for each consecutive waypoint pair, the road polyline the
+//! mule physically drives. [`MuleItinerary::polyline`],
+//! [`MuleItinerary::cycle_length`] and the simulator all follow that
+//! geometry, so arrival times, traces and renders see real roads instead of
+//! straight chords. Euclidean plans carry no leg paths and behave — byte
+//! for byte — as they always did.
 
 use mule_geom::{Point, Polyline};
 use mule_net::NodeId;
+use mule_road::TravelMetric;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -42,18 +51,27 @@ pub struct MuleItinerary {
     pub cycle: Vec<Waypoint>,
     /// Arc length along `cycle` (measured from its first waypoint) at which
     /// the mule enters the walk. The mule first travels in a straight line
-    /// from `start_position` to that entry point, then patrols.
+    /// from `start_position` to that entry point, then patrols. With leg
+    /// geometry present, the arc length is measured along the *expanded*
+    /// polyline (real road metres).
     pub entry_offset_m: f64,
+    /// Per-leg travel geometry: `leg_paths[i]` holds the intermediate
+    /// points the mule passes between `cycle[i]` and `cycle[(i + 1) % n]`.
+    /// Empty (the default) means every leg is the straight chord — the
+    /// Euclidean representation, unchanged from before road metrics.
+    pub leg_paths: Vec<Vec<Point>>,
 }
 
 impl MuleItinerary {
-    /// Creates an itinerary entering the cycle at its first waypoint.
+    /// Creates an itinerary entering the cycle at its first waypoint, with
+    /// straight (chord) legs.
     pub fn new(mule_index: usize, start_position: Point, cycle: Vec<Waypoint>) -> Self {
         MuleItinerary {
             mule_index,
             start_position,
             cycle,
             entry_offset_m: 0.0,
+            leg_paths: Vec::new(),
         }
     }
 
@@ -64,9 +82,51 @@ impl MuleItinerary {
         self
     }
 
-    /// The closed polyline over the waypoint positions.
+    /// The full travel geometry of one traversal: every waypoint followed
+    /// by its leg's intermediate points. Without leg paths this is exactly
+    /// the waypoint positions.
+    pub fn expanded_points(&self) -> Vec<Point> {
+        if self.leg_paths.is_empty() {
+            return self.cycle.iter().map(|w| w.position).collect();
+        }
+        let mut points = Vec::with_capacity(self.cycle.len() + self.leg_paths.len());
+        for (i, w) in self.cycle.iter().enumerate() {
+            points.push(w.position);
+            if let Some(leg) = self.leg_paths.get(i) {
+                points.extend(leg.iter().copied());
+            }
+        }
+        points
+    }
+
+    /// The closed polyline the mule physically travels (waypoints plus any
+    /// leg geometry).
     pub fn polyline(&self) -> Polyline {
-        Polyline::closed(self.cycle.iter().map(|w| w.position).collect())
+        Polyline::closed(self.expanded_points())
+    }
+
+    /// Replaces the leg geometry with `metric`'s paths and rescales the
+    /// entry offset so the mule keeps its *fractional* position along the
+    /// cycle (B-TCTP's `i/n` spreading is exact under the rescale). A
+    /// no-op for the Euclidean metric.
+    pub fn with_metric_geometry(mut self, metric: &TravelMetric) -> Self {
+        if metric.is_euclidean() || self.cycle.len() < 2 {
+            return self;
+        }
+        let chord_length = self.cycle_length();
+        let n = self.cycle.len();
+        self.leg_paths = (0..n)
+            .map(|i| {
+                let a = self.cycle[i].position;
+                let b = self.cycle[(i + 1) % n].position;
+                metric.leg_path(&a, &b)
+            })
+            .collect();
+        if chord_length > 1e-9 {
+            let fraction = self.entry_offset_m / chord_length;
+            self.entry_offset_m = fraction * self.cycle_length();
+        }
+        self
     }
 
     /// Total length of one traversal of the cycle, in metres.
@@ -127,6 +187,23 @@ impl PatrolPlan {
             .iter()
             .map(MuleItinerary::cycle_length)
             .fold(0.0, f64::max)
+    }
+
+    /// Applies `metric`'s leg geometry to every itinerary (see
+    /// [`MuleItinerary::with_metric_geometry`]). Every planner calls this
+    /// as its final step, so a plan built over a road scenario always
+    /// describes real road motion. A no-op for Euclidean scenarios —
+    /// their plans stay byte-identical to the pre-road era.
+    pub fn with_metric_geometry(mut self, metric: &TravelMetric) -> Self {
+        if metric.is_euclidean() {
+            return self;
+        }
+        self.itineraries = self
+            .itineraries
+            .into_iter()
+            .map(|it| it.with_metric_geometry(metric))
+            .collect();
+        self
     }
 
     /// All distinct nodes covered by at least one itinerary.
@@ -223,6 +300,68 @@ mod tests {
         assert!(plan.max_cycle_length() > 0.0);
         assert_eq!(plan.covered_nodes().len(), 4);
         assert_eq!(plan.planner_name, "test");
+    }
+
+    #[test]
+    fn expanded_points_interleave_leg_geometry() {
+        let mut it = square_itinerary(0);
+        assert_eq!(it.expanded_points().len(), it.cycle.len());
+        // Fake road geometry: one bend on the first leg.
+        it.leg_paths = vec![vec![]; it.cycle.len()];
+        it.leg_paths[0] = vec![Point::new(5.0, -2.0)];
+        let expanded = it.expanded_points();
+        assert_eq!(expanded.len(), it.cycle.len() + 1);
+        assert_eq!(expanded[1], Point::new(5.0, -2.0));
+        assert!(it.cycle_length() > square_itinerary(0).cycle_length());
+    }
+
+    #[test]
+    fn euclidean_metric_geometry_is_a_no_op() {
+        let it = square_itinerary(0).with_entry_offset(7.0);
+        let same = it.clone().with_metric_geometry(&TravelMetric::Euclidean);
+        assert_eq!(it, same);
+        let plan = PatrolPlan::new("test", vec![square_itinerary(0)]);
+        assert_eq!(
+            plan.clone().with_metric_geometry(&TravelMetric::Euclidean),
+            plan
+        );
+    }
+
+    #[test]
+    fn road_metric_geometry_rescales_the_entry_fraction() {
+        use mule_geom::BoundingBox;
+        let index = mule_road::RoadIndex::for_field(
+            mule_road::RoadNetKind::Grid,
+            &BoundingBox::square(800.0),
+            4,
+        );
+        let metric = TravelMetric::road(index);
+        let snap = |x: f64, y: f64| {
+            metric
+                .road_index()
+                .unwrap()
+                .snap_position(&Point::new(x, y))
+        };
+        let cycle = vec![
+            Waypoint::new(NodeId(0), snap(100.0, 100.0)),
+            Waypoint::new(NodeId(1), snap(700.0, 120.0)),
+            Waypoint::new(NodeId(2), snap(400.0, 650.0)),
+        ];
+        let it = MuleItinerary::new(0, snap(100.0, 100.0), cycle);
+        let chord_len = it.cycle_length();
+        let half_way = it.clone().with_entry_offset(chord_len / 2.0);
+
+        let road_it = half_way.with_metric_geometry(&metric);
+        assert!(!road_it.leg_paths.is_empty());
+        assert_eq!(road_it.leg_paths.len(), road_it.cycle.len());
+        let road_len = road_it.cycle_length();
+        assert!(road_len >= chord_len - 1e-9, "roads never beat the chord");
+        assert!(
+            (road_it.entry_offset_m - road_len / 2.0).abs() < 1e-6,
+            "the 1/2 entry fraction is preserved on the road cycle"
+        );
+        // The expanded polyline still starts at the first waypoint.
+        assert_eq!(road_it.expanded_points()[0], road_it.cycle[0].position);
     }
 
     #[test]

@@ -82,6 +82,18 @@ fn path_length(waypoints: &[Waypoint]) -> f64 {
     mule_geom::Polyline::closed(waypoints.iter().map(|w| w.position).collect()).length()
 }
 
+/// Closed-walk length under an arbitrary travel metric (what a mule
+/// physically drives on a road network).
+fn metric_path_length(waypoints: &[Waypoint], metric: &mule_road::TravelMetric) -> f64 {
+    let n = waypoints.len();
+    if n < 2 {
+        return 0.0;
+    }
+    (0..n)
+        .map(|i| metric.distance(&waypoints[i].position, &waypoints[(i + 1) % n].position))
+        .sum()
+}
+
 impl RwTctp {
     /// RW-TCTP with the given break-edge policy and the paper's energy
     /// constants.
@@ -123,9 +135,17 @@ impl RwTctp {
         let wrp = splice_station(&wpp, Waypoint::new(station.id, station.position));
 
         // Eq. 4: r = M_Energy / (|P̂|·c_m + h·c_s), with h the number of
-        // collections performed in one recharge-path round.
+        // collections performed in one recharge-path round. |P̂| must be
+        // the distance a mule *actually travels* — under a road metric the
+        // chord length underestimates it, which would overbudget rounds
+        // and strand mules short of the station.
         let collections = wrp.len();
-        let rounds = PatrolRounds::evaluate(&self.energy, path_length(&wrp), collections);
+        let round_length = if scenario.metric().is_euclidean() {
+            path_length(&wrp)
+        } else {
+            metric_path_length(&wrp, scenario.metric())
+        };
+        let rounds = PatrolRounds::evaluate(&self.energy, round_length, collections);
 
         Ok(RechargeSchedule { wpp, wrp, rounds })
     }
@@ -194,7 +214,7 @@ impl Planner for RwTctp {
                     .with_entry_offset(deployments[m].entry_offset_m)
             })
             .collect();
-        Ok(PatrolPlan::new(self.name(), itineraries))
+        Ok(PatrolPlan::new(self.name(), itineraries).with_metric_geometry(scenario.metric()))
     }
 }
 

@@ -132,7 +132,7 @@ impl Planner for WTctp {
                     .with_entry_offset(deployments[m].entry_offset_m)
             })
             .collect();
-        Ok(PatrolPlan::new(self.name(), itineraries))
+        Ok(PatrolPlan::new(self.name(), itineraries).with_metric_geometry(scenario.metric()))
     }
 }
 

@@ -28,6 +28,7 @@
 //!
 //! [`DistanceMatrix`]: crate::DistanceMatrix
 
+use crate::distance_matrix::DistanceMatrix;
 use crate::tour::Tour;
 use mule_geom::{KdTree, Point};
 
@@ -35,6 +36,33 @@ use mule_geom::{KdTree, Point};
 /// shorten the tour by more than this to be applied, which guards against
 /// floating-point churn on already-optimal tours.
 const GAIN_EPS: f64 = 1e-10;
+
+/// Where the candidate searches read pairwise distances from.
+///
+/// The classic path recomputes Euclidean distances from the coordinates on
+/// demand (no `O(n²)` state); the matrix path serves non-Euclidean metrics
+/// (road networks) whose distances were precomputed once. Both searches are
+/// generic over this trait and monomorphise, so the historical
+/// point-backed code path compiles to exactly the same inner loop as
+/// before.
+trait SearchDist {
+    /// Distance between points `i` and `j`.
+    fn d(&self, i: usize, j: usize) -> f64;
+}
+
+impl SearchDist for &[Point] {
+    #[inline]
+    fn d(&self, i: usize, j: usize) -> f64 {
+        dist(self, i, j)
+    }
+}
+
+impl SearchDist for &DistanceMatrix {
+    #[inline]
+    fn d(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j)
+    }
+}
 
 /// Per-point k-nearest-neighbour candidate lists, sorted by distance.
 #[derive(Debug, Clone)]
@@ -70,6 +98,46 @@ impl CandidateLists {
                     .take(k)
                     .map(|(j, _)| j as u32)
                     .collect()
+            })
+            .collect();
+        CandidateLists { lists, k }
+    }
+
+    /// Builds k-nearest-neighbour lists from a precomputed distance
+    /// matrix — the entry point for non-Euclidean metrics, where "nearest"
+    /// must mean nearest *by travel distance* (a road detour can make a
+    /// geometric neighbour a poor reconnection candidate). Ties break by
+    /// index so the lists are deterministic. `k` is clamped to
+    /// `matrix.len() - 1`.
+    pub fn from_matrix(matrix: &DistanceMatrix, k: usize) -> Self {
+        let n = matrix.len();
+        let k = k.min(n.saturating_sub(1));
+        if k == 0 {
+            return CandidateLists {
+                lists: vec![Vec::new(); n],
+                k,
+            };
+        }
+        let lists = (0..n)
+            .map(|i| {
+                let by_distance = |&a: &u32, &b: &u32| {
+                    matrix
+                        .get(i, a as usize)
+                        .total_cmp(&matrix.get(i, b as usize))
+                        .then(a.cmp(&b))
+                };
+                let mut order: Vec<u32> = (0..n as u32).filter(|&j| j as usize != i).collect();
+                // Top-k selection, then sort only the survivors: O(n + k
+                // log k) per point instead of a full O(n log n) sort. The
+                // (distance, index) comparator is a total order, so the
+                // selected set — and its sorted order — is exactly what
+                // the full sort would produce.
+                if k < order.len() {
+                    order.select_nth_unstable_by(k - 1, by_distance);
+                    order.truncate(k);
+                }
+                order.sort_by(by_distance);
+                order
             })
             .collect();
         CandidateLists { lists, k }
@@ -123,6 +191,27 @@ pub fn two_opt_candidates(
     candidates: &CandidateLists,
     max_rounds: usize,
 ) -> usize {
+    two_opt_candidates_by(tour, &points, candidates, max_rounds)
+}
+
+/// [`two_opt_candidates`] reading distances from a precomputed matrix —
+/// the variant metric-aware pipelines use (candidate lists should then come
+/// from [`CandidateLists::from_matrix`] so "nearest" matches the metric).
+pub fn two_opt_candidates_matrix(
+    tour: &mut Tour,
+    matrix: &DistanceMatrix,
+    candidates: &CandidateLists,
+    max_rounds: usize,
+) -> usize {
+    two_opt_candidates_by(tour, &matrix, candidates, max_rounds)
+}
+
+fn two_opt_candidates_by<D: SearchDist>(
+    tour: &mut Tour,
+    points: &D,
+    candidates: &CandidateLists,
+    max_rounds: usize,
+) -> usize {
     let n = tour.len();
     if n < 4 {
         return 0;
@@ -149,11 +238,11 @@ pub fn two_opt_candidates(
                     } else {
                         tour.order()[(p1 + n - 1) % n]
                     };
-                    let d_t1_t2 = dist(points, t1, t2);
+                    let d_t1_t2 = points.d(t1, t2);
                     let mut applied = false;
                     for &c in candidates.neighbors(t1) {
                         let t3 = c as usize;
-                        let d_t1_t3 = dist(points, t1, t3);
+                        let d_t1_t3 = points.d(t1, t3);
                         if d_t1_t3 >= d_t1_t2 {
                             break; // sorted list: no shorter new edge left
                         }
@@ -166,7 +255,7 @@ pub fn two_opt_candidates(
                         if t3 == t2 || t4 == t1 {
                             continue; // adjacent edges — reversal is a no-op
                         }
-                        let gain = d_t1_t2 + dist(points, t3, t4) - d_t1_t3 - dist(points, t2, t4);
+                        let gain = d_t1_t2 + points.d(t3, t4) - d_t1_t3 - points.d(t2, t4);
                         if gain > GAIN_EPS {
                             // Removing (t1,t2) and (t3,t4), adding (t1,t3)
                             // and (t2,t4): reverse the run between the two
@@ -218,6 +307,26 @@ pub fn or_opt_candidates(
     candidates: &CandidateLists,
     max_rounds: usize,
 ) -> usize {
+    or_opt_candidates_by(tour, &points, candidates, max_rounds)
+}
+
+/// [`or_opt_candidates`] reading distances from a precomputed matrix (see
+/// [`two_opt_candidates_matrix`]).
+pub fn or_opt_candidates_matrix(
+    tour: &mut Tour,
+    matrix: &DistanceMatrix,
+    candidates: &CandidateLists,
+    max_rounds: usize,
+) -> usize {
+    or_opt_candidates_by(tour, &matrix, candidates, max_rounds)
+}
+
+fn or_opt_candidates_by<D: SearchDist>(
+    tour: &mut Tour,
+    points: &D,
+    candidates: &CandidateLists,
+    max_rounds: usize,
+) -> usize {
     let n = tour.len();
     if n < 5 {
         return 0;
@@ -253,9 +362,9 @@ pub fn or_opt_candidates(
 /// Tries the best candidate relocation of the chains of length 1–3 starting
 /// at point `a`. On success applies the move, refreshes `pos`, and returns
 /// the points whose tour edges changed.
-fn try_relocate_candidates(
+fn try_relocate_candidates<D: SearchDist>(
     tour: &mut Tour,
-    points: &[Point],
+    points: &D,
     candidates: &CandidateLists,
     a: usize,
     pos: &mut Vec<usize>,
@@ -279,8 +388,8 @@ fn try_relocate_candidates(
         if chain[..chain_len].contains(&before) || chain[..chain_len].contains(&after) {
             continue; // chain wraps the whole tour
         }
-        let removed = dist(points, before, chain_first) + dist(points, chain_last, after)
-            - dist(points, before, after);
+        let removed =
+            points.d(before, chain_first) + points.d(chain_last, after) - points.d(before, after);
         if removed <= GAIN_EPS {
             continue; // excision itself saves nothing; no reinsertion can win
         }
@@ -301,9 +410,9 @@ fn try_relocate_candidates(
                 if chain[..chain_len].contains(&j) {
                     continue;
                 }
-                let d_i_j = dist(points, i, j);
-                let fwd = dist(points, i, chain_first) + dist(points, chain_last, j) - d_i_j;
-                let rev = dist(points, i, chain_last) + dist(points, chain_first, j) - d_i_j;
+                let d_i_j = points.d(i, j);
+                let fwd = points.d(i, chain_first) + points.d(chain_last, j) - d_i_j;
+                let rev = points.d(i, chain_last) + points.d(chain_first, j) - d_i_j;
                 let (added, reversed) = if rev < fwd { (rev, true) } else { (fwd, false) };
                 let gain = removed - added;
                 if gain > GAIN_EPS && best.map(|(g, ..)| gain > g).unwrap_or(true) {
@@ -457,6 +566,60 @@ mod tests {
             );
             assert!(fast.is_valid());
         }
+    }
+
+    #[test]
+    fn matrix_backed_search_is_byte_identical_to_point_backed() {
+        // With a Euclidean matrix, the matrix code path must apply exactly
+        // the same moves in the same order as the coordinate code path —
+        // the generic core monomorphises over the distance source only.
+        for salt in [3u64, 19, 77] {
+            let pts = pseudo_random_points(80, salt);
+            let dm = DistanceMatrix::from_points(&pts);
+            let cand = CandidateLists::build(&pts, 8);
+
+            let mut by_points = Tour::identity(pts.len());
+            let mut by_matrix = Tour::identity(pts.len());
+            let a = two_opt_candidates(&mut by_points, &pts, &cand, 50);
+            let b = two_opt_candidates_matrix(&mut by_matrix, &dm, &cand, 50);
+            assert_eq!(a, b);
+            assert_eq!(by_points.order(), by_matrix.order());
+
+            let c = or_opt_candidates(&mut by_points, &pts, &cand, 50);
+            let d = or_opt_candidates_matrix(&mut by_matrix, &dm, &cand, 50);
+            assert_eq!(c, d);
+            assert_eq!(by_points.order(), by_matrix.order());
+        }
+    }
+
+    #[test]
+    fn from_matrix_lists_are_sorted_by_matrix_distance() {
+        let pts = pseudo_random_points(30, 6);
+        let dm = DistanceMatrix::from_points(&pts);
+        let cand = CandidateLists::from_matrix(&dm, 6);
+        assert_eq!(cand.k(), 6);
+        for i in 0..pts.len() {
+            let list = cand.neighbors(i);
+            assert_eq!(list.len(), 6);
+            assert!(list.iter().all(|&j| j as usize != i));
+            for w in list.windows(2) {
+                assert!(dm.get(i, w[0] as usize) <= dm.get(i, w[1] as usize) + 1e-12);
+            }
+            // Same neighbour *distances* as the kd-tree build (tie order
+            // may differ between the two constructions).
+            let tree_list = CandidateLists::build(&pts, 6);
+            let a: Vec<f64> = list.iter().map(|&j| dm.get(i, j as usize)).collect();
+            let b: Vec<f64> = tree_list
+                .neighbors(i)
+                .iter()
+                .map(|&j| dm.get(i, j as usize))
+                .collect();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+        let empty = CandidateLists::from_matrix(&DistanceMatrix::from_points(&[]), 4);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -14,13 +14,18 @@
 //! target list, they all obtain *the same* circuit — the distributed-
 //! agreement property the paper relies on.
 
-use crate::candidates::{or_opt_candidates, two_opt_candidates, CandidateLists};
+use crate::candidates::{
+    or_opt_candidates, or_opt_candidates_matrix, two_opt_candidates, two_opt_candidates_matrix,
+    CandidateLists,
+};
 use crate::distance_matrix::DistanceMatrix;
 use crate::insertion::{convex_hull_insertion, convex_hull_insertion_incremental};
+use crate::nearest_neighbor::nearest_neighbor;
 use crate::or_opt::or_opt;
 use crate::tour::Tour;
 use crate::two_opt::two_opt;
 use mule_geom::Point;
+use mule_road::TravelMetric;
 use serde::{Deserialize, Serialize};
 
 /// Instance size up to which [`SearchMode::Auto`] uses the exact pipeline.
@@ -157,6 +162,48 @@ pub fn construct_circuit_with_matrix(
     match config.search.resolve(points.len()) {
         SearchMode::Candidates(k) => construct_circuit_candidates(points, config, k),
         _ => construct_circuit_exact(points, dm, config),
+    }
+}
+
+/// Builds the CHB Hamiltonian circuit under an arbitrary travel metric.
+///
+/// * `Euclidean` delegates to [`construct_circuit_with`] — the historical
+///   code path, byte-identical tours included.
+/// * `Road` precomputes the metric [`DistanceMatrix`] (one Dijkstra per
+///   distinct snapped road node) and runs the matrix-backed pipeline:
+///   exact construction + polish at or below the resolved threshold,
+///   nearest-neighbour seeding + matrix candidate lists above it. The
+///   convex-hull *seed* of the exact path still comes from the point
+///   geometry (hulls are geometric objects), but every cost it compares is
+///   a road distance.
+pub fn construct_circuit_metric(
+    points: &[Point],
+    metric: &TravelMetric,
+    config: &ChbConfig,
+) -> Tour {
+    if metric.is_euclidean() {
+        return construct_circuit_with(points, config);
+    }
+    let dm = DistanceMatrix::from_metric(points, metric);
+    match config.search.resolve(points.len()) {
+        SearchMode::Candidates(k) => {
+            let mut tour = nearest_neighbor(points, &dm, 0);
+            if config.two_opt_passes == 0 && config.or_opt_passes == 0 {
+                return tour;
+            }
+            let candidates = CandidateLists::from_matrix(&dm, k.max(1));
+            if config.two_opt_passes > 0 {
+                two_opt_candidates_matrix(&mut tour, &dm, &candidates, config.two_opt_passes);
+            }
+            if config.or_opt_passes > 0 {
+                or_opt_candidates_matrix(&mut tour, &dm, &candidates, config.or_opt_passes);
+                if config.two_opt_passes > 0 {
+                    two_opt_candidates_matrix(&mut tour, &dm, &candidates, config.two_opt_passes);
+                }
+            }
+            tour
+        }
+        _ => construct_circuit_exact(points, &dm, config),
     }
 }
 
@@ -312,6 +359,47 @@ mod tests {
         );
         assert!(tour.is_valid());
         assert_eq!(tour.len(), pts.len());
+    }
+
+    #[test]
+    fn metric_circuit_euclidean_is_byte_identical() {
+        for n in [10usize, 60, AUTO_EXACT_THRESHOLD + 20] {
+            let pts = pseudo_random_points(n, 31);
+            let a = construct_circuit_metric(&pts, &TravelMetric::Euclidean, &ChbConfig::default());
+            let b = construct_circuit_with(&pts, &ChbConfig::default());
+            assert_eq!(a.order(), b.order(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn metric_circuit_road_is_valid_and_deterministic() {
+        let idx = mule_road::RoadIndex::for_field(
+            mule_road::RoadNetKind::Grid,
+            &mule_geom::BoundingBox::square(800.0),
+            9,
+        );
+        let metric = TravelMetric::road(idx);
+        // Snap the points onto the network like road scenarios do.
+        let pts: Vec<Point> = pseudo_random_points(40, 12)
+            .iter()
+            .map(|p| metric.road_index().unwrap().snap_position(p))
+            .collect();
+        let a = construct_circuit_metric(&pts, &metric, &ChbConfig::default());
+        let b = construct_circuit_metric(&pts, &metric, &ChbConfig::default());
+        assert_eq!(a.order(), b.order());
+        assert!(a.is_valid());
+        assert_eq!(a.len(), pts.len());
+        // The road tour should beat naive identity order by road length.
+        let dm = DistanceMatrix::from_metric(&pts, &metric);
+        let naive: Vec<usize> = (0..pts.len()).collect();
+        assert!(dm.cycle_length(a.order()) <= dm.cycle_length(&naive));
+        // The candidate path also produces a valid tour on road costs.
+        let large = construct_circuit_metric(
+            &pts,
+            &metric,
+            &ChbConfig::default().with_search(SearchMode::Candidates(8)),
+        );
+        assert!(large.is_valid());
     }
 
     #[test]

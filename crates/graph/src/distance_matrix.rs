@@ -1,13 +1,19 @@
-//! Dense pairwise Euclidean distance matrix.
+//! Dense pairwise travel-distance matrix.
 //!
 //! All tour heuristics and the WPP/WRP break-edge searches are expressed in
 //! terms of inter-target distances. Computing them once per scenario and
 //! sharing the matrix keeps the heuristics allocation-free in their inner
-//! loops.
+//! loops. The matrix is metric-agnostic: [`DistanceMatrix::from_points`]
+//! fills it with Euclidean distances (the historical behaviour, bit for
+//! bit), while [`DistanceMatrix::from_metric`] accepts any
+//! [`mule_road::TravelMetric`] — road matrices cost one Dijkstra per
+//! distinct snapped node instead of `O(n²)` subtractions, but every
+//! consumer downstream is oblivious to the difference.
 
 use mule_geom::Point;
+use mule_road::TravelMetric;
 
-/// A symmetric `n × n` matrix of Euclidean distances, stored row-major in a
+/// A symmetric `n × n` matrix of travel distances, stored row-major in a
 /// single flat allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistanceMatrix {
@@ -16,7 +22,7 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Builds the matrix from a point slice.
+    /// Builds the matrix from a point slice (Euclidean distances).
     pub fn from_points(points: &[Point]) -> Self {
         let n = points.len();
         let mut data = vec![0.0; n * n];
@@ -29,6 +35,20 @@ impl DistanceMatrix {
             }
         }
         DistanceMatrix { n, data }
+    }
+
+    /// Builds the matrix under an arbitrary travel metric. The Euclidean
+    /// metric routes through [`DistanceMatrix::from_points`] so the bytes
+    /// (and the float operations producing them) are identical to the
+    /// pre-metric era.
+    pub fn from_metric(points: &[Point], metric: &TravelMetric) -> Self {
+        match metric {
+            TravelMetric::Euclidean => DistanceMatrix::from_points(points),
+            road => DistanceMatrix {
+                n: points.len(),
+                data: road.pairwise(points),
+            },
+        }
     }
 
     /// Number of points the matrix was built from.
@@ -178,6 +198,43 @@ mod tests {
         assert!(DistanceMatrix::from_points(&[Point::ORIGIN])
             .farthest_pair()
             .is_none());
+    }
+
+    #[test]
+    fn from_metric_euclidean_is_identical_to_from_points() {
+        let pts = unit_square();
+        let a = DistanceMatrix::from_points(&pts);
+        let b = DistanceMatrix::from_metric(&pts, &TravelMetric::Euclidean);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_metric_road_dominates_euclidean_and_stays_symmetric() {
+        use mule_geom::BoundingBox;
+        let idx = mule_road::RoadIndex::for_field(
+            mule_road::RoadNetKind::Grid,
+            &BoundingBox::square(800.0),
+            5,
+        );
+        let metric = TravelMetric::road(idx);
+        let pts = vec![
+            Point::new(100.0, 100.0),
+            Point::new(650.0, 200.0),
+            Point::new(400.0, 700.0),
+        ];
+        let dm = DistanceMatrix::from_metric(&pts, &metric);
+        for i in 0..3 {
+            assert_eq!(dm.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(dm.get(i, j), dm.get(j, i));
+                if i != j {
+                    assert!(
+                        dm.get(i, j) >= pts[i].distance(&pts[j]) - 1e-9,
+                        "road distance dominates the straight line"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

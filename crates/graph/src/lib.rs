@@ -21,7 +21,11 @@
 //!   used by the planners: `chb::construct_circuit(points)`. Its
 //!   [`SearchMode`] knob picks exact vs. candidate-list search; the default
 //!   `Auto` keeps paper-size instances byte-identical and switches to
-//!   candidate lists above [`chb::AUTO_EXACT_THRESHOLD`] points.
+//!   candidate lists above [`chb::AUTO_EXACT_THRESHOLD`] points. The
+//!   metric-aware entry point [`construct_circuit_metric`] additionally
+//!   accepts a [`mule_road::TravelMetric`]: Euclidean delegates to the
+//!   historical path bit-for-bit, road metrics run the matrix-backed
+//!   pipeline over precomputed shortest-path distances.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -37,9 +41,13 @@ pub mod partition;
 pub mod tour;
 pub mod two_opt;
 
-pub use candidates::{or_opt_candidates, two_opt_candidates, CandidateLists};
+pub use candidates::{
+    or_opt_candidates, or_opt_candidates_matrix, two_opt_candidates, two_opt_candidates_matrix,
+    CandidateLists,
+};
 pub use chb::{
-    construct_circuit, construct_circuit_with, construct_circuit_with_matrix, ChbConfig, SearchMode,
+    construct_circuit, construct_circuit_metric, construct_circuit_with,
+    construct_circuit_with_matrix, ChbConfig, SearchMode,
 };
 pub use distance_matrix::DistanceMatrix;
 pub use insertion::{cheapest_insertion, convex_hull_insertion, convex_hull_insertion_incremental};

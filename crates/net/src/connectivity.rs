@@ -83,17 +83,23 @@ impl UnionFind {
     }
 }
 
-/// Groups `points` into connected components of the unit-disk graph with
-/// radius `range`: two points are adjacent when they are within `range`
-/// metres of each other. Returns one vector of point indices per component,
-/// each sorted ascending, with components ordered by their smallest member.
-pub fn connected_components(points: &[Point], range: f64) -> Vec<Vec<usize>> {
-    let n = points.len();
+/// Groups `n` elements into connected components of the unit-disk graph
+/// with radius `range` under an arbitrary pairwise distance: elements `i`
+/// and `j` are adjacent when `dist(i, j) <= range`. This is the
+/// metric-agnostic core behind [`connected_components`] — road-metric
+/// scenarios pass their travel distance here, so "reachable" means
+/// reachable *by travel* rather than as the crow flies. Returns one vector
+/// of indices per component, each sorted ascending, with components
+/// ordered by their smallest member.
+pub fn connected_components_by<F: Fn(usize, usize) -> f64>(
+    n: usize,
+    range: f64,
+    dist: F,
+) -> Vec<Vec<usize>> {
     let mut uf = UnionFind::new(n);
-    let r2 = range * range;
     for i in 0..n {
         for j in (i + 1)..n {
-            if points[i].distance_squared(&points[j]) <= r2 {
+            if dist(i, j) <= range {
                 uf.union(i, j);
             }
         }
@@ -106,6 +112,21 @@ pub fn connected_components(points: &[Point], range: f64) -> Vec<Vec<usize>> {
     let mut components: Vec<Vec<usize>> = groups.into_values().collect();
     components.sort_by_key(|c| c[0]);
     components
+}
+
+/// Returns `true` when the graph described by `dist` at radius `range` has
+/// more than one connected component (see [`connected_components_by`]).
+pub fn is_disconnected_by<F: Fn(usize, usize) -> f64>(n: usize, range: f64, dist: F) -> bool {
+    connected_components_by(n, range, dist).len() > 1
+}
+
+/// Groups `points` into connected components of the unit-disk graph with
+/// radius `range`: two points are adjacent when they are within `range`
+/// metres of each other (straight-line). Returns one vector of point
+/// indices per component, each sorted ascending, with components ordered
+/// by their smallest member.
+pub fn connected_components(points: &[Point], range: f64) -> Vec<Vec<usize>> {
+    connected_components_by(points.len(), range, |i, j| points[i].distance(&points[j]))
 }
 
 /// Returns `true` when the unit-disk graph over `points` at communication
@@ -188,6 +209,29 @@ mod tests {
         let single = connected_components(&[Point::ORIGIN], 10.0);
         assert_eq!(single, vec![vec![0]]);
         assert!(!is_disconnected(&[Point::ORIGIN], 10.0));
+    }
+
+    #[test]
+    fn generic_distance_components_mirror_the_point_based_ones() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(400.0, 400.0),
+        ];
+        let by = connected_components_by(points.len(), 15.0, |i, j| points[i].distance(&points[j]));
+        assert_eq!(by, connected_components(&points, 15.0));
+        assert!(is_disconnected_by(points.len(), 15.0, |i, j| points[i].distance(&points[j])));
+
+        // A non-Euclidean distance (here: a blocked pair) changes the
+        // answer — the point of the generic API.
+        let blocked = connected_components_by(points.len(), 15.0, |i, j| {
+            if (i, j) == (0, 1) || (i, j) == (1, 0) {
+                1e9 // a wall between 0 and 1
+            } else {
+                points[i].distance(&points[j])
+            }
+        });
+        assert_eq!(blocked.len(), 3);
     }
 
     #[test]

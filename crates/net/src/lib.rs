@@ -25,7 +25,9 @@ pub mod node;
 pub mod radio;
 
 pub use buffer::{DataBuffer, MulePayload};
-pub use connectivity::{connected_components, is_disconnected, UnionFind};
+pub use connectivity::{
+    connected_components, connected_components_by, is_disconnected, is_disconnected_by, UnionFind,
+};
 pub use field::{Field, FieldBuilder, RadioParameters};
 pub use node::{Node, NodeId, NodeKind, Weight};
 pub use radio::{in_communication_range, in_sensing_range, LinkBudget};

@@ -1,0 +1,140 @@
+//! Property tests of the road routing stack (satellite of the road-metric
+//! PR): on randomly generated connected graphs,
+//!
+//! * A* (Euclidean heuristic) and ALT A* report exactly the same path
+//!   costs as plain Dijkstra;
+//! * ALT lower bounds never exceed the true shortest-path distance;
+//! * generated graphs are connected after deletions — the generator either
+//!   keeps every node or restricts to (and reports) the component used.
+
+use mule_geom::BoundingBox;
+use mule_road::{astar, astar_alt, dijkstra, dijkstra_to, Landmarks};
+use mule_road::{grid_with_deletions, random_planar, RoadNet};
+use proptest::prelude::*;
+
+/// Deterministic query pairs spread over the node range.
+fn query_pairs(n: usize, count: usize) -> Vec<(u32, u32)> {
+    (0..count)
+        .map(|q| {
+            let s = (q * 7919) % n;
+            let t = (q * 104_729 + n / 2) % n;
+            (s as u32, t as u32)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn astar_and_alt_match_dijkstra_costs_on_random_grids(
+        seed in 0u64..1_000_000,
+        nx in 4usize..10,
+        ny in 4usize..10,
+        frac in 0.0..0.35f64,
+    ) {
+        let net = grid_with_deletions(&BoundingBox::square(800.0), nx, ny, frac, seed);
+        let g = &net.graph;
+        prop_assume!(g.len() >= 2);
+        let lm = Landmarks::select(g, 4);
+        for (s, t) in query_pairs(g.len(), 12) {
+            let d = dijkstra_to(g, s, t);
+            let a = astar(g, s, t);
+            let alt = astar_alt(g, &lm, s, t);
+            // The kept component is connected, so every query resolves.
+            let d = d.expect("connected graph");
+            let a = a.expect("connected graph");
+            let alt = alt.expect("connected graph");
+            prop_assert!((d.cost - a.cost).abs() < 1e-9,
+                "A* cost {} != Dijkstra cost {} for {}->{}", a.cost, d.cost, s, t);
+            prop_assert!((d.cost - alt.cost).abs() < 1e-9,
+                "ALT cost {} != Dijkstra cost {} for {}->{}", alt.cost, d.cost, s, t);
+            // Paths re-cost to their reported cost (validity of the
+            // returned node sequences, not just the scalar).
+            for r in [&a, &alt] {
+                let mut acc = 0.0;
+                for w in r.nodes.windows(2) {
+                    let arc = g.neighbors(w[0]).find(|&(v, _)| v == w[1]);
+                    prop_assert!(arc.is_some(), "path hop {}->{} not an arc", w[0], w[1]);
+                    acc += arc.unwrap().1;
+                }
+                prop_assert!((acc - r.cost).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn astar_matches_dijkstra_on_random_planar_graphs(
+        seed in 0u64..1_000_000,
+        nodes in 10usize..60,
+    ) {
+        let net = random_planar(&BoundingBox::square(800.0), nodes, 3, seed);
+        let g = &net.graph;
+        prop_assume!(g.len() >= 2);
+        let lm = Landmarks::select(g, 3);
+        for (s, t) in query_pairs(g.len(), 8) {
+            let d = dijkstra_to(g, s, t).expect("connected graph");
+            let a = astar(g, s, t).expect("connected graph");
+            let alt = astar_alt(g, &lm, s, t).expect("connected graph");
+            prop_assert!((d.cost - a.cost).abs() < 1e-9);
+            prop_assert!((d.cost - alt.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alt_lower_bounds_never_exceed_true_distances(
+        seed in 0u64..1_000_000,
+        nx in 4usize..9,
+        ny in 4usize..9,
+        frac in 0.0..0.45f64,
+        landmark_count in 1usize..6,
+    ) {
+        let net = grid_with_deletions(&BoundingBox::square(800.0), nx, ny, frac, seed);
+        let g = &net.graph;
+        prop_assume!(g.len() >= 2);
+        let lm = Landmarks::select(g, landmark_count);
+        for (s, t) in query_pairs(g.len(), 10) {
+            let exact = dijkstra_to(g, s, t).expect("connected graph").cost;
+            let bound = lm.lower_bound(s, t);
+            prop_assert!(
+                bound <= exact + 1e-9,
+                "ALT bound {bound} exceeds true distance {exact} for {s}->{t}"
+            );
+            // The Euclidean bound the A* heuristic adds is admissible too.
+            let straight = g.position(s).distance(&g.position(t));
+            prop_assert!(straight <= exact + 1e-9);
+        }
+    }
+
+    #[test]
+    fn generated_graphs_are_connected_after_deletions(
+        seed in 0u64..1_000_000,
+        nx in 3usize..12,
+        ny in 3usize..12,
+        frac in 0.0..0.6f64,
+    ) {
+        let check = |net: &RoadNet| -> Result<(), TestCaseError> {
+            let g = &net.graph;
+            prop_assert_eq!(g.len(), net.component.kept_nodes);
+            prop_assert_eq!(
+                net.component.total_nodes,
+                net.component.kept_nodes + net.component.dropped_nodes
+            );
+            // Either nothing was dropped, or the restriction reported the
+            // component it kept (more than one raw component).
+            if net.component.dropped_nodes > 0 {
+                prop_assert!(net.component.component_count > 1);
+            }
+            if !g.is_empty() {
+                let dist = dijkstra(g, 0);
+                prop_assert!(
+                    dist.iter().all(|d| d.is_finite()),
+                    "kept component must be fully routable"
+                );
+            }
+            Ok(())
+        };
+        check(&grid_with_deletions(&BoundingBox::square(800.0), nx, ny, frac, seed))?;
+        check(&random_planar(&BoundingBox::square(800.0), nx * ny, 3, seed))?;
+    }
+}

@@ -12,7 +12,7 @@
 
 use crate::json::{parse, JsonValue};
 use mule_sim::SimulationConfig;
-use mule_workload::{ScenarioSpec, SweepSpec};
+use mule_workload::{MetricSpec, ScenarioSpec, SweepSpec};
 use patrol_core::baselines::{ChbPlanner, RandomPlanner, SweepPlanner};
 use patrol_core::{BTctp, BreakEdgePolicy, PlanError, Planner, RwTctp, WTctp};
 use std::fmt;
@@ -85,10 +85,13 @@ pub fn build_planner(name: &str) -> Option<Box<dyn Planner>> {
 }
 
 /// Renders a spec as its JSON document (field order fixed, so equal specs
-/// render to equal bytes).
+/// render to equal bytes). Like the canonical string, the default
+/// (Euclidean) metric renders nothing — responses for pre-road specs are
+/// byte-identical to the pre-road era; road specs grow a trailing
+/// `"metric"` field.
 pub fn spec_to_json(spec: &ScenarioSpec) -> JsonValue {
-    JsonValue::object(vec![
-        ("targets", spec.targets.into()),
+    let mut fields = vec![
+        ("targets", JsonValue::from(spec.targets)),
         ("mules", spec.mules.into()),
         ("seed", spec.seed.into()),
         ("vips", spec.vips.into()),
@@ -96,7 +99,11 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> JsonValue {
         ("recharge", spec.recharge.into()),
         ("planner", spec.planner.as_str().into()),
         ("horizon_s", spec.horizon_s.into()),
-    ])
+    ];
+    if spec.metric != MetricSpec::Euclidean {
+        fields.push(("metric", spec.metric.wire_name().into()));
+    }
+    JsonValue::object(fields)
 }
 
 fn field_u64(v: &JsonValue, key: &str, default: u64) -> Result<u64, ApiError> {
@@ -139,6 +146,19 @@ pub fn spec_from_json(v: &JsonValue) -> Result<ScenarioSpec, ApiError> {
             .as_bool()
             .ok_or_else(|| ApiError::BadRequest("`recharge` must be a boolean".into()))?,
     };
+    let metric = match v.get("metric") {
+        None => defaults.metric,
+        Some(field) => {
+            let name = field
+                .as_str()
+                .ok_or_else(|| ApiError::BadRequest("`metric` must be a string".into()))?;
+            MetricSpec::parse(name).ok_or_else(|| {
+                ApiError::BadRequest(format!(
+                    "unknown metric `{name}` (expected euclidean | road | road-grid | road-planar)"
+                ))
+            })?
+        }
+    };
     Ok(ScenarioSpec {
         targets: field_usize(v, "targets", defaults.targets)?,
         mules: field_usize(v, "mules", defaults.mules)?,
@@ -149,6 +169,7 @@ pub fn spec_from_json(v: &JsonValue) -> Result<ScenarioSpec, ApiError> {
         recharge,
         planner,
         horizon_s,
+        metric,
     })
 }
 
@@ -222,8 +243,8 @@ pub fn plan_response_json(spec: &ScenarioSpec) -> Result<String, ApiError> {
                     ])
                 })
                 .collect();
-            JsonValue::object(vec![
-                ("mule", it.mule_index.into()),
+            let mut fields = vec![
+                ("mule", JsonValue::from(it.mule_index)),
                 (
                     "start",
                     JsonValue::Array(vec![it.start_position.x.into(), it.start_position.y.into()]),
@@ -231,7 +252,19 @@ pub fn plan_response_json(spec: &ScenarioSpec) -> Result<String, ApiError> {
                 ("entry_offset_m", it.entry_offset_m.into()),
                 ("cycle_length_m", it.cycle_length().into()),
                 ("cycle", JsonValue::Array(cycle)),
-            ])
+            ];
+            // Road plans also expose the driven geometry (the expanded
+            // polyline, `[[x, y], …]`); Euclidean responses stay
+            // byte-identical by omitting the field.
+            if !it.leg_paths.is_empty() {
+                let path: Vec<JsonValue> = it
+                    .expanded_points()
+                    .iter()
+                    .map(|p| JsonValue::Array(vec![p.x.into(), p.y.into()]))
+                    .collect();
+                fields.push(("path", JsonValue::Array(path)));
+            }
+            JsonValue::object(fields)
         })
         .collect();
 
@@ -484,6 +517,81 @@ mod tests {
             ..ScenarioSpec::default()
         };
         assert!(plan_response_json(&at_cap).is_ok());
+    }
+
+    #[test]
+    fn metric_field_parses_and_round_trips() {
+        let road = spec_from_body(br#"{"targets": 8, "metric": "road"}"#).unwrap();
+        assert_eq!(
+            road.metric,
+            MetricSpec::Road(mule_road::RoadNetKind::Grid),
+            "`road` aliases the grid network"
+        );
+        let planar = spec_from_body(br#"{"metric": "road-planar"}"#).unwrap();
+        assert_eq!(
+            planar.metric,
+            MetricSpec::Road(mule_road::RoadNetKind::Planar)
+        );
+        // Round trip through the rendered JSON.
+        let text = spec_to_json(&planar).to_pretty_string();
+        assert!(text.contains("\"metric\": \"road-planar\""), "{text}");
+        assert_eq!(spec_from_body(text.as_bytes()).unwrap(), planar);
+        // The default metric is absent from the document — pre-road
+        // responses stay byte-identical.
+        let default_doc = spec_to_json(&ScenarioSpec::default()).to_json_string();
+        assert!(!default_doc.contains("metric"));
+        // Bad values are typed errors.
+        for body in [&br#"{"metric": "warp"}"#[..], br#"{"metric": 3}"#] {
+            let err = spec_from_body(body).unwrap_err();
+            assert!(err.to_string().contains("metric"), "{err}");
+        }
+    }
+
+    #[test]
+    fn road_plan_response_carries_geometry_and_its_own_fingerprint() {
+        let spec = ScenarioSpec {
+            targets: 8,
+            mules: 2,
+            metric: MetricSpec::Road(mule_road::RoadNetKind::Grid),
+            ..ScenarioSpec::default()
+        };
+        let a = plan_response_json(&spec).unwrap();
+        assert_eq!(a, plan_response_json(&spec).unwrap(), "deterministic");
+        let doc = parse(&a).unwrap();
+        assert_eq!(
+            doc.get("spec")
+                .unwrap()
+                .get("metric")
+                .and_then(JsonValue::as_str),
+            Some("road-grid")
+        );
+        let its = doc
+            .get("itineraries")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        let path = its[0].get("path").and_then(JsonValue::as_array).unwrap();
+        let cycle = its[0].get("cycle").and_then(JsonValue::as_array).unwrap();
+        assert!(
+            path.len() > cycle.len(),
+            "road geometry has more vertices than stops"
+        );
+        // Same knobs, euclidean metric: different fingerprint, no path.
+        let euclid = ScenarioSpec {
+            metric: MetricSpec::Euclidean,
+            ..spec.clone()
+        };
+        let e = plan_response_json(&euclid).unwrap();
+        let edoc = parse(&e).unwrap();
+        assert_ne!(
+            doc.get("fingerprint").and_then(JsonValue::as_str),
+            edoc.get("fingerprint").and_then(JsonValue::as_str),
+            "metric feeds the cache key"
+        );
+        let eits = edoc
+            .get("itineraries")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert!(eits[0].get("path").is_none());
     }
 
     #[test]

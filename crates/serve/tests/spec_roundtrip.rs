@@ -25,9 +25,10 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
         // full-width range. MAX-1 still exercises seeds far above 2^53.
         (0..500usize, 0..16usize, 0..=u64::MAX - 1, 0..8usize),
         (1..10u32, 0..2usize, planner_name(), 0.0..100_000.0f64),
+        0..3usize,
     )
         .prop_map(
-            |((targets, mules, seed, vips), (vip_weight, recharge, planner, horizon_s))| {
+            |((targets, mules, seed, vips), (vip_weight, recharge, planner, horizon_s), metric)| {
                 ScenarioSpec {
                     targets,
                     mules,
@@ -37,6 +38,11 @@ fn spec() -> impl Strategy<Value = ScenarioSpec> {
                     recharge: recharge == 1,
                     planner,
                     horizon_s,
+                    metric: match metric {
+                        0 => mule_workload::MetricSpec::Euclidean,
+                        1 => mule_workload::MetricSpec::Road(mule_road::RoadNetKind::Grid),
+                        _ => mule_workload::MetricSpec::Road(mule_road::RoadNetKind::Planar),
+                    },
                 }
             },
         )

@@ -41,12 +41,18 @@ use mule_workload::{Disruption, DisruptionPlan, Scenario};
 use patrol_core::{MuleItinerary, PatrolPlan, ReplanContext, Replanner};
 use std::collections::HashMap;
 
-/// Precomputed per-mule geometry: the itinerary's waypoint positions and
+/// Precomputed per-mule geometry: the itinerary's travel vertices and
 /// cumulative arc lengths.
+///
+/// A *vertex* is either a real waypoint (`nodes[i] = Some(id)` — data is
+/// collected there) or an intermediate bend of the leg geometry a road
+/// metric produced (`nodes[i] = None` — the mule merely passes through).
+/// Euclidean itineraries have no bends, so their vertex list is exactly
+/// the historical waypoint list and every arrival time is byte-identical.
 struct MuleRoute {
     positions: Vec<Point>,
-    nodes: Vec<NodeId>,
-    /// `cumulative[i]` is the arc length from waypoint 0 to waypoint `i`;
+    nodes: Vec<Option<NodeId>>,
+    /// `cumulative[i]` is the arc length from vertex 0 to vertex `i`;
     /// one extra entry holds the full cycle length.
     cumulative: Vec<f64>,
     total_length: f64,
@@ -54,8 +60,18 @@ struct MuleRoute {
 
 impl MuleRoute {
     fn from_itinerary(it: &MuleItinerary) -> Self {
-        let positions: Vec<Point> = it.cycle.iter().map(|w| w.position).collect();
-        let nodes: Vec<NodeId> = it.cycle.iter().map(|w| w.node).collect();
+        let mut positions: Vec<Point> = Vec::with_capacity(it.cycle.len());
+        let mut nodes: Vec<Option<NodeId>> = Vec::with_capacity(it.cycle.len());
+        for (i, w) in it.cycle.iter().enumerate() {
+            positions.push(w.position);
+            nodes.push(Some(w.node));
+            if let Some(leg) = it.leg_paths.get(i) {
+                for p in leg {
+                    positions.push(*p);
+                    nodes.push(None);
+                }
+            }
+        }
         let mut cumulative = Vec::with_capacity(positions.len() + 1);
         let mut acc = 0.0;
         cumulative.push(0.0);
@@ -77,7 +93,23 @@ impl MuleRoute {
         self.positions.len()
     }
 
-    /// The first waypoint at or after `entry_offset` metres along the
+    /// The first *real* field node at or after vertex `from` (wrapping),
+    /// i.e. where the current run of road bends ultimately leads. Energy
+    /// cause attribution uses this: every sub-leg of the approach to a
+    /// recharge station is detour energy, not just the final hop. On a
+    /// Euclidean route every vertex is a real node, so this is simply
+    /// `nodes[from]`.
+    fn destination_node(&self, from: usize) -> Option<NodeId> {
+        let n = self.len();
+        for step in 0..n {
+            if let Some(id) = self.nodes[(from + step) % n] {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// The first vertex at or after `entry_offset` metres along the
     /// cycle, together with the remaining distance to it.
     fn entry_waypoint(&self, entry_offset: f64) -> (usize, f64) {
         if self.total_length <= 1e-9 {
@@ -338,7 +370,7 @@ impl<'a> EngineCore<'a> {
             let (first_wp, partial_dist) = route.entry_waypoint(entry_offset);
 
             let travel = deploy_dist + partial_dist.max(0.0);
-            let dest = self.routes[m].nodes[first_wp];
+            let dest = self.routes[m].destination_node(first_wp);
             if !self.consume_movement(m, travel, dest) {
                 self.states[m].status = MuleStatus::Depleted { at_s: 0.0 };
                 continue; // died during deployment
@@ -584,7 +616,7 @@ impl<'a> EngineCore<'a> {
         let (first_wp, partial_dist) = route.entry_waypoint(entry_offset);
         let deploy_dist = self.states[m].position.distance(&itinerary.entry_point());
         let travel = deploy_dist + partial_dist.max(0.0);
-        let dest = route.nodes[first_wp];
+        let dest = route.destination_node(first_wp);
         self.routes[m] = route;
         if !self.consume_movement(m, travel, dest) {
             self.states[m].status = MuleStatus::Depleted { at_s: now };
@@ -615,15 +647,18 @@ impl<'a> EngineCore<'a> {
         }
         self.states[m].scheduled = false;
         let wp = self.states[m].next_waypoint;
-        let node_id = self.routes[m].nodes[wp];
+        // `None` marks an intermediate bend of a road leg: nothing to
+        // visit, the mule just turns a corner and the next leg is
+        // scheduled below.
+        let node_opt = self.routes[m].nodes[wp];
         self.states[m].position = self.routes[m].positions[wp];
-        let node_kind = self.scenario.field().node(node_id).map(|n| n.kind);
+        let node_kind = node_opt.and_then(|id| self.scenario.field().node(id).map(|n| n.kind));
 
         // --- Visit processing ------------------------------------------------
-        match node_kind {
+        match (node_kind, node_opt) {
             // An inactive target is passed by: nothing to collect, no
             // visit recorded (the catch-all arm below).
-            Some(NodeKind::Target) if self.is_target_active(node_id) => {
+            (Some(NodeKind::Target), Some(node_id)) if self.is_target_active(node_id) => {
                 let age = now - self.last_visit.get(&node_id).copied().unwrap_or(0.0);
                 let bytes = self
                     .buffers
@@ -646,7 +681,7 @@ impl<'a> EngineCore<'a> {
                     bytes,
                 });
             }
-            Some(NodeKind::Sink) => {
+            (Some(NodeKind::Sink), Some(node_id)) => {
                 let age = now - self.last_visit.get(&node_id).copied().unwrap_or(0.0);
                 self.states[m].payload.deliver_all();
                 self.states[m].visits += 1;
@@ -659,7 +694,7 @@ impl<'a> EngineCore<'a> {
                     bytes: 0.0,
                 });
             }
-            Some(NodeKind::RechargeStation) => {
+            (Some(NodeKind::RechargeStation), Some(node_id)) => {
                 if self.config.energy_enabled {
                     self.states[m].battery.recharge_full();
                 }
@@ -684,12 +719,19 @@ impl<'a> EngineCore<'a> {
         }
         let next_wp = (wp + 1) % route.len();
         let leg = route.positions[wp].distance(&route.positions[next_wp]);
-        let dest = route.nodes[next_wp];
+        let dest = route.destination_node(next_wp);
         if !self.consume_movement(m, leg, dest) {
             self.states[m].status = MuleStatus::Depleted { at_s: now };
             return;
         }
-        let arrival = now + self.config.collection_dwell_s + leg / self.speed();
+        // Collection dwell applies at real stops only — a bend in the road
+        // geometry is not a place where data is collected.
+        let dwell = if node_opt.is_some() {
+            self.config.collection_dwell_s
+        } else {
+            0.0
+        };
+        let arrival = now + dwell + leg / self.speed();
         self.states[m].next_waypoint = next_wp;
         self.states[m].next_arrival_s = arrival;
         if arrival <= self.horizon {
@@ -700,7 +742,9 @@ impl<'a> EngineCore<'a> {
 
     /// Charges the movement of `distance_m` metres to mule `m`. Returns
     /// `false` when the battery cannot afford it (the mule is stranded).
-    fn consume_movement(&mut self, m: usize, distance_m: f64, destination: NodeId) -> bool {
+    /// `destination` is `None` for legs ending at a road bend rather than
+    /// a field node.
+    fn consume_movement(&mut self, m: usize, distance_m: f64, destination: Option<NodeId>) -> bool {
         if distance_m <= 0.0 {
             return true;
         }
@@ -721,10 +765,8 @@ impl<'a> EngineCore<'a> {
         state.distance_m += distance_m;
         // Movement towards (or away from) the recharge station is accounted
         // as recharge-detour energy; everything else is patrol movement.
-        let dest_is_station = self
-            .scenario
-            .field()
-            .node(destination)
+        let dest_is_station = destination
+            .and_then(|id| self.scenario.field().node(id))
             .map(|n| n.kind == NodeKind::RechargeStation)
             .unwrap_or(false);
         let cause = if dest_is_station {
@@ -918,6 +960,139 @@ mod tests {
             .mules
             .iter()
             .any(|m| matches!(m.status, MuleStatus::Idle)));
+    }
+
+    #[test]
+    fn road_runs_travel_real_geometry_and_visit_only_nodes() {
+        let cfg = ScenarioConfig::paper_default().with_seed(3).with_metric(
+            mule_workload::MetricSpec::Road(mule_road::RoadNetKind::Grid),
+        );
+        let s = cfg.generate();
+        let plan = BTctp::new().plan(&s).unwrap();
+        assert!(
+            plan.itineraries.iter().any(|it| !it.leg_paths.is_empty()),
+            "road plans carry leg geometry"
+        );
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(40_000.0);
+        // Visits land on real patrolled nodes only, never on bends.
+        let ids = s.patrolled_ids();
+        assert!(outcome.visits.iter().all(|v| ids.contains(&v.node)));
+        assert!(outcome.total_visits() > 0);
+
+        // The same targets patrolled by road cover at least as much
+        // distance per visit round as the Euclidean chord tour would: the
+        // mule walks the expanded polyline, whose length the plan reports.
+        let chord: f64 = plan.itineraries[0]
+            .cycle
+            .windows(2)
+            .map(|w| w[0].position.distance(&w[1].position))
+            .sum::<f64>()
+            + plan.itineraries[0]
+                .cycle
+                .last()
+                .unwrap()
+                .position
+                .distance(&plan.itineraries[0].cycle[0].position);
+        assert!(plan.itineraries[0].cycle_length() >= chord - 1e-9);
+
+        // Deterministic end to end.
+        let again =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(40_000.0);
+        assert_eq!(outcome, again);
+    }
+
+    #[test]
+    fn road_recharge_detours_are_attributed_as_recharge_energy() {
+        // Every sub-leg of a road approach to the recharge station must be
+        // booked as RechargeMovement — the station is the *destination* of
+        // the whole bend run, not just of the final hop.
+        let s = ScenarioConfig::paper_default()
+            .with_targets(10)
+            .with_weights(WeightSpec::UniformVips {
+                count: 2,
+                weight: 2,
+            })
+            .with_recharge_station(true)
+            .with_seed(19)
+            .with_metric(mule_workload::MetricSpec::Road(
+                mule_road::RoadNetKind::Grid,
+            ))
+            .generate();
+        let planner = RwTctp::default();
+        let plan = planner.plan(&s).unwrap();
+        let outcome = Simulation::new(&s, &plan).run_for(100_000.0);
+        // Energy still balances with distance under road geometry…
+        for m in &outcome.mules {
+            let movement = m.ledger.get(EnergyCause::PatrolMovement)
+                + m.ledger.get(EnergyCause::RechargeMovement);
+            let expected = m.distance_m * EnergyModel::paper_default().move_cost_j_per_m;
+            assert!((movement - expected).abs() < 1e-6);
+        }
+        // …and mules that recharged booked real detour energy: at least
+        // the full (multi-bend) approach leg into the station, which on
+        // this network is far more than one grid block.
+        let station = s.field().recharge_station().unwrap().id;
+        let detour: f64 = outcome
+            .mules
+            .iter()
+            .map(|m| m.ledger.get(EnergyCause::RechargeMovement))
+            .sum();
+        let recharges: usize = outcome.mules.iter().map(|m| m.recharges).sum();
+        assert!(recharges > 0, "RW-TCTP must recharge over a long horizon");
+        let approach_leg_m = plan.itineraries[0]
+            .cycle
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.node == station)
+            .map(|(i, w)| {
+                let n = plan.itineraries[0].cycle.len();
+                let prev = &plan.itineraries[0].cycle[(i + n - 1) % n];
+                let mut leg = prev.position.distance(&w.position);
+                if let Some(path) = plan.itineraries[0].leg_paths.get((i + n - 1) % n) {
+                    let mut points = vec![prev.position];
+                    points.extend(path.iter().copied());
+                    points.push(w.position);
+                    leg = points.windows(2).map(|p| p[0].distance(&p[1])).sum();
+                }
+                leg
+            })
+            .fold(0.0, f64::max);
+        let per_metre = EnergyModel::paper_default().move_cost_j_per_m;
+        assert!(
+            detour >= approach_leg_m * per_metre * recharges as f64 * 0.99,
+            "detour energy {detour} J must cover {recharges} full road approaches of {approach_leg_m} m"
+        );
+    }
+
+    #[test]
+    fn road_intervals_stay_constant_in_steady_state() {
+        // B-TCTP's equal-interval property must survive the road metric:
+        // mules spread by equal fractions of the *road* cycle and move at
+        // constant speed along it.
+        let cfg = ScenarioConfig::paper_default().with_seed(9).with_metric(
+            mule_workload::MetricSpec::Road(mule_road::RoadNetKind::Grid),
+        );
+        let s = cfg.generate();
+        let plan = BTctp::new().plan(&s).unwrap();
+        let outcome =
+            Simulation::with_config(&s, &plan, SimulationConfig::timing_only()).run_for(80_000.0);
+        let expected = plan.itineraries[0].cycle_length() / (plan.mule_count() as f64 * 2.0);
+        let mut checked = 0;
+        for (_, times) in outcome.visit_times_per_node() {
+            if times.len() < 6 {
+                continue;
+            }
+            for w in times[3..].windows(2) {
+                let interval = w[1] - w[0];
+                assert!(
+                    (interval - expected).abs() < 2.0,
+                    "steady-state road interval {interval} vs expected {expected}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "some steady-state intervals were checked");
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! field, every node (colour-coded by kind and weight) and, optionally, each
 //! mule's route in a distinct colour with its entry point marked. Useful for
 //! eyeballing weighted patrolling paths and recharge detours.
+//!
+//! Road scenarios additionally draw the road network under everything
+//! else — edges in grey, heavier strokes for faster speed classes — and
+//! mule routes follow the itineraries' *expanded* polylines, so a road
+//! tour renders along actual road geometry instead of straight chords.
+//! (`tests/golden_road.rs` pins one full road render byte-for-byte.)
 
 use mule_geom::Point;
 use mule_net::NodeKind;
@@ -91,6 +97,32 @@ fn svg_header(width: f64, height: f64) -> String {
     )
 }
 
+/// Draws the road network (when the scenario has one) as a grey underlay:
+/// one line per undirected edge, stroke width by speed class (faster
+/// classes are wider, like printed road maps).
+fn road_markup(scenario: &Scenario, mapper: &Mapper) -> String {
+    let Some(index) = scenario.metric().road_index() else {
+        return String::new();
+    };
+    let graph = index.graph();
+    let mut out = String::from("<g stroke=\"#c8c8c8\" stroke-linecap=\"round\">\n");
+    for (u, v, class) in graph.edges() {
+        let (x1, y1) = mapper.map(&graph.position(u));
+        let (x2, y2) = mapper.map(&graph.position(v));
+        let width = match class {
+            mule_road::SpeedClass::Highway => 2.2,
+            mule_road::SpeedClass::Avenue => 1.4,
+            mule_road::SpeedClass::Street => 0.8,
+        };
+        out.push_str(&format!(
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" \
+             stroke-width=\"{width:.1}\"/>\n"
+        ));
+    }
+    out.push_str("</g>\n");
+    out
+}
+
 fn node_markup(scenario: &Scenario, mapper: &Mapper, style: &SvgStyle) -> String {
     let mut out = String::new();
     for node in scenario.field().nodes() {
@@ -120,6 +152,7 @@ fn node_markup(scenario: &Scenario, mapper: &Mapper, style: &SvgStyle) -> String
 pub fn scenario_to_svg(scenario: &Scenario, style: &SvgStyle) -> String {
     let (mapper, width, height) = Mapper::new(scenario, style);
     let mut svg = svg_header(width, height);
+    svg.push_str(&road_markup(scenario, &mapper));
     svg.push_str(&node_markup(scenario, &mapper, style));
     svg.push_str("</svg>\n");
     svg
@@ -129,14 +162,17 @@ pub fn scenario_to_svg(scenario: &Scenario, style: &SvgStyle) -> String {
 pub fn plan_to_svg(scenario: &Scenario, plan: &PatrolPlan, style: &SvgStyle) -> String {
     let (mapper, width, height) = Mapper::new(scenario, style);
     let mut svg = svg_header(width, height);
+    svg.push_str(&road_markup(scenario, &mapper));
 
     for (m, it) in plan.itineraries.iter().enumerate() {
         if it.cycle.is_empty() {
             continue;
         }
         let color = ROUTE_COLORS[m % ROUTE_COLORS.len()];
+        // The expanded polyline: waypoints for a Euclidean plan, the full
+        // road geometry for a road plan.
         let mut points: Vec<(f64, f64)> =
-            it.cycle.iter().map(|w| mapper.map(&w.position)).collect();
+            it.expanded_points().iter().map(|p| mapper.map(p)).collect();
         // Close the cycle explicitly.
         if let Some(first) = points.first().copied() {
             points.push(first);

@@ -1,0 +1,71 @@
+//! Golden-file test of the road-scenario SVG render.
+//!
+//! Pins the complete SVG document for one seeded road scenario + B-TCTP
+//! plan byte-for-byte against `tests/golden/road_plan.svg`. Everything in
+//! the pipeline is deterministic — road generation, snapping, tour
+//! construction, leg geometry, float formatting — so any diff is a real
+//! behaviour change and must be reviewed, not absorbed.
+//!
+//! To regenerate after an *intentional* change:
+//! `REGEN_ROAD_GOLDEN=1 cargo test -p mule-viz --test golden_road`
+
+use mule_viz::{plan_to_svg, SvgStyle};
+use mule_workload::{MetricSpec, ScenarioConfig};
+use patrol_core::{BTctp, Planner};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("road_plan.svg")
+}
+
+fn render() -> String {
+    let scenario = ScenarioConfig::paper_default()
+        .with_targets(8)
+        .with_mules(2)
+        .with_seed(6)
+        .with_metric(MetricSpec::Road(mule_road::RoadNetKind::Grid))
+        .generate();
+    let plan = BTctp::new().plan(&scenario).unwrap();
+    plan_to_svg(&scenario, &plan, &SvgStyle::default())
+}
+
+#[test]
+fn road_plan_svg_matches_the_golden_file() {
+    let svg = render();
+    let path = golden_path();
+    if std::env::var_os("REGEN_ROAD_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &svg).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        svg,
+        golden,
+        "road SVG drifted from {} (set REGEN_ROAD_GOLDEN=1 to regenerate after reviewing)",
+        path.display()
+    );
+}
+
+#[test]
+fn road_render_draws_the_network_under_the_route() {
+    let svg = render();
+    // Grey road underlay with per-class stroke widths.
+    assert!(svg.contains("stroke=\"#c8c8c8\""));
+    assert!(svg.matches("<line ").count() > 50, "road edges drawn");
+    let road_group = svg.find("stroke=\"#c8c8c8\"").unwrap();
+    let first_route = svg.find("<polyline").unwrap();
+    assert!(road_group < first_route, "roads render under routes");
+    // The route follows road geometry: many more polyline vertices than
+    // the 9 patrolled stops.
+    let route = &svg[first_route..svg[first_route..].find("</polyline>").unwrap() + first_route];
+    let vertices = route.matches(',').count();
+    assert!(
+        vertices > 20,
+        "route has {vertices} vertices, expected road detail"
+    );
+}

@@ -1,6 +1,47 @@
 //! Scenario configuration: every knob the paper's evaluation sweeps.
 
+use mule_road::RoadNetKind;
 use serde::{Deserialize, Serialize};
+
+/// Which travel metric the scenario's world uses.
+///
+/// This is scenario *data* (seeded, serialisable, fingerprintable); the
+/// queryable [`mule_road::TravelMetric`] is derived from it at generation
+/// time. The default is [`MetricSpec::Euclidean`] — absent from canonical
+/// spec strings, so every pre-road fingerprint and cache key is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MetricSpec {
+    /// Straight-line travel (the historical behaviour).
+    #[default]
+    Euclidean,
+    /// Travel over a generated road network of the given kind; the network
+    /// itself is a deterministic function of the field bounds and the
+    /// scenario seed (see `mule_road::RoadIndex::for_field`).
+    Road(RoadNetKind),
+}
+
+impl MetricSpec {
+    /// The wire name used by `--metric` flags, JSON specs and canonical
+    /// strings.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            MetricSpec::Euclidean => "euclidean",
+            MetricSpec::Road(RoadNetKind::Grid) => "road-grid",
+            MetricSpec::Road(RoadNetKind::Planar) => "road-planar",
+        }
+    }
+
+    /// Parses a wire name (case-insensitive). `road` is an alias for the
+    /// grid network.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "euclidean" | "euclid" => Some(MetricSpec::Euclidean),
+            "road" | "road-grid" | "grid" => Some(MetricSpec::Road(RoadNetKind::Grid)),
+            "road-planar" | "planar" => Some(MetricSpec::Road(RoadNetKind::Planar)),
+            _ => None,
+        }
+    }
+}
 
 /// How targets are laid out in the field.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -83,6 +124,10 @@ pub struct ScenarioConfig {
     /// Per-target data generation rate, bytes per second (only affects the
     /// byte-level reporting, not the timing metrics).
     pub data_rate_bps: f64,
+    /// Travel metric of the world: Euclidean (default) or a seeded road
+    /// network. With a road metric, targets, sink and recharge station
+    /// snap onto the nearest road node (mules cannot stop off-road).
+    pub metric: MetricSpec,
     /// RNG seed. Scenarios with equal configs and seeds are identical.
     pub seed: u64,
 }
@@ -106,6 +151,7 @@ impl ScenarioConfig {
             mule_start: MuleStartKind::AtSink,
             with_recharge_station: false,
             data_rate_bps: 64.0,
+            metric: MetricSpec::Euclidean,
             seed: 1,
         }
     }
@@ -163,6 +209,12 @@ impl ScenarioConfig {
     /// Builder-style toggle for the recharge station.
     pub fn with_recharge_station(mut self, enabled: bool) -> Self {
         self.with_recharge_station = enabled;
+        self
+    }
+
+    /// Builder-style override of the travel metric.
+    pub fn with_metric(mut self, metric: MetricSpec) -> Self {
+        self.metric = metric;
         self
     }
 
@@ -227,5 +279,27 @@ mod tests {
         assert_eq!(LayoutKind::default(), LayoutKind::Uniform);
         assert_eq!(WeightSpec::default(), WeightSpec::AllNormal);
         assert_eq!(MuleStartKind::default(), MuleStartKind::AtSink);
+        assert_eq!(MetricSpec::default(), MetricSpec::Euclidean);
+    }
+
+    #[test]
+    fn metric_spec_wire_names_round_trip() {
+        for spec in [
+            MetricSpec::Euclidean,
+            MetricSpec::Road(RoadNetKind::Grid),
+            MetricSpec::Road(RoadNetKind::Planar),
+        ] {
+            assert_eq!(MetricSpec::parse(spec.wire_name()), Some(spec));
+        }
+        assert_eq!(
+            MetricSpec::parse("road"),
+            Some(MetricSpec::Road(RoadNetKind::Grid)),
+            "bare `road` aliases the grid network"
+        );
+        assert_eq!(
+            MetricSpec::parse("PLANAR"),
+            Some(MetricSpec::Road(RoadNetKind::Planar))
+        );
+        assert_eq!(MetricSpec::parse("teleport"), None);
     }
 }

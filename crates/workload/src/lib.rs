@@ -36,7 +36,7 @@ pub mod spec;
 pub mod sweep;
 pub mod weights;
 
-pub use config::{LayoutKind, MuleStartKind, ScenarioConfig, WeightSpec};
+pub use config::{LayoutKind, MetricSpec, MuleStartKind, ScenarioConfig, WeightSpec};
 pub use disruption::{Disruption, DisruptionConfig, DisruptionPlan};
 pub use replication::{seed_fan, ReplicationPlan};
 pub use scenario::Scenario;

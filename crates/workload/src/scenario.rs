@@ -1,29 +1,52 @@
 //! The generated scenario: a concrete field plus mule start positions.
 
-use crate::config::{LayoutKind, MuleStartKind, ScenarioConfig};
+use crate::config::{LayoutKind, MetricSpec, MuleStartKind, ScenarioConfig};
 use crate::layout::{clustered_layout, uniform_layout};
 use crate::weights::assign_weights;
 use mule_geom::{BoundingBox, Point};
 use mule_net::{Field, NodeId};
+use mule_road::{RoadIndex, TravelMetric};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A fully instantiated problem instance: the monitoring field (targets,
-/// sink, optional recharge station, weights) and where each mule starts.
+/// sink, optional recharge station, weights), the travel metric of the
+/// world, and where each mule starts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     config: ScenarioConfig,
     field: Field,
     mule_starts: Vec<Point>,
+    metric: TravelMetric,
 }
 
 impl Scenario {
     /// Generates the scenario described by `config`. Equal configs (same
     /// seed included) generate identical scenarios.
+    ///
+    /// With a road metric, the network is generated first (from a seed
+    /// stream decoupled from the target stream, so Euclidean scenarios
+    /// remain byte-identical) and every *patrolled* location — targets,
+    /// sink, recharge station — snaps to its nearest road node: mules
+    /// cannot stop off-road. Random mule start positions stay unsnapped
+    /// (mules are dropped anywhere and drive onto the network).
     pub fn generate(config: &ScenarioConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let bounds = BoundingBox::square(config.field_side_m.max(1.0));
+
+        // The travel metric of the world (seed stream independent of the
+        // target RNG below).
+        let metric = match config.metric {
+            MetricSpec::Euclidean => TravelMetric::Euclidean,
+            MetricSpec::Road(kind) => {
+                TravelMetric::road(RoadIndex::for_field(kind, &bounds, config.seed))
+            }
+        };
+        let place = |p: Point| match metric.road_index() {
+            None => p,
+            Some(index) => index.snap_position(&p),
+        };
 
         // Target positions according to the layout.
         let targets = match config.layout {
@@ -46,10 +69,10 @@ impl Scenario {
         // Assemble the field. The sink is placed at the field centre; the
         // paper treats it as an ordinary target on the patrolling path.
         let mut builder = Field::builder(bounds);
-        let sink_position = bounds.center();
+        let sink_position = place(bounds.center());
         builder.add_sink(sink_position);
         for (pos, w) in targets.iter().zip(weights.iter()) {
-            builder.add_target(*pos, *w);
+            builder.add_target(place(*pos), *w);
         }
         if config.with_recharge_station {
             // The recharge station sits at a random field location, away
@@ -58,7 +81,7 @@ impl Scenario {
                 rng.random_range(bounds.min_x..=bounds.max_x),
                 rng.random_range(bounds.min_y..=bounds.max_y),
             );
-            builder.add_recharge_station(station);
+            builder.add_recharge_station(place(station));
         }
         let field = builder.build();
 
@@ -79,6 +102,7 @@ impl Scenario {
             config: *config,
             field,
             mule_starts,
+            metric,
         }
     }
 
@@ -124,6 +148,27 @@ impl Scenario {
         self.config.data_rate_bps
     }
 
+    /// The travel metric of the world (Euclidean or a road network).
+    #[inline]
+    pub fn metric(&self) -> &TravelMetric {
+        &self.metric
+    }
+
+    /// Groups the patrolled nodes into connected components of the
+    /// unit-disk graph at communication radius `range`, measured under the
+    /// scenario's travel metric: with a road metric, two targets separated
+    /// by a wall of deleted blocks are *not* neighbours even if they are
+    /// geometrically close — radios still propagate straight, but a
+    /// patrolled network's relevant notion of "reachable" is travel, which
+    /// is what this check feeds (see `mule_net::connectivity`).
+    pub fn patrolled_components(&self, range: f64) -> Vec<Vec<usize>> {
+        let positions = self.patrolled_positions();
+        let metric = &self.metric;
+        mule_net::connectivity::connected_components_by(positions.len(), range, |i, j| {
+            metric.distance(&positions[i], &positions[j])
+        })
+    }
+
     /// A restricted view of this scenario for (re)planning mid-run:
     /// the targets in `inactive` are deactivated (they keep their ids but
     /// leave the patrolled set) and the fleet is replaced by mules standing
@@ -143,6 +188,7 @@ impl Scenario {
             config,
             field,
             mule_starts,
+            metric: self.metric.clone(),
         }
     }
 }
@@ -258,6 +304,83 @@ mod tests {
         }
         // The original scenario is untouched.
         assert_eq!(s.patrolled_ids().len(), 11);
+    }
+
+    #[test]
+    fn road_scenarios_snap_every_patrolled_node_onto_the_network() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_targets(12)
+            .with_recharge_station(true)
+            .with_metric(MetricSpec::Road(mule_road::RoadNetKind::Grid))
+            .with_seed(7);
+        let s = Scenario::generate(&cfg);
+        let index = s.metric().road_index().expect("road metric");
+        for node in s.field().nodes() {
+            assert!(
+                index
+                    .graph()
+                    .positions()
+                    .iter()
+                    .any(|p| p.distance(&node.position) < 1e-9),
+                "node {} at {} sits on a road node",
+                node.id,
+                node.position
+            );
+        }
+        // Mules start at the (snapped) sink.
+        let sink = s.field().sink().unwrap().position;
+        assert!(s.mule_starts().iter().all(|p| *p == sink));
+        assert_eq!(s.metric().label(), "road-grid");
+    }
+
+    #[test]
+    fn road_metric_does_not_disturb_the_euclidean_target_stream() {
+        // The road network draws from its own seed stream; the *unsnapped*
+        // target layout of a road scenario must equal the Euclidean one.
+        let base = ScenarioConfig::paper_default().with_targets(9).with_seed(5);
+        let euclid = Scenario::generate(&base);
+        let road =
+            Scenario::generate(&base.with_metric(MetricSpec::Road(mule_road::RoadNetKind::Planar)));
+        let index = road.metric().road_index().unwrap();
+        for (e, r) in euclid
+            .patrolled_positions()
+            .iter()
+            .zip(road.patrolled_positions())
+        {
+            assert_eq!(index.snap_position(e), r, "road node = snapped euclid node");
+        }
+    }
+
+    #[test]
+    fn road_generation_is_deterministic_and_fingerprints_differ() {
+        let cfg = ScenarioConfig::paper_default()
+            .with_metric(MetricSpec::Road(mule_road::RoadNetKind::Grid))
+            .with_seed(3);
+        assert_eq!(Scenario::generate(&cfg), Scenario::generate(&cfg));
+        let euclid = ScenarioConfig::paper_default().with_seed(3).generate();
+        assert_ne!(Scenario::generate(&cfg), euclid);
+    }
+
+    #[test]
+    fn patrolled_components_use_the_travel_metric() {
+        let s = ScenarioConfig::paper_default()
+            .with_targets(15)
+            .with_seed(2)
+            .generate();
+        // Euclidean: matches the classic point-based check.
+        let by_metric = s.patrolled_components(250.0);
+        let classic = mule_net::connected_components(&s.patrolled_positions(), 250.0);
+        assert_eq!(by_metric, classic);
+
+        // Road: distances only grow, so components can only split further.
+        let road = ScenarioConfig::paper_default()
+            .with_targets(15)
+            .with_seed(2)
+            .with_metric(MetricSpec::Road(mule_road::RoadNetKind::Grid))
+            .generate();
+        let road_comps = road.patrolled_components(250.0);
+        let euclid_comps = mule_net::connected_components(&road.patrolled_positions(), 250.0);
+        assert!(road_comps.len() >= euclid_comps.len());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! zero horizon normalises to positive zero (they compare equal, so they
 //! must hash equal).
 
-use crate::config::ScenarioConfig;
+use crate::config::{MetricSpec, ScenarioConfig};
 use crate::WeightSpec;
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +55,11 @@ pub struct ScenarioSpec {
     /// Simulation horizon, seconds (used by `/v1/simulate`; ignored by
     /// pure planning).
     pub horizon_s: f64,
+    /// Travel metric of the scenario. **Fingerprint back-compat:** the
+    /// default (`Euclidean`) contributes nothing to the canonical form, so
+    /// every spec that predates road metrics hashes — and cache-keys —
+    /// exactly as it always did; only road specs grow a `metric=` token.
+    pub metric: MetricSpec,
 }
 
 impl Default for ScenarioSpec {
@@ -69,6 +74,7 @@ impl Default for ScenarioSpec {
             recharge: false,
             planner: "b-tctp".to_string(),
             horizon_s: 40_000.0,
+            metric: MetricSpec::Euclidean,
         }
     }
 }
@@ -98,6 +104,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Builder-style override of the travel metric.
+    pub fn with_metric(mut self, metric: MetricSpec) -> Self {
+        self.metric = metric;
+        self
+    }
+
     /// The scenario configuration this spec describes (the same mapping
     /// `patrolctl` applies to its flags: VIPs become a `UniformVips`
     /// weight spec with the weight floored to a real VIP weight).
@@ -116,6 +128,7 @@ impl ScenarioSpec {
             .with_seed(self.seed)
             .with_weights(weights)
             .with_recharge_station(self.recharge)
+            .with_metric(self.metric)
     }
 
     /// The fixed-order, self-delimiting canonical rendering of the spec.
@@ -130,7 +143,7 @@ impl ScenarioSpec {
         } else {
             self.horizon_s
         };
-        format!(
+        let mut canonical = format!(
             "{};targets={};mules={};seed={};vips={};vip_weight={};recharge={};horizon_s={:?};planner={}:{}",
             SPEC_VERSION,
             self.targets,
@@ -142,7 +155,16 @@ impl ScenarioSpec {
             horizon,
             self.planner.len(),
             self.planner,
-        )
+        );
+        // Back-compat: the default metric renders nothing, so pre-road
+        // specs keep their historical canonical form and fingerprint. The
+        // token is appended *after* the length-prefixed planner name, so a
+        // crafted planner string still cannot fake (or hide) a metric.
+        if self.metric != MetricSpec::Euclidean {
+            canonical.push_str(";metric=");
+            canonical.push_str(self.metric.wire_name());
+        }
+        canonical
     }
 
     /// FNV-1a 64-bit hash of [`ScenarioSpec::canonical_string`] — the
@@ -180,6 +202,7 @@ mod tests {
             recharge: true,
             planner: "chb".to_string(),
             horizon_s: 12_345.0,
+            metric: MetricSpec::Euclidean,
         };
         let cfg = spec.scenario_config();
         assert_eq!(cfg.target_count, 25);
@@ -245,6 +268,10 @@ mod tests {
                 horizon_s: 41_000.0,
                 ..base.clone()
             },
+            base.clone()
+                .with_metric(MetricSpec::Road(mule_road::RoadNetKind::Grid)),
+            base.clone()
+                .with_metric(MetricSpec::Road(mule_road::RoadNetKind::Planar)),
         ];
         for v in &variants {
             assert_ne!(
@@ -281,6 +308,50 @@ mod tests {
         };
         assert_eq!(pos, neg, "PartialEq treats the zeros as equal");
         assert_eq!(pos.fingerprint(), neg.fingerprint());
+    }
+
+    #[test]
+    fn default_metric_is_absent_from_the_canonical_form() {
+        // Fingerprint back-compat: a spec with the default metric must
+        // canonicalise — and therefore cache-key — exactly like a spec
+        // from before the metric field existed.
+        let default = ScenarioSpec::default();
+        assert!(!default.canonical_string().contains("metric"));
+        let road = default
+            .clone()
+            .with_metric(MetricSpec::Road(mule_road::RoadNetKind::Grid));
+        assert!(road.canonical_string().ends_with(";metric=road-grid"));
+        assert_ne!(default.fingerprint(), road.fingerprint());
+        let planar = default
+            .clone()
+            .with_metric(MetricSpec::Road(mule_road::RoadNetKind::Planar));
+        assert_ne!(road.fingerprint(), planar.fingerprint());
+    }
+
+    #[test]
+    fn planner_name_cannot_fake_a_metric_token() {
+        // The planner's length prefix pins its extent, so a crafted name
+        // ending in ";metric=road-grid" is not the same spec as a real
+        // road request.
+        let crafted = ScenarioSpec::default().with_planner("b-tctp;metric=road-grid");
+        let real =
+            ScenarioSpec::default().with_metric(MetricSpec::Road(mule_road::RoadNetKind::Grid));
+        assert_ne!(crafted.canonical_string(), real.canonical_string());
+        assert_ne!(crafted.fingerprint(), real.fingerprint());
+    }
+
+    #[test]
+    fn road_spec_builds_a_road_scenario_config() {
+        let spec =
+            ScenarioSpec::default().with_metric(MetricSpec::Road(mule_road::RoadNetKind::Planar));
+        assert_eq!(
+            spec.scenario_config().metric,
+            MetricSpec::Road(mule_road::RoadNetKind::Planar)
+        );
+        assert_eq!(
+            ScenarioSpec::default().scenario_config().metric,
+            MetricSpec::Euclidean
+        );
     }
 
     #[test]
