@@ -60,6 +60,13 @@ pub struct TourBenchRow {
     pub exact_len: Option<f64>,
     /// Candidate tour length, metres.
     pub candidates_len: f64,
+    /// Construction-phase time (seed tour + candidate lists) of one traced
+    /// candidates run, milliseconds. Measured separately from the timed
+    /// samples, so span collection never pollutes `candidates_ms`.
+    pub phase_construction_ms: f64,
+    /// Local-search time (2-opt + Or-opt passes) of the same traced run,
+    /// milliseconds.
+    pub phase_local_search_ms: f64,
 }
 
 impl TourBenchRow {
@@ -113,6 +120,8 @@ impl TourBenchReport {
             "candidates (ms)",
             "speedup",
             "length ratio",
+            "constr (ms)",
+            "search (ms)",
         ]);
         let na = "-".to_string();
         for row in &self.rows {
@@ -128,6 +137,8 @@ impl TourBenchReport {
                 row.len_ratio()
                     .map(|r| format!("{r:.4}"))
                     .unwrap_or_else(|| na.clone()),
+                format!("{:.2}", row.phase_construction_ms),
+                format!("{:.2}", row.phase_local_search_ms),
             ]);
         }
         table
@@ -153,6 +164,14 @@ impl TourBenchReport {
             out.push_str(&format!(
                 ", \"len_ratio\": {}",
                 json_opt(row.len_ratio(), 6)
+            ));
+            out.push_str(&format!(
+                ", \"phase_construction_ms\": {:.3}",
+                row.phase_construction_ms
+            ));
+            out.push_str(&format!(
+                ", \"phase_local_search_ms\": {:.3}",
+                row.phase_local_search_ms
             ));
             out.push('}');
             if i + 1 < self.rows.len() {
@@ -207,12 +226,32 @@ pub fn run_tour_bench(params: &TourBenchParams) -> TourBenchReport {
             } else {
                 (None, None)
             };
+            // One extra traced run — after the timed samples — yields the
+            // per-phase breakdown without touching the timed numbers.
+            let (_, trace) = mule_obs::capture(|| {
+                construct_circuit_with(&points, &fast_config);
+            });
+            let profile = mule_obs::FlatProfile::of(&trace);
+            let phase_construction_ms = profile.total_ms_where(|name| {
+                matches!(
+                    name,
+                    "chb.hull_seed"
+                        | "chb.nn_seed"
+                        | "chb.hull_insertion"
+                        | "chb.candidate_lists"
+                        | "graph.distance_matrix"
+                )
+            });
+            let phase_local_search_ms =
+                profile.total_ms_where(|name| matches!(name, "chb.two_opt" | "chb.or_opt"));
             TourBenchRow {
                 n,
                 exact_ms,
                 candidates_ms,
                 exact_len,
                 candidates_len,
+                phase_construction_ms,
+                phase_local_search_ms,
             }
         })
         .collect();
@@ -220,6 +259,33 @@ pub fn run_tour_bench(params: &TourBenchParams) -> TourBenchReport {
     TourBenchReport {
         params: params.clone(),
         rows,
+    }
+}
+
+/// Measures the wall-clock overhead of span collection on the candidates
+/// pipeline at the largest configured size: `min(traced) / min(untraced)`.
+/// The CI gate (`bench-tours --overhead-gate 1.05`) pins this ratio —
+/// tracing must stay cheap enough to leave on in production paths.
+pub fn tracing_overhead_ratio(params: &TourBenchParams) -> f64 {
+    let n = params.sizes.iter().copied().max().unwrap_or(200);
+    let points = bench_layout(params.seed, n);
+    let config = ChbConfig::default().with_search(SearchMode::Candidates(params.k.max(1)));
+    // Minimum-of-samples on both sides; a floor of 5 samples keeps the
+    // ratio stable on noisy machines even when `--samples` is lower.
+    let samples = params.samples.max(5);
+    let (plain_ms, _) = time_pipeline(samples, || {
+        construct_circuit_with(&points, &config).length(&points)
+    });
+    let mut traced_ms = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let _ = mule_obs::capture(|| construct_circuit_with(&points, &config).length(&points));
+        traced_ms = traced_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    if plain_ms > 0.0 {
+        traced_ms / plain_ms
+    } else {
+        1.0
     }
 }
 
@@ -276,6 +342,35 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         // No NaN/inf can leak into the document.
         assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn phase_breakdown_is_populated_and_serialised() {
+        let report = run_tour_bench(&quick_params());
+        for row in &report.rows {
+            assert!(row.phase_construction_ms >= 0.0);
+            assert!(
+                row.phase_local_search_ms > 0.0,
+                "local search always runs at n={}",
+                row.n
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"phase_construction_ms\""));
+        assert!(json.contains("\"phase_local_search_ms\""));
+    }
+
+    #[test]
+    fn tracing_overhead_is_modest() {
+        let params = TourBenchParams {
+            sizes: vec![200],
+            samples: 3,
+            ..quick_params()
+        };
+        let ratio = tracing_overhead_ratio(&params);
+        // Generous bound for a shared test machine; the tracked CI gate
+        // pins 1.05 on the dedicated bench-smoke job.
+        assert!(ratio < 1.5, "tracing overhead ratio {ratio}");
     }
 
     #[test]

@@ -153,6 +153,11 @@ pub struct CliOptions {
     /// Travel metric of the scenario (`euclidean` | `road`/`road-grid` |
     /// `road-planar`).
     pub metric: mule_workload::MetricSpec,
+    /// Optional path of a Chrome `trace_event` JSON file to write the
+    /// run's span trace to (loadable in `about:tracing` / Perfetto).
+    pub trace_out: Option<String>,
+    /// Append a self-time profile table to the command's output.
+    pub profile: bool,
 }
 
 impl Default for CliOptions {
@@ -172,6 +177,8 @@ impl Default for CliOptions {
             search: SearchChoice::Auto,
             knn: None,
             metric: mule_workload::MetricSpec::Euclidean,
+            trace_out: None,
+            profile: false,
         }
     }
 }
@@ -195,6 +202,15 @@ pub struct BenchToursOptions {
     /// When set, the command fails if any measured tour-length ratio
     /// (candidates / exact) exceeds this bound — the CI regression gate.
     pub max_ratio: Option<f64>,
+    /// When set, the command fails if the traced/untraced wall-clock
+    /// ratio of the candidates pipeline exceeds this bound — the CI gate
+    /// keeping span collection cheap (tracked bound: 1.05).
+    pub overhead_gate: Option<f64>,
+    /// Optional path of a Chrome `trace_event` JSON of one traced
+    /// candidates run at the largest size.
+    pub trace_out: Option<String>,
+    /// Append a self-time profile table of that traced run to the output.
+    pub profile: bool,
 }
 
 impl Default for BenchToursOptions {
@@ -208,6 +224,9 @@ impl Default for BenchToursOptions {
             samples: defaults.samples,
             json_path: None,
             max_ratio: None,
+            overhead_gate: None,
+            trace_out: None,
+            profile: false,
         }
     }
 }
@@ -370,6 +389,8 @@ pub struct ServeOptions {
     /// Maximum concurrently admitted connections; beyond it, new
     /// connections get `503` + `Retry-After`.
     pub queue_depth: usize,
+    /// Opt-in slow-request log threshold, milliseconds (`None` = off).
+    pub slow_ms: Option<f64>,
 }
 
 impl Default for ServeOptions {
@@ -380,6 +401,7 @@ impl Default for ServeOptions {
             workers: defaults.workers,
             cache_size: defaults.cache_capacity,
             queue_depth: defaults.queue_depth,
+            slow_ms: defaults.slow_request_ms,
         }
     }
 }
@@ -538,6 +560,9 @@ FLAGS (scenario subcommands):
     --svg FILE         write the plan as an SVG file   (simulate)
     --csv PREFIX       write visit/mule CSV traces     (simulate)
     --width CHARS      ASCII canvas width              (render, default 72)
+    --trace-out FILE   write the run's span trace as Chrome trace_event
+                       JSON (open in about:tracing or ui.perfetto.dev)
+    --profile          append a per-span self-time profile table
 
 FLAGS (dynamics only — all disruptions are seeded by --seed):
     --fail-targets N     targets failing mid-run        [default: 1]
@@ -562,6 +587,8 @@ FLAGS (serve only — the planning-service daemon, see docs/SERVER.md):
     --workers N          connection-handler threads     [default: 4]
     --cache-size N       plan-cache entries (0 = off)   [default: 128]
     --queue-depth N      concurrent connections before 503  [default: 64]
+    --slow-ms MS         log requests slower than MS ms to stderr
+                         (with trace id + span breakdown; off by default)
 
 FLAGS (loadgen only — the tracked server load benchmark):
     --addr HOST:PORT     server to fire at              [default: 127.0.0.1:7878]
@@ -581,6 +608,10 @@ FLAGS (bench-tours only — the tracked tour-engine benchmark):
     --samples N          timed repetitions (min is kept) [default: 3]
     --json FILE          write the benchmark report as JSON
     --max-ratio R        fail when candidates/exact tour length exceeds R
+    --overhead-gate R    fail when tracing overhead (traced/untraced time
+                         at the largest size) exceeds R   (CI pins 1.05)
+    --trace-out FILE     write a Chrome trace of one traced candidates run
+    --profile            append that run's self-time profile table
 
 FLAGS (bench-routes only — the tracked road-routing benchmark):
     --sizes LIST         network node counts            [default: 1000,10000]
@@ -651,6 +682,9 @@ fn parse_bench_tours(args: &[String]) -> Result<CliCommand, CliError> {
             "--samples" => options.samples = parse_flag::<usize>(flag, &take_value()?)?.max(1),
             "--json" => options.json_path = Some(take_value()?),
             "--max-ratio" => options.max_ratio = Some(parse_flag(flag, &take_value()?)?),
+            "--overhead-gate" => options.overhead_gate = Some(parse_flag(flag, &take_value()?)?),
+            "--trace-out" => options.trace_out = Some(take_value()?),
+            "--profile" => options.profile = true,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
         i += 1;
@@ -704,6 +738,7 @@ fn parse_serve(args: &[String]) -> Result<CliCommand, CliError> {
             "--queue-depth" => {
                 options.queue_depth = parse_flag::<usize>(flag, &take_value()?)?.max(1)
             }
+            "--slow-ms" => options.slow_ms = Some(parse_flag(flag, &take_value()?)?),
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
         i += 1;
@@ -796,6 +831,8 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
             "--svg" => options.svg_path = Some(take_value()?),
             "--csv" => options.csv_prefix = Some(take_value()?),
             "--recharge" => options.recharge = true,
+            "--trace-out" => options.trace_out = Some(take_value()?),
+            "--profile" => options.profile = true,
             "--fail-targets" if is_dynamics => {
                 dynamics.fail_targets = parse_flag(flag, &take_value()?)?
             }
@@ -1425,6 +1462,51 @@ mod tests {
         assert!(USAGE.contains("loadgen"));
         assert!(USAGE.contains("--max-p99"));
         assert!(USAGE.contains("--min-rps"));
+    }
+
+    #[test]
+    fn trace_and_profile_flags_parse_on_scenario_and_bench_subcommands() {
+        // Off by default — the golden plan bytes depend on it.
+        assert!(CliOptions::default().trace_out.is_none());
+        assert!(!CliOptions::default().profile);
+
+        let CliCommand::Plan(opts) =
+            parse_args(&argv("plan --trace-out trace.json --profile")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(opts.trace_out.as_deref(), Some("trace.json"));
+        assert!(opts.profile);
+
+        let CliCommand::Sweep(opts) = parse_args(&argv("sweep --trace-out s.json")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.base.trace_out.as_deref(), Some("s.json"));
+
+        let CliCommand::BenchTours(opts) = parse_args(&argv(
+            "bench-tours --overhead-gate 1.05 --trace-out t.json --profile",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.overhead_gate, Some(1.05));
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        assert!(opts.profile);
+
+        let CliCommand::Serve(opts) = parse_args(&argv("serve --slow-ms 250")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.slow_ms, Some(250.0));
+        assert!(ServeOptions::default().slow_ms.is_none());
+
+        assert!(matches!(
+            parse_args(&argv("plan --trace-out")).unwrap_err(),
+            CliError::MissingValue(_)
+        ));
+        assert!(USAGE.contains("--trace-out"));
+        assert!(USAGE.contains("--profile"));
+        assert!(USAGE.contains("--overhead-gate"));
+        assert!(USAGE.contains("--slow-ms"));
     }
 
     #[test]

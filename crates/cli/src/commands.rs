@@ -8,7 +8,7 @@ use crate::args::{
     DynamicsOptions, LoadgenOptions, PlannerChoice, ServeOptions, SweepOptions, USAGE,
 };
 use mule_bench::routebench::{run_route_bench, RouteBenchParams};
-use mule_bench::tourbench::{run_tour_bench, TourBenchParams};
+use mule_bench::tourbench::{run_tour_bench, tracing_overhead_ratio, TourBenchParams};
 use mule_graph::ChbConfig;
 use mule_metrics::{
     DcdtSeries, EnergyEfficiencyReport, FairnessReport, IntervalReport, PhaseDelayReport,
@@ -487,8 +487,32 @@ fn run_bench_tours(options: &BenchToursOptions) -> Result<CommandOutput, Command
         output.files_written.push(path.clone());
     }
 
-    // The regression gate runs *after* the JSON is written so a failing run
-    // still leaves the artefact around for diagnosis.
+    // One traced candidates run at the largest size feeds `--trace-out`
+    // and `--profile`; the timed measurements above stay untraced.
+    if options.trace_out.is_some() || options.profile {
+        let n = params.sizes.iter().copied().max().unwrap_or(200);
+        let points = mule_workload::layout::bench_layout(params.seed, n);
+        let config =
+            ChbConfig::default().with_search(mule_graph::SearchMode::Candidates(params.k.max(1)));
+        let (_, trace) = mule_obs::capture(|| {
+            mule_graph::construct_circuit_with(&points, &config);
+        });
+        if options.profile {
+            output
+                .text
+                .push_str(&format!("\nself-time profile (n={n}):\n"));
+            output
+                .text
+                .push_str(&mule_obs::FlatProfile::of(&trace).to_table());
+        }
+        if let Some(path) = &options.trace_out {
+            std::fs::write(path, mule_obs::chrome_trace_json(&trace))?;
+            output.files_written.push(path.clone());
+        }
+    }
+
+    // The regression gates run *after* the JSON is written so a failing
+    // run still leaves the artefact around for diagnosis.
     if let Some(bound) = options.max_ratio {
         if let Some(worst) = report.max_len_ratio() {
             if worst > bound {
@@ -496,6 +520,17 @@ fn run_bench_tours(options: &BenchToursOptions) -> Result<CommandOutput, Command
                     "tour-length ratio {worst:.4} exceeds --max-ratio {bound}"
                 )));
             }
+        }
+    }
+    if let Some(bound) = options.overhead_gate {
+        let ratio = tracing_overhead_ratio(&params);
+        output
+            .text
+            .push_str(&format!("\ntracing overhead: {ratio:.3}× (gate {bound})\n"));
+        if ratio > bound {
+            return Err(CommandError::Check(format!(
+                "tracing overhead {ratio:.3}× exceeds --overhead-gate {bound}"
+            )));
         }
     }
     Ok(output)
@@ -562,11 +597,14 @@ fn run_serve(options: &ServeOptions) -> Result<CommandOutput, CommandError> {
         workers: options.workers,
         cache_capacity: options.cache_size,
         queue_depth: options.queue_depth,
+        slow_request_ms: options.slow_ms,
         ..mule_serve::ServerConfig::default()
     };
     let server = mule_serve::start(config)?;
     eprintln!("mule-serve listening on http://{}", server.addr());
-    eprintln!("endpoints: GET /healthz  GET /metrics  POST /v1/plan  POST /v1/simulate");
+    eprintln!(
+        "endpoints: GET /healthz  GET /metrics  GET /metrics.json  POST /v1/plan  POST /v1/simulate"
+    );
     loop {
         std::thread::park();
     }
@@ -624,16 +662,68 @@ fn run_loadgen(options: &LoadgenOptions) -> Result<CommandOutput, CommandError> 
     Ok(output)
 }
 
+/// Runs `f` under a captured trace when `--trace-out` / `--profile` was
+/// given, writing the Chrome trace file and/or appending the self-time
+/// profile table to the output. With neither flag the command runs
+/// untraced, so default output stays byte-identical (the golden tests pin
+/// it).
+fn with_tracing(
+    trace_out: Option<&str>,
+    profile: bool,
+    f: impl FnOnce() -> Result<CommandOutput, CommandError>,
+) -> Result<CommandOutput, CommandError> {
+    if trace_out.is_none() && !profile {
+        return f();
+    }
+    let (result, trace) = mule_obs::capture(f);
+    let mut output = result?;
+    if profile {
+        output.text.push_str("\nself-time profile:\n");
+        output
+            .text
+            .push_str(&mule_obs::FlatProfile::of(&trace).to_table());
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, mule_obs::chrome_trace_json(&trace))?;
+        output.files_written.push(path.to_string());
+    }
+    Ok(output)
+}
+
 /// Executes a parsed command.
 pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> {
     match command {
         CliCommand::Help => Ok(CommandOutput::text_only(USAGE.to_string())),
-        CliCommand::Render(options) => run_render(options),
-        CliCommand::Plan(options) => run_plan(options),
-        CliCommand::Simulate(options) => run_simulate(options),
-        CliCommand::Compare(options) => run_compare(options),
-        CliCommand::Dynamics(options) => run_dynamics(options),
-        CliCommand::Sweep(options) => run_sweep(options),
+        CliCommand::Render(options) => {
+            with_tracing(options.trace_out.as_deref(), options.profile, || {
+                run_render(options)
+            })
+        }
+        CliCommand::Plan(options) => {
+            with_tracing(options.trace_out.as_deref(), options.profile, || {
+                run_plan(options)
+            })
+        }
+        CliCommand::Simulate(options) => {
+            with_tracing(options.trace_out.as_deref(), options.profile, || {
+                run_simulate(options)
+            })
+        }
+        CliCommand::Compare(options) => {
+            with_tracing(options.trace_out.as_deref(), options.profile, || {
+                run_compare(options)
+            })
+        }
+        CliCommand::Dynamics(options) => with_tracing(
+            options.base.trace_out.as_deref(),
+            options.base.profile,
+            || run_dynamics(options),
+        ),
+        CliCommand::Sweep(options) => with_tracing(
+            options.base.trace_out.as_deref(),
+            options.base.profile,
+            || run_sweep(options),
+        ),
         CliCommand::BenchTours(options) => run_bench_tours(options),
         CliCommand::BenchRoutes(options) => run_bench_routes(options),
         CliCommand::Serve(options) => run_serve(options),
@@ -653,6 +743,45 @@ mod tests {
             horizon_s: 15_000.0,
             ..CliOptions::default()
         }
+    }
+
+    #[test]
+    fn plan_with_profile_appends_self_time_table() {
+        let mut opts = options();
+        opts.profile = true;
+        let out = run_command(&CliCommand::Plan(opts)).unwrap();
+        assert!(out.text.contains("self-time profile:"));
+        assert!(out.text.contains("planner."));
+        // The plan JSON body itself is still present before the profile.
+        assert!(out.text.trim_start().starts_with('{'));
+    }
+
+    #[test]
+    fn plan_with_trace_out_writes_a_chrome_trace_file() {
+        let dir = std::env::temp_dir().join("patrolctl_traceout_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json").to_string_lossy().into_owned();
+        let mut opts = options();
+        opts.trace_out = Some(path.clone());
+        let out = run_command(&CliCommand::Plan(opts)).unwrap();
+        assert!(out.files_written.contains(&path));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"traceEvents\""));
+        assert!(body.contains("\"request\"") || body.contains("\"planner."));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_output_is_unchanged_when_tracing_flags_are_off() {
+        let traced = {
+            let mut opts = options();
+            opts.profile = true;
+            run_command(&CliCommand::Plan(opts)).unwrap()
+        };
+        let plain = run_command(&CliCommand::Plan(options())).unwrap();
+        assert!(!plain.text.contains("self-time profile:"));
+        // The traced run's text starts with exactly the plain output.
+        assert!(traced.text.starts_with(&plain.text));
     }
 
     #[test]
@@ -881,6 +1010,9 @@ mod tests {
             samples: 1,
             json_path: None,
             max_ratio: None,
+            overhead_gate: None,
+            trace_out: None,
+            profile: false,
         }
     }
 

@@ -39,6 +39,7 @@ impl Planner for ChbPlanner {
     }
 
     fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
+        let _span = mule_obs::span_owned(|| format!("planner.{}", self.name()));
         // CHB is exactly B-TCTP phase 1 without phase 2 (no start-point
         // spreading).
         let inner = BTctp {

@@ -53,6 +53,7 @@ impl Planner for RandomPlanner {
     }
 
     fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
+        let _span = mule_obs::span_owned(|| format!("planner.{}", self.name()));
         validate_common(scenario)?;
         let positions = scenario.patrolled_positions();
         let ids = scenario.patrolled_ids();

@@ -128,6 +128,7 @@ impl Planner for SweepPlanner {
     }
 
     fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
+        let _span = mule_obs::span_owned(|| format!("planner.{}", self.name()));
         validate_common(scenario)?;
         let field = scenario.field();
         let sink_node = field.sink();

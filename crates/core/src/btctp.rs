@@ -69,6 +69,7 @@ impl Planner for BTctp {
     }
 
     fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
+        let _span = mule_obs::span_owned(|| format!("planner.{}", self.name()));
         validate_common(scenario)?;
         let circuit = SharedCircuit::build(scenario, &self.chb).ok_or(PlanError::NoTargets)?;
         let path = mule_geom::Polyline::closed(circuit.positions());

@@ -186,6 +186,7 @@ impl Planner for RwTctp {
     }
 
     fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
+        let _span = mule_obs::span_owned(|| format!("planner.{}", self.name()));
         validate_common(scenario)?;
         let schedule = self.build_schedule(scenario)?;
 

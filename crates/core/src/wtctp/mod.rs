@@ -118,6 +118,7 @@ impl Planner for WTctp {
     }
 
     fn plan(&self, scenario: &Scenario) -> Result<PatrolPlan, PlanError> {
+        let _span = mule_obs::span_owned(|| format!("planner.{}", self.name()));
         validate_common(scenario)?;
         let waypoints = self.build_wpp_waypoints(scenario)?;
         let path = mule_geom::Polyline::closed(waypoints.iter().map(|w| w.position).collect());

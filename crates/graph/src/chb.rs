@@ -187,18 +187,42 @@ pub fn construct_circuit_metric(
     let dm = DistanceMatrix::from_metric(points, metric);
     match config.search.resolve(points.len()) {
         SearchMode::Candidates(k) => {
-            let mut tour = nearest_neighbor(points, &dm, 0);
+            let _pipeline = mule_obs::span("chb.matrix_candidates");
+            mule_obs::add("n", points.len() as u64);
+            mule_obs::add("k", k as u64);
+            let mut tour = {
+                let _s = mule_obs::span("chb.nn_seed");
+                nearest_neighbor(points, &dm, 0)
+            };
             if config.two_opt_passes == 0 && config.or_opt_passes == 0 {
                 return tour;
             }
-            let candidates = CandidateLists::from_matrix(&dm, k.max(1));
+            let candidates = {
+                let _s = mule_obs::span("chb.candidate_lists");
+                CandidateLists::from_matrix(&dm, k.max(1))
+            };
             if config.two_opt_passes > 0 {
-                two_opt_candidates_matrix(&mut tour, &dm, &candidates, config.two_opt_passes);
+                let _s = mule_obs::span("chb.two_opt");
+                let moves =
+                    two_opt_candidates_matrix(&mut tour, &dm, &candidates, config.two_opt_passes);
+                mule_obs::add("moves", moves as u64);
             }
             if config.or_opt_passes > 0 {
-                or_opt_candidates_matrix(&mut tour, &dm, &candidates, config.or_opt_passes);
+                {
+                    let _s = mule_obs::span("chb.or_opt");
+                    let moves =
+                        or_opt_candidates_matrix(&mut tour, &dm, &candidates, config.or_opt_passes);
+                    mule_obs::add("moves", moves as u64);
+                }
                 if config.two_opt_passes > 0 {
-                    two_opt_candidates_matrix(&mut tour, &dm, &candidates, config.two_opt_passes);
+                    let _s = mule_obs::span("chb.two_opt");
+                    let moves = two_opt_candidates_matrix(
+                        &mut tour,
+                        &dm,
+                        &candidates,
+                        config.two_opt_passes,
+                    );
+                    mule_obs::add("moves", moves as u64);
                 }
             }
             tour
@@ -210,15 +234,28 @@ pub fn construct_circuit_metric(
 /// The exact pipeline: all-pairs convex-hull insertion, 2-opt, Or-opt, and
 /// a final 2-opt. Byte-stable — golden tests pin its tours.
 fn construct_circuit_exact(points: &[Point], dm: &DistanceMatrix, config: &ChbConfig) -> Tour {
-    let mut tour = convex_hull_insertion(points, dm);
+    let _pipeline = mule_obs::span("chb.exact");
+    mule_obs::add("n", points.len() as u64);
+    let mut tour = {
+        let _s = mule_obs::span("chb.hull_insertion");
+        convex_hull_insertion(points, dm)
+    };
     if config.two_opt_passes > 0 {
-        two_opt(&mut tour, dm, config.two_opt_passes);
+        let _s = mule_obs::span("chb.two_opt");
+        let moves = two_opt(&mut tour, dm, config.two_opt_passes);
+        mule_obs::add("moves", moves as u64);
     }
     if config.or_opt_passes > 0 {
-        or_opt(&mut tour, dm, config.or_opt_passes);
+        {
+            let _s = mule_obs::span("chb.or_opt");
+            let moves = or_opt(&mut tour, dm, config.or_opt_passes);
+            mule_obs::add("moves", moves as u64);
+        }
         // A final 2-opt pass cleans up crossings introduced by relocations.
         if config.two_opt_passes > 0 {
-            two_opt(&mut tour, dm, config.two_opt_passes);
+            let _s = mule_obs::span("chb.two_opt");
+            let moves = two_opt(&mut tour, dm, config.two_opt_passes);
+            mule_obs::add("moves", moves as u64);
         }
     }
     tour
@@ -227,18 +264,35 @@ fn construct_circuit_exact(points: &[Point], dm: &DistanceMatrix, config: &ChbCo
 /// The candidate-list pipeline: incremental insertion plus neighbour-list
 /// local search, mirroring the exact pipeline's pass structure.
 fn construct_circuit_candidates(points: &[Point], config: &ChbConfig, k: usize) -> Tour {
-    let mut tour = convex_hull_insertion_incremental(points);
+    let _pipeline = mule_obs::span("chb.candidates");
+    mule_obs::add("n", points.len() as u64);
+    mule_obs::add("k", k as u64);
+    let mut tour = {
+        let _s = mule_obs::span("chb.hull_seed");
+        convex_hull_insertion_incremental(points)
+    };
     if config.two_opt_passes == 0 && config.or_opt_passes == 0 {
         return tour;
     }
-    let candidates = CandidateLists::build(points, k.max(1));
+    let candidates = {
+        let _s = mule_obs::span("chb.candidate_lists");
+        CandidateLists::build(points, k.max(1))
+    };
     if config.two_opt_passes > 0 {
-        two_opt_candidates(&mut tour, points, &candidates, config.two_opt_passes);
+        let _s = mule_obs::span("chb.two_opt");
+        let moves = two_opt_candidates(&mut tour, points, &candidates, config.two_opt_passes);
+        mule_obs::add("moves", moves as u64);
     }
     if config.or_opt_passes > 0 {
-        or_opt_candidates(&mut tour, points, &candidates, config.or_opt_passes);
+        {
+            let _s = mule_obs::span("chb.or_opt");
+            let moves = or_opt_candidates(&mut tour, points, &candidates, config.or_opt_passes);
+            mule_obs::add("moves", moves as u64);
+        }
         if config.two_opt_passes > 0 {
-            two_opt_candidates(&mut tour, points, &candidates, config.two_opt_passes);
+            let _s = mule_obs::span("chb.two_opt");
+            let moves = two_opt_candidates(&mut tour, points, &candidates, config.two_opt_passes);
+            mule_obs::add("moves", moves as u64);
         }
     }
     tour

@@ -44,10 +44,14 @@ impl DistanceMatrix {
     pub fn from_metric(points: &[Point], metric: &TravelMetric) -> Self {
         match metric {
             TravelMetric::Euclidean => DistanceMatrix::from_points(points),
-            road => DistanceMatrix {
-                n: points.len(),
-                data: road.pairwise(points),
-            },
+            road => {
+                let _s = mule_obs::span("graph.distance_matrix");
+                mule_obs::add("n", points.len() as u64);
+                DistanceMatrix {
+                    n: points.len(),
+                    data: road.pairwise(points),
+                }
+            }
         }
     }
 

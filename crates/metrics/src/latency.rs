@@ -200,6 +200,31 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th-percentile latency, seconds. At serving rates of thousands
+    /// of requests per run the p99 hides tail stalls that p999 exposes.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum_s(&self) -> f64 {
+        self.sum_ns as f64 / 1e9
+    }
+
+    /// The non-empty buckets as `(upper_bound_ns, count)` pairs in
+    /// ascending bucket order. The upper bound is inclusive (see
+    /// [`bucket_bounds`]), matching the inclusive `le` semantics of
+    /// Prometheus histogram buckets; `/metrics` renders these
+    /// cumulatively as the `_bucket` series.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bounds(i).1, c))
+            .collect()
+    }
+
     /// Merges another histogram into this one. Because the bucket layout
     /// is static, merging is element-wise addition and the result is
     /// identical to having recorded both observation streams into a
@@ -363,5 +388,81 @@ mod tests {
         a.record_duration(Duration::from_micros(1500));
         b.record(0.0015);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=2000u64 {
+            h.record_nanos(us * 1000);
+        }
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max_s());
+        let exact_us = 1998.0; // rank ceil(0.999 · 2000)
+        let got_us = h.p999() * 1e6;
+        assert!(
+            got_us >= exact_us && got_us <= exact_us * 1.125 + 1.0,
+            "p999 {got_us} µs vs exact {exact_us} µs"
+        );
+    }
+
+    #[test]
+    fn nonzero_buckets_carry_inclusive_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        h.record_nanos(3);
+        h.record_nanos(3);
+        h.record_nanos(40);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (3, 2)); // exact bucket below SUB_BUCKETS
+        let (upper, count) = buckets[1];
+        assert_eq!(count, 1);
+        assert_eq!(bucket_index(upper), bucket_index(40));
+        assert!(upper >= 40, "upper bound is inclusive");
+        // Ascending order, and totals match the recorded count.
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert!((h.sum_s() - 46e-9).abs() < 1e-15);
+    }
+
+    mod merge_associativity {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds a histogram from a vector of nanosecond observations.
+        fn hist(obs: &[u64]) -> LatencyHistogram {
+            let mut h = LatencyHistogram::new();
+            for &ns in obs {
+                h.record_nanos(ns);
+            }
+            h
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            // (a ⊎ b) ⊎ c ≡ a ⊎ (b ⊎ c), bucket-for-bucket: the static
+            // layout and integer sums make merging exactly associative.
+            #[test]
+            fn merge_is_associative_bucket_for_bucket(
+                a in prop::collection::vec(0u64..u64::MAX, 0..40),
+                b in prop::collection::vec(0u64..u64::MAX, 0..40),
+                c in prop::collection::vec(0u64..u64::MAX, 0..40),
+            ) {
+                let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+
+                let mut left = ha.clone();
+                left.merge(&hb);
+                left.merge(&hc);
+
+                let mut right_inner = hb.clone();
+                right_inner.merge(&hc);
+                let mut right = ha.clone();
+                right.merge(&right_inner);
+
+                prop_assert_eq!(&left, &right);
+                prop_assert_eq!(left.nonzero_buckets(), right.nonzero_buckets());
+            }
+        }
     }
 }

@@ -1,0 +1,114 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Emits the subset of the [Trace Event Format] that `about:tracing` and
+//! <https://ui.perfetto.dev> load: one complete (`"ph":"X"`) event per
+//! span with microsecond timestamps, counters carried in `args`, plus a
+//! process-name metadata record.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::trace::Trace;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds → microseconds with fixed three-decimal rendering, so the
+/// output is stable and never switches to exponent notation.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Serialises a trace as Chrome `trace_event` JSON. Drag the file into
+/// `about:tracing`, or open it at <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut events = Vec::with_capacity(trace.spans.len() + 1);
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"wmdm-patrol\"}}"
+            .to_string(),
+    );
+    for span in &trace.spans {
+        let mut args = String::new();
+        args.push_str(&format!("\"seq\":{}", span.id));
+        for (name, value) in &span.counters {
+            args.push_str(&format!(",\"{}\":{}", escape(name), value));
+        }
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"mule\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":1,\"args\":{{{}}}}}",
+            escape(&span.name),
+            micros(span.start_ns),
+            micros(span.dur_ns),
+            args
+        ));
+    }
+    for (name, value) in &trace.gauges {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":0.000,\"pid\":1,\"tid\":1,\
+             \"args\":{{\"value\":{}}}}}",
+            escape(name),
+            value
+        ));
+    }
+    format!(
+        "{{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n    {}\n  ]\n}}\n",
+        events.join(",\n    ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanRecord;
+
+    #[test]
+    fn exporter_emits_complete_events_with_counters() {
+        let trace = Trace {
+            spans: vec![SpanRecord {
+                id: 0,
+                parent: None,
+                name: "chb.two_opt".to_string(),
+                start_ns: 1_234_567,
+                dur_ns: 89_000,
+                counters: vec![("moves".to_string(), 7)],
+            }],
+            gauges: vec![("targets".to_string(), 50)],
+        };
+        let json = chrome_trace_json(&trace);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"chb.two_opt\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"dur\":89.000"));
+        assert!(json.contains("\"moves\":7"));
+        assert!(json.contains("\"ph\":\"C\"")); // the gauge counter event
+        assert!(json.contains("\"ph\":\"M\"")); // the metadata record
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn micros_renders_fixed_decimals() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000_001), "1000.001");
+    }
+}

@@ -1,0 +1,191 @@
+//! Flat self-time profile: per-span-name aggregation of a [`Trace`].
+
+use crate::trace::Trace;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// The span name.
+    pub name: String,
+    /// How many spans carried this name.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across those spans (children
+    /// included).
+    pub total_ns: u64,
+    /// Self nanoseconds: total minus time attributed to child spans.
+    pub self_ns: u64,
+    /// The longest single span of this name, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A flat profile: one [`ProfileEntry`] per distinct span name, sorted by
+/// self time (descending), ties broken by name so the ordering is stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlatProfile {
+    /// The aggregated entries.
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl FlatProfile {
+    /// Builds the profile of a trace. Self time is each span's duration
+    /// minus the summed durations of its direct children (clamped at
+    /// zero: overlapping grafted subtrees may exceed the parent).
+    pub fn of(trace: &Trace) -> FlatProfile {
+        let mut child_ns = vec![0u64; trace.spans.len()];
+        for span in &trace.spans {
+            if let Some(p) = span.parent {
+                child_ns[p as usize] += span.dur_ns;
+            }
+        }
+        let mut entries: Vec<ProfileEntry> = Vec::new();
+        for span in &trace.spans {
+            let self_ns = span.dur_ns.saturating_sub(child_ns[span.id as usize]);
+            match entries.iter_mut().find(|e| e.name == span.name) {
+                Some(e) => {
+                    e.count += 1;
+                    e.total_ns += span.dur_ns;
+                    e.self_ns += self_ns;
+                    e.max_ns = e.max_ns.max(span.dur_ns);
+                }
+                None => entries.push(ProfileEntry {
+                    name: span.name.clone(),
+                    count: 1,
+                    total_ns: span.dur_ns,
+                    self_ns,
+                    max_ns: span.dur_ns,
+                }),
+            }
+        }
+        let mut profile = FlatProfile { entries };
+        profile.sort();
+        profile
+    }
+
+    fn sort(&mut self) {
+        self.entries
+            .sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    }
+
+    /// Merges another profile into this one (entry-wise by name), keeping
+    /// the sort order. Used by mule-serve to aggregate per-request traces
+    /// into running totals.
+    pub fn merge(&mut self, other: &FlatProfile) {
+        for e in &other.entries {
+            match self.entries.iter_mut().find(|m| m.name == e.name) {
+                Some(m) => {
+                    m.count += e.count;
+                    m.total_ns += e.total_ns;
+                    m.self_ns += e.self_ns;
+                    m.max_ns = m.max_ns.max(e.max_ns);
+                }
+                None => self.entries.push(e.clone()),
+            }
+        }
+        self.sort();
+    }
+
+    /// Looks up the entry for `name`.
+    pub fn get(&self, name: &str) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Summed total milliseconds across the entries whose name passes
+    /// `pred` (phase roll-ups, e.g. everything under `chb.`).
+    pub fn total_ms_where(&self, pred: impl Fn(&str) -> bool) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| pred(&e.name))
+            .map(|e| e.total_ns as f64 / 1e6)
+            .sum()
+    }
+
+    /// Renders the profile as an aligned text table (milliseconds with
+    /// microsecond precision).
+    pub fn to_table(&self) -> String {
+        let name_w = self
+            .entries
+            .iter()
+            .map(|e| e.name.len())
+            .chain(std::iter::once("span".len()))
+            .max()
+            .unwrap_or(4);
+        let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+        let mut out = format!(
+            "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}\n",
+            "span", "count", "total_ms", "self_ms", "max_ms"
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}\n",
+                e.name,
+                e.count,
+                ms(e.total_ns),
+                ms(e.self_ns),
+                ms(e.max_ns)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanRecord;
+
+    fn span(id: u32, parent: Option<u32>, name: &str, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns: 0,
+            dur_ns,
+            counters: Vec::new(),
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        Trace {
+            spans: vec![
+                span(0, None, "root", 100),
+                span(1, Some(0), "work", 30),
+                span(2, Some(0), "work", 50),
+                span(3, Some(2), "leaf", 10),
+            ],
+            gauges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children_and_aggregates_by_name() {
+        let p = FlatProfile::of(&sample_trace());
+        let work = p.get("work").unwrap();
+        assert_eq!(work.count, 2);
+        assert_eq!(work.total_ns, 80);
+        assert_eq!(work.self_ns, 70); // 30 + (50 - 10)
+        assert_eq!(work.max_ns, 50);
+        let root = p.get("root").unwrap();
+        assert_eq!(root.self_ns, 20); // 100 - 80
+        assert_eq!(p.get("leaf").unwrap().self_ns, 10);
+    }
+
+    #[test]
+    fn merge_is_entrywise_and_table_lists_every_name() {
+        let mut a = FlatProfile::of(&sample_trace());
+        let b = FlatProfile::of(&sample_trace());
+        a.merge(&b);
+        assert_eq!(a.get("work").unwrap().count, 4);
+        assert_eq!(a.get("work").unwrap().total_ns, 160);
+        let table = a.to_table();
+        for name in ["span", "root", "work", "leaf", "self_ms"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn phase_rollup_sums_matching_entries() {
+        let p = FlatProfile::of(&sample_trace());
+        let ms = p.total_ms_where(|n| n == "work" || n == "leaf");
+        assert!((ms - 90.0 / 1e6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! The recorded span-tree model and its deterministic shape rendering.
+
+/// One recorded span. `id` doubles as the monotonic open-order sequence
+/// number; `start_ns` / `dur_ns` are wall-clock and excluded from the
+/// deterministic shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id, assigned in open order within the trace (root = 0).
+    pub id: u32,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u32>,
+    /// Span name (`chb.two_opt`, `request.plan`, …).
+    pub name: String,
+    /// Open time in nanoseconds since the trace epoch (wall clock;
+    /// **not** part of the deterministic shape).
+    pub start_ns: u64,
+    /// Duration in nanoseconds (wall clock; **not** part of the shape).
+    pub dur_ns: u64,
+    /// Accumulated integer counters, in first-touch order. Part of the
+    /// deterministic shape.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A finished trace: the span tree plus trace-level gauges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// All spans in id (open) order.
+    pub spans: Vec<SpanRecord>,
+    /// Trace-level gauges, in first-touch order.
+    pub gauges: Vec<(String, i64)>,
+}
+
+impl Trace {
+    /// Renders the deterministic shape of the trace: one line per span in
+    /// open order, indented by depth, with counters but **without** any
+    /// timing. Two runs of the same seeded computation produce identical
+    /// shapes; golden tests pin this string.
+    pub fn shape(&self) -> String {
+        let mut depth = vec![0usize; self.spans.len()];
+        let mut out = String::new();
+        for span in &self.spans {
+            let d = span
+                .parent
+                .map(|p| depth[p as usize] + 1)
+                .unwrap_or_default();
+            depth[span.id as usize] = d;
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+            out.push_str(&span.name);
+            for (name, value) in &span.counters {
+                out.push_str(&format!(" {name}={value}"));
+            }
+            out.push('\n');
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("gauge {name}={value}\n"));
+        }
+        out
+    }
+
+    /// Grafts `child` (a trace recorded elsewhere, e.g. on a worker
+    /// thread) into this trace under span `parent`. Child span ids are
+    /// renumbered to continue this trace's open order, and child
+    /// timestamps are shifted to start at the parent span's open time so
+    /// the result still renders sensibly in a timeline viewer. Grafting
+    /// in a deterministic order (e.g. grid order) keeps the combined
+    /// shape deterministic even when the children ran in parallel.
+    pub fn graft(&mut self, child: Trace, parent: Option<u32>) {
+        graft_into(&mut self.spans, &mut self.gauges, child, parent);
+    }
+}
+
+/// The shared graft implementation: renumbers `child`'s span ids to
+/// continue the host's open order, reparents its roots under `parent`,
+/// and shifts its timestamps to the parent span's open time. Used both by
+/// [`Trace::graft`] and by the live-collector graft in the crate root.
+pub(crate) fn graft_into(
+    spans: &mut Vec<SpanRecord>,
+    gauges: &mut Vec<(String, i64)>,
+    child: Trace,
+    parent: Option<u32>,
+) {
+    let offset = spans.len() as u32;
+    let shift = parent
+        .and_then(|p| spans.get(p as usize))
+        .map(|p| p.start_ns)
+        .unwrap_or_default();
+    for mut span in child.spans {
+        span.id += offset;
+        span.parent = span.parent.map(|p| p + offset).or(parent);
+        span.start_ns += shift;
+        spans.push(span);
+    }
+    for gauge in child.gauges {
+        gauges.push(gauge);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32, parent: Option<u32>, name: &str) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns: u64::from(id) * 10,
+            dur_ns: 5,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn shape_indents_by_depth_and_shows_counters() {
+        let mut root = rec(0, None, "root");
+        root.counters.push(("n".to_string(), 12));
+        let trace = Trace {
+            spans: vec![root, rec(1, Some(0), "child"), rec(2, Some(1), "leaf")],
+            gauges: vec![("workers".to_string(), 4)],
+        };
+        assert_eq!(
+            trace.shape(),
+            "root n=12\n  child\n    leaf\ngauge workers=4\n"
+        );
+    }
+
+    #[test]
+    fn graft_renumbers_ids_and_reparents_roots() {
+        let mut host = Trace {
+            spans: vec![rec(0, None, "host")],
+            gauges: Vec::new(),
+        };
+        let child = Trace {
+            spans: vec![rec(0, None, "sub"), rec(1, Some(0), "sub.leaf")],
+            gauges: vec![("g".to_string(), 1)],
+        };
+        host.graft(child, Some(0));
+        assert_eq!(host.spans.len(), 3);
+        assert_eq!(host.spans[1].id, 1);
+        assert_eq!(host.spans[1].parent, Some(0));
+        assert_eq!(host.spans[2].id, 2);
+        assert_eq!(host.spans[2].parent, Some(1));
+        assert_eq!(host.gauges.len(), 1);
+        // Child timestamps were shifted to the parent's open time.
+        assert_eq!(host.spans[1].start_ns, host.spans[0].start_ns);
+    }
+}

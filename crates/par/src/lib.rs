@@ -137,6 +137,13 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let workers = workers.max(1).min(len.max(1));
+    // Trace-level fan-out facts, recorded on the coordinating thread (the
+    // worker count is environment-dependent, so it is a gauge — excluded
+    // from span counters and therefore from determinism pins only insofar
+    // as gauges are compared; shape tests that include gauges must force a
+    // worker count).
+    mule_obs::add("par_tasks", len as u64);
+    mule_obs::gauge("par.workers", workers as i64);
     if workers <= 1 || len <= 1 || in_worker() {
         return (0..len).map(f).collect();
     }

@@ -14,7 +14,7 @@
 use crate::generate::{self, ComponentReport, RoadNet, RoadNetKind};
 use crate::graph::RoadGraph;
 use crate::landmarks::Landmarks;
-use crate::route::{astar_alt, dijkstra};
+use crate::route::{astar_alt, dijkstra_counted};
 use mule_geom::{BoundingBox, KdTree, Point};
 
 /// Landmark count used by [`RoadIndex::build`]'s callers in this
@@ -144,7 +144,11 @@ impl RoadIndex {
             return connectors;
         }
         let road = astar_alt(&self.graph, &self.landmarks, sa, sb)
-            .map(|r| r.cost)
+            .map(|r| {
+                mule_obs::add("alt_queries", 1);
+                mule_obs::add("alt_settled", r.settled as u64);
+                r.cost
+            })
             .unwrap_or(f64::INFINITY); // unreachable cannot happen on a connected graph
         connectors + road
     }
@@ -160,11 +164,15 @@ impl RoadIndex {
             vec![self.graph.position(sa)]
         } else {
             match astar_alt(&self.graph, &self.landmarks, sa, sb) {
-                Some(route) => route
-                    .nodes
-                    .iter()
-                    .map(|&n| self.graph.position(n))
-                    .collect(),
+                Some(route) => {
+                    mule_obs::add("alt_queries", 1);
+                    mule_obs::add("alt_settled", route.settled as u64);
+                    route
+                        .nodes
+                        .iter()
+                        .map(|&n| self.graph.position(n))
+                        .collect()
+                }
                 None => Vec::new(),
             }
         };
@@ -199,10 +207,17 @@ impl RoadIndex {
             .zip(&snapped)
             .map(|(p, &s)| p.distance(&self.graph.position(s)))
             .collect();
+        let _span = mule_obs::span("road.pairwise");
+        mule_obs::add("n", n as u64);
         // BTreeMap: deterministic iteration over the distinct sources.
         let mut tables: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
         for &s in &snapped {
-            tables.entry(s).or_insert_with(|| dijkstra(&self.graph, s));
+            tables.entry(s).or_insert_with(|| {
+                let (table, settled) = dijkstra_counted(&self.graph, s);
+                mule_obs::add("dijkstra_sources", 1);
+                mule_obs::add("dijkstra_settled", settled as u64);
+                table
+            });
         }
         for i in 0..n {
             let table = &tables[&snapped[i]];

@@ -62,10 +62,18 @@ impl Ord for HeapEntry {
 /// One-to-all Dijkstra: the cost from `src` to every node
 /// (`f64::INFINITY` for unreachable ones).
 pub fn dijkstra(graph: &RoadGraph, src: u32) -> Vec<f64> {
+    dijkstra_counted(graph, src).0
+}
+
+/// [`dijkstra`] also reporting how many nodes the search settled (popped
+/// non-stale), the work measure instrumented callers attach to their
+/// trace spans.
+pub fn dijkstra_counted(graph: &RoadGraph, src: u32) -> (Vec<f64>, usize) {
     let mut dist = vec![f64::INFINITY; graph.len()];
     if graph.is_empty() {
-        return dist;
+        return (dist, 0);
     }
+    let mut settled = 0usize;
     let mut heap = BinaryHeap::new();
     dist[src as usize] = 0.0;
     heap.push(HeapEntry {
@@ -77,6 +85,7 @@ pub fn dijkstra(graph: &RoadGraph, src: u32) -> Vec<f64> {
         if entry.cost > dist[entry.node as usize] {
             continue; // stale heap entry
         }
+        settled += 1;
         for (next, arc_cost) in graph.neighbors(entry.node) {
             let cand = entry.cost + arc_cost;
             if cand < dist[next as usize] {
@@ -89,7 +98,7 @@ pub fn dijkstra(graph: &RoadGraph, src: u32) -> Vec<f64> {
             }
         }
     }
-    dist
+    (dist, settled)
 }
 
 /// The generic best-first search behind all point-to-point queries.

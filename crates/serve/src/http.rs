@@ -201,6 +201,16 @@ impl Response {
         }
     }
 
+    /// A response with an explicit `Content-Type` (suppresses the default
+    /// `application/json`). Used by the Prometheus `/metrics` endpoint.
+    pub fn text(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body: body.into(),
+        }
+    }
+
     /// A JSON error document `{"error": …}` with the given status.
     pub fn error(status: u16, message: &str) -> Self {
         let doc = crate::json::JsonValue::object(vec![
@@ -224,7 +234,13 @@ impl Response {
             self.status,
             status_reason(self.status)
         );
-        head.push_str("Content-Type: application/json\r\n");
+        let has_content_type = self
+            .headers
+            .iter()
+            .any(|(name, _)| name.eq_ignore_ascii_case("content-type"));
+        if !has_content_type {
+            head.push_str("Content-Type: application/json\r\n");
+        }
         head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
         head.push_str(if keep_alive {
             "Connection: keep-alive\r\n"

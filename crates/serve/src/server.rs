@@ -28,11 +28,12 @@ use crate::api;
 use crate::cache::{CacheOutcome, PlanCache};
 use crate::http::{read_request, HttpError, Request, Response};
 use mule_metrics::LatencyHistogram;
+use mule_obs::FlatProfile;
 use mule_par::TaskPool;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`start`]ed server.
@@ -54,6 +55,10 @@ pub struct ServerConfig {
     /// How long a worker waits for the next request on an idle keep-alive
     /// connection before closing it.
     pub idle_timeout: Duration,
+    /// Opt-in slow-request log: requests taking at least this many
+    /// milliseconds are logged to stderr with their trace id and a
+    /// per-span self-time breakdown. `None` (the default) logs nothing.
+    pub slow_request_ms: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             sim_workers: None,
             idle_timeout: Duration::from_secs(5),
+            slow_request_ms: None,
         }
     }
 }
@@ -94,6 +100,10 @@ struct MetricsInner {
     cache_misses: u64,
     cache_coalesced: u64,
     latency: LatencyHistogram,
+    /// Per-request span profiles merged under the same lock as the route
+    /// counters, so `mule_span_total{span="request"}` always equals the
+    /// summed per-route request counters at scrape time.
+    spans: FlatProfile,
 }
 
 /// Which endpoint a request hit, for the per-route counters.
@@ -107,9 +117,24 @@ enum Route {
 }
 
 impl ServerMetrics {
-    /// Records one handled request.
-    fn observe(&self, route: Route, status: u16, elapsed: Duration, cache: Option<CacheOutcome>) {
-        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+    /// Locks the counters, recovering from poisoning: a handler that
+    /// panicked mid-request leaves plain integers behind, and losing every
+    /// later scrape to a cascading panic would turn one bad request into a
+    /// dead `/metrics` endpoint.
+    fn lock(&self) -> MutexGuard<'_, MetricsInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one handled request together with its span profile.
+    fn observe(
+        &self,
+        route: Route,
+        status: u16,
+        elapsed: Duration,
+        cache: Option<CacheOutcome>,
+        profile: &FlatProfile,
+    ) {
+        let mut inner = self.lock();
         match route {
             Route::Healthz => inner.healthz += 1,
             Route::Metrics => inner.metrics += 1,
@@ -129,22 +154,20 @@ impl ServerMetrics {
             None => {}
         }
         inner.latency.record_duration(elapsed);
+        inner.spans.merge(profile);
     }
 
     /// Records one connection rejected by backpressure (no request was
-    /// read, so nothing else is counted).
+    /// read, so nothing else is counted — rejections carry no trace).
     fn observe_rejected(&self) {
-        self.inner
-            .lock()
-            .expect("metrics mutex poisoned")
-            .rejected_503 += 1;
+        self.lock().rejected_503 += 1;
     }
 
     /// Renders the `/metrics` document. Cache hit rate counts coalesced
     /// requests as served-from-cache: they did not recompute.
     pub fn to_json(&self) -> String {
         use crate::json::JsonValue;
-        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        let inner = self.lock();
         let total = inner.healthz + inner.metrics + inner.plan + inner.simulate + inner.other;
         let cache_total = inner.cache_hits + inner.cache_misses + inner.cache_coalesced;
         let hit_rate = if cache_total == 0 {
@@ -197,6 +220,107 @@ impl ServerMetrics {
         ]);
         doc.to_pretty_string()
     }
+
+    /// Renders the Prometheus text exposition (format 0.0.4) served at
+    /// `/metrics`: per-route request counters, status-class counters,
+    /// cache outcomes, the latency histogram (`_bucket`/`_sum`/`_count`)
+    /// and per-span-name totals from the merged request profiles.
+    pub fn to_prometheus(&self) -> String {
+        use mule_obs::prom::PromText;
+        let inner = self.lock();
+        let mut p = PromText::new();
+
+        p.family(
+            "mule_requests_total",
+            "counter",
+            "Requests handled, by route.",
+        );
+        for (route, count) in [
+            ("healthz", inner.healthz),
+            ("metrics", inner.metrics),
+            ("plan", inner.plan),
+            ("simulate", inner.simulate),
+            ("other", inner.other),
+        ] {
+            p.sample_u64("mule_requests_total", &[("route", route)], count);
+        }
+
+        p.family(
+            "mule_responses_total",
+            "counter",
+            "Responses sent, by status class.",
+        );
+        for (class, count) in [
+            ("2xx", inner.ok_2xx),
+            ("4xx", inner.client_err_4xx),
+            ("5xx", inner.server_err_5xx),
+        ] {
+            p.sample_u64("mule_responses_total", &[("class", class)], count);
+        }
+
+        p.family(
+            "mule_rejected_total",
+            "counter",
+            "Connections rejected by backpressure (503 + Retry-After).",
+        );
+        p.sample_u64("mule_rejected_total", &[], inner.rejected_503);
+
+        p.family(
+            "mule_cache_events_total",
+            "counter",
+            "Plan-cache lookups, by outcome.",
+        );
+        for (event, count) in [
+            ("hit", inner.cache_hits),
+            ("miss", inner.cache_misses),
+            ("coalesced", inner.cache_coalesced),
+        ] {
+            p.sample_u64("mule_cache_events_total", &[("event", event)], count);
+        }
+
+        // Log-linear histogram buckets carry inclusive upper bounds in
+        // nanoseconds; Prometheus `le` is inclusive too, so converting
+        // the bound to seconds preserves the semantics exactly.
+        let mut cumulative = 0u64;
+        let buckets: Vec<(f64, u64)> = inner
+            .latency
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(upper_ns, count)| {
+                cumulative += count;
+                (upper_ns as f64 / 1e9, cumulative)
+            })
+            .collect();
+        p.histogram(
+            "mule_request_duration_seconds",
+            "Request handling latency.",
+            &buckets,
+            inner.latency.sum_s(),
+            inner.latency.count(),
+        );
+
+        p.family(
+            "mule_span_total",
+            "counter",
+            "Spans recorded across all request traces, by span name.",
+        );
+        for e in &inner.spans.entries {
+            p.sample_u64("mule_span_total", &[("span", &e.name)], e.count);
+        }
+        p.family(
+            "mule_span_seconds_total",
+            "counter",
+            "Total wall-clock seconds spent in spans (children included), by span name.",
+        );
+        for e in &inner.spans.entries {
+            p.sample_f64(
+                "mule_span_seconds_total",
+                &[("span", &e.name)],
+                e.total_ns as f64 / 1e9,
+            );
+        }
+        p.finish()
+    }
 }
 
 struct Shared {
@@ -204,7 +328,19 @@ struct Shared {
     metrics: ServerMetrics,
     admitted: AtomicUsize,
     shutdown: AtomicBool,
+    /// Monotonic request sequence feeding [`trace_id`].
+    trace_seq: AtomicU64,
     config: ServerConfig,
+}
+
+/// Renders the `X-Trace-Id` token for the `seq`-th request. The splitmix64
+/// finaliser turns sequential numbers into well-mixed 16-hex tokens while
+/// staying a pure function of admission order.
+fn trace_id(seq: u64) -> String {
+    let mut z = seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    format!("{:016x}", z ^ (z >> 31))
 }
 
 /// A running server. Dropping the handle shuts the server down and joins
@@ -232,9 +368,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The current `/metrics` document (for embedding servers).
+    /// The current `/metrics.json` document (for embedding servers).
     pub fn metrics_json(&self) -> String {
         self.shared.metrics.to_json()
+    }
+
+    /// The current Prometheus text exposition (the `/metrics` document).
+    pub fn metrics_prometheus(&self) -> String {
+        self.shared.metrics.to_prometheus()
     }
 
     /// Stops accepting, drains the in-flight connections and joins every
@@ -271,6 +412,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         metrics: ServerMetrics::default(),
         admitted: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
+        trace_seq: AtomicU64::new(0),
         config: config.clone(),
     });
     let pool = TaskPool::new(config.workers);
@@ -324,7 +466,13 @@ impl ConnReceiver {
     }
 
     fn recv(&self) -> Option<TcpStream> {
-        self.rx.lock().expect("receiver mutex poisoned").recv().ok()
+        // Recover from poisoning: one worker panicking while holding the
+        // receiver must not strand the queued connections of the others.
+        self.rx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv()
+            .ok()
     }
 }
 
@@ -379,10 +527,34 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(Some(request)) => {
                 let keep_alive = request.keep_alive();
                 let started = Instant::now();
-                let (route, cache, response) = route_request(&request, shared);
+                let seq = shared.trace_seq.fetch_add(1, Ordering::Relaxed);
+                // Every request runs under its own captured trace with a
+                // root `request` span, so the merged profile counts one
+                // `request` span per handled request — the invariant the
+                // CI smoke test checks against the route counters.
+                let ((route, cache, response), trace) = mule_obs::capture(|| {
+                    let _root = mule_obs::span("request");
+                    route_request(&request, shared)
+                });
+                let elapsed = started.elapsed();
+                let profile = FlatProfile::of(&trace);
                 shared
                     .metrics
-                    .observe(route, response.status, started.elapsed(), cache);
+                    .observe(route, response.status, elapsed, cache, &profile);
+                let id = trace_id(seq);
+                if let Some(threshold_ms) = shared.config.slow_request_ms {
+                    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+                    if elapsed_ms >= threshold_ms {
+                        eprintln!(
+                            "[mule-serve] slow request trace={id} {} {} status={} {elapsed_ms:.1}ms{}",
+                            request.method,
+                            request.path,
+                            response.status,
+                            slow_breakdown(&profile),
+                        );
+                    }
+                }
+                let response = response.with_header("X-Trace-Id", id);
                 if response.write_to(&mut writer, keep_alive).is_err() {
                     return;
                 }
@@ -405,6 +577,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// The top self-time spans of a slow request, for the stderr log line.
+fn slow_breakdown(profile: &FlatProfile) -> String {
+    let mut out = String::new();
+    for entry in profile
+        .entries
+        .iter()
+        .filter(|e| e.name != "request")
+        .take(3)
+    {
+        out.push_str(&format!(
+            " {}={:.1}ms",
+            entry.name,
+            entry.self_ns as f64 / 1e6
+        ));
+    }
+    out
+}
+
 fn route_request(request: &Request, shared: &Shared) -> (Route, Option<CacheOutcome>, Response) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
@@ -421,6 +611,15 @@ fn route_request(request: &Request, shared: &Shared) -> (Route, Option<CacheOutc
         ("GET", "/metrics") => (
             Route::Metrics,
             None,
+            Response::text(
+                200,
+                mule_obs::prom::CONTENT_TYPE,
+                shared.metrics.to_prometheus(),
+            ),
+        ),
+        ("GET", "/metrics.json") => (
+            Route::Metrics,
+            None,
             Response::json(200, shared.metrics.to_json()),
         ),
         ("POST", "/v1/plan") => {
@@ -432,7 +631,7 @@ fn route_request(request: &Request, shared: &Shared) -> (Route, Option<CacheOutc
             None,
             handle_simulate(&request.body, shared),
         ),
-        (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/simulate") => (
+        (_, "/healthz" | "/metrics" | "/metrics.json" | "/v1/plan" | "/v1/simulate") => (
             Route::Other,
             None,
             Response::error(405, "method not allowed for this path"),
@@ -453,13 +652,25 @@ fn api_error_response(e: &api::ApiError) -> Response {
 }
 
 fn handle_plan(body: &[u8], shared: &Shared) -> (Option<CacheOutcome>, Response) {
-    let spec = match api::spec_from_body(body) {
+    let parsed = {
+        let _s = mule_obs::span("request.parse");
+        api::spec_from_body(body)
+    };
+    let spec = match parsed {
         Ok(spec) => spec,
         Err(e) => return (None, api_error_response(&e)),
     };
-    let key = spec.fingerprint();
-    match shared.cache.get_or_compute(key, || plan_bytes(&spec)) {
+    let key = {
+        let _s = mule_obs::span("request.fingerprint");
+        spec.fingerprint()
+    };
+    let looked_up = {
+        let _s = mule_obs::span("request.cache_lookup");
+        shared.cache.get_or_compute(key, || plan_bytes(&spec))
+    };
+    match looked_up {
         Ok((bytes, outcome)) => {
+            let _s = mule_obs::span("request.serialize");
             let response = Response::json(200, bytes.as_slice().to_vec())
                 .with_header("X-Cache", outcome.label())
                 .with_header("X-Fingerprint", format!("{key:016x}"));
@@ -470,14 +681,20 @@ fn handle_plan(body: &[u8], shared: &Shared) -> (Option<CacheOutcome>, Response)
 }
 
 fn plan_bytes(spec: &mule_workload::ScenarioSpec) -> Result<Vec<u8>, api::ApiError> {
+    let _s = mule_obs::span("request.plan");
     api::plan_response_json(spec).map(String::into_bytes)
 }
 
 fn handle_simulate(body: &[u8], shared: &Shared) -> Response {
-    let request = match api::simulate_request_from_body(body) {
+    let parsed = {
+        let _s = mule_obs::span("request.parse");
+        api::simulate_request_from_body(body)
+    };
+    let request = match parsed {
         Ok(request) => request,
         Err(e) => return api_error_response(&e),
     };
+    let _s = mule_obs::span("request.simulate");
     match api::simulate_response_json(&request, shared.config.sim_workers) {
         Ok(doc) => Response::json(200, doc),
         Err(e) => api_error_response(&e),

@@ -222,8 +222,8 @@ fn backpressure_rejects_connections_beyond_queue_depth_with_retry_after() {
     let response = third.request("POST", "/v1/plan", &small_spec_body());
     assert_eq!(response.status, 200);
 
-    // The rejection shows up in /metrics.
-    let metrics = third.request("GET", "/metrics", b"");
+    // The rejection shows up in /metrics.json.
+    let metrics = third.request("GET", "/metrics.json", b"");
     let doc = parse(&metrics.body_text()).unwrap();
     let rejected_count = doc
         .get("responses")
@@ -242,7 +242,7 @@ fn metrics_reflect_requests_latency_and_cache_state() {
     client.request("POST", "/v1/plan", &small_spec_body()); // miss
     client.request("POST", "/v1/plan", &small_spec_body()); // hit
     client.request("POST", "/v1/plan", br#"{"targets": 9}"#); // miss
-    let metrics = client.request("GET", "/metrics", b"");
+    let metrics = client.request("GET", "/metrics.json", b"");
     assert_eq!(metrics.status, 200);
     let doc = parse(&metrics.body_text()).unwrap();
 
@@ -259,6 +259,92 @@ fn metrics_reflect_requests_latency_and_cache_state() {
     let latency = doc.get("latency_ms").unwrap();
     assert_eq!(latency.get("count").and_then(JsonValue::as_u64), Some(4));
     assert!(latency.get("p99").and_then(JsonValue::as_f64).unwrap() >= 0.0);
+    server.shutdown();
+}
+
+/// Pulls the integer value of a Prometheus sample line (exact match on
+/// `name{labels}` including braces) out of an exposition document.
+fn prom_value(text: &str, series: &str) -> Option<u64> {
+    text.lines()
+        .find_map(|line| line.strip_prefix(series))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+#[test]
+fn metrics_is_prometheus_text_and_span_counters_match_requests() {
+    let server = test_server(ServerConfig::default());
+    let mut client = Client::connect(&server);
+    client.request("GET", "/healthz", b"");
+    client.request("POST", "/v1/plan", &small_spec_body()); // miss
+    client.request("POST", "/v1/plan", &small_spec_body()); // hit
+    let metrics = client.request("GET", "/metrics", b"");
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8")
+    );
+    let text = metrics.body_text();
+
+    assert!(text.contains("# TYPE mule_requests_total counter"));
+    assert_eq!(
+        prom_value(&text, "mule_requests_total{route=\"healthz\"}"),
+        Some(1)
+    );
+    assert_eq!(
+        prom_value(&text, "mule_requests_total{route=\"plan\"}"),
+        Some(2)
+    );
+    assert_eq!(
+        prom_value(&text, "mule_cache_events_total{event=\"hit\"}"),
+        Some(1)
+    );
+    assert_eq!(
+        prom_value(&text, "mule_cache_events_total{event=\"miss\"}"),
+        Some(1)
+    );
+
+    // Histogram: +Inf bucket and _count agree, and 3 requests were timed
+    // before this scrape.
+    assert!(text.contains("# TYPE mule_request_duration_seconds histogram"));
+    let inf = prom_value(&text, "mule_request_duration_seconds_bucket{le=\"+Inf\"}").unwrap();
+    let count = prom_value(&text, "mule_request_duration_seconds_count").unwrap();
+    assert_eq!(inf, count);
+    assert_eq!(count, 3);
+
+    // The invariant the CI smoke test scrapes for: exactly one `request`
+    // span per handled request (the scrape itself is not yet counted).
+    let spans = prom_value(&text, "mule_span_total{span=\"request\"}").unwrap();
+    assert_eq!(spans, 3);
+    // Plan handling produced child spans, including the planner work on
+    // the cache miss.
+    assert_eq!(
+        prom_value(&text, "mule_span_total{span=\"request.parse\"}"),
+        Some(2)
+    );
+    assert_eq!(
+        prom_value(&text, "mule_span_total{span=\"request.plan\"}"),
+        Some(1)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn every_response_carries_a_distinct_trace_id() {
+    let server = test_server(ServerConfig::default());
+    let mut client = Client::connect(&server);
+    let a = client.request("GET", "/healthz", b"");
+    let b = client.request("GET", "/healthz", b"");
+    let id_a = a
+        .header("x-trace-id")
+        .expect("trace id on response")
+        .to_string();
+    let id_b = b
+        .header("x-trace-id")
+        .expect("trace id on response")
+        .to_string();
+    assert_eq!(id_a.len(), 16);
+    assert!(id_a.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_ne!(id_a, id_b, "trace ids must be per-request");
     server.shutdown();
 }
 

@@ -309,11 +309,13 @@ impl<'a> EngineCore<'a> {
     }
 
     pub(crate) fn run(mut self) -> EngineRun {
+        let _span = mule_obs::span("sim.run");
         let mut clock = SimClock::new();
         self.schedule_initial_arrivals(&mut clock);
         self.schedule_disruptions(&mut clock);
 
         clock.run_until(self.horizon, |clock, event| self.handle(clock, event));
+        mule_obs::add("events", clock.fired());
 
         self.visits.sort_by(|a, b| {
             a.time_s
@@ -436,7 +438,25 @@ impl<'a> EngineCore<'a> {
         }
     }
 
+    /// The per-kind dispatch counter name attached to the enclosing
+    /// `sim.run` span. Counter values are part of the deterministic trace
+    /// shape: an event-count drift between two runs of one seed is a
+    /// determinism bug, and the trace localises it to a kind.
+    fn event_counter(kind: &EventKind) -> &'static str {
+        match kind {
+            EventKind::TargetFailure => "event.target_failure",
+            EventKind::TargetRecovery => "event.target_recovery",
+            EventKind::TargetArrival => "event.target_arrival",
+            EventKind::MuleBreakdown => "event.mule_breakdown",
+            EventKind::SpeedWindowStart { .. } => "event.speed_window_start",
+            EventKind::SpeedWindowEnd { .. } => "event.speed_window_end",
+            EventKind::Replan => "event.replan",
+            EventKind::WaypointArrival => "event.waypoint_arrival",
+        }
+    }
+
     fn handle(&mut self, clock: &mut SimClock, event: Event) {
+        mule_obs::add(Self::event_counter(&event.kind), 1);
         let now = event.time_s;
         match (event.kind, event.subject) {
             (EventKind::WaypointArrival, EventSubject::Mule(m)) => {
@@ -523,6 +543,7 @@ impl<'a> EngineCore<'a> {
             return;
         };
         self.last_replan_s = Some(now);
+        let _span = mule_obs::span("sim.replan");
 
         let mut inactive_targets: Vec<NodeId> = self
             .inactive

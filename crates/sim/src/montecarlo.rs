@@ -185,12 +185,25 @@ where
     // One seed fan per cell, computed up front instead of once per task.
     let fans: Vec<Vec<u64>> = cells.iter().map(|c| seed_fan(c.seed, replicas)).collect();
 
-    let results: Vec<Result<(SimulationOutcome, usize), PlanError>> =
+    // When the *calling* thread is recording a trace, each replica runs
+    // under its own capture on whatever worker executes it; the child
+    // traces are grafted back in grid order below, so the combined span
+    // tree is identical for any worker count.
+    let tracing = mule_obs::trace_active();
+    type ReplicaResult = Result<(SimulationOutcome, usize), PlanError>;
+    let results: Vec<(ReplicaResult, Option<mule_obs::Trace>)> =
         mule_par::parallel_map_indexed_with(mule_par::resolve_workers(workers), total, |i| {
             let cell = &cells[i / replicas];
             let replica_seed = fans[i / replicas][i % replicas];
             let planner = planner_factory();
-            run_sweep_replica(planner.as_ref(), spec, cell, replica_seed, base_config)
+            let task =
+                || run_sweep_replica(planner.as_ref(), spec, cell, replica_seed, base_config);
+            if tracing {
+                let (result, trace) = mule_obs::capture(task);
+                (result, Some(trace))
+            } else {
+                (task(), None)
+            }
         });
 
     let mut grouped: Vec<SweepCellOutcome> = cells
@@ -202,14 +215,21 @@ where
             replans: 0,
         })
         .collect();
-    for (i, result) in results.into_iter().enumerate() {
-        let group = &mut grouped[i / replicas];
-        match result {
-            Ok((outcome, replans)) => {
-                group.outcomes.push(outcome);
-                group.replans += replans;
+    let mut results = results.into_iter();
+    for (c, group) in grouped.iter_mut().enumerate() {
+        let _cell_span = mule_obs::span("sweep.cell");
+        mule_obs::add("cell", c as u64);
+        for (result, trace) in results.by_ref().take(replicas) {
+            if let Some(t) = trace {
+                mule_obs::graft(t);
             }
-            Err(e) => group.failures.push(e),
+            match result {
+                Ok((outcome, replans)) => {
+                    group.outcomes.push(outcome);
+                    group.replans += replans;
+                }
+                Err(e) => group.failures.push(e),
+            }
         }
     }
     grouped
