@@ -391,6 +391,19 @@ pub struct ServeOptions {
     pub queue_depth: usize,
     /// Opt-in slow-request log threshold, milliseconds (`None` = off).
     pub slow_ms: Option<f64>,
+    /// Per-request compute/read deadline, milliseconds (`None` = off).
+    pub deadline_ms: Option<u64>,
+    /// Circuit-breaker threshold: consecutive compute panics/timeouts
+    /// before a route opens (`None` = breakers off).
+    pub breaker_threshold: Option<usize>,
+    /// Circuit-breaker cooldown before the half-open probe, milliseconds.
+    pub breaker_cooldown_ms: u64,
+    /// Serve last-good (stale) bytes instead of 5xx where possible.
+    pub degraded: bool,
+    /// Fault plan to arm at startup (`point=kind[@prob][#limit],...`).
+    pub fault_plan: Option<String>,
+    /// Seed of the armed fault plan's firing decisions.
+    pub fault_seed: u64,
 }
 
 impl Default for ServeOptions {
@@ -402,6 +415,12 @@ impl Default for ServeOptions {
             cache_size: defaults.cache_capacity,
             queue_depth: defaults.queue_depth,
             slow_ms: defaults.slow_request_ms,
+            deadline_ms: defaults.deadline.map(|d| d.as_millis() as u64),
+            breaker_threshold: defaults.breaker_threshold,
+            breaker_cooldown_ms: defaults.breaker_cooldown.as_millis() as u64,
+            degraded: defaults.degraded,
+            fault_plan: None,
+            fault_seed: 7,
         }
     }
 }
@@ -434,6 +453,8 @@ pub struct LoadgenOptions {
     /// Regression gate: fail when throughput falls below this many
     /// requests per second.
     pub min_rps: Option<f64>,
+    /// Maximum retries per request after a `503` (0 disables retrying).
+    pub retries: u32,
 }
 
 impl Default for LoadgenOptions {
@@ -451,6 +472,45 @@ impl Default for LoadgenOptions {
             json_path: None,
             max_p99_ms: None,
             min_rps: None,
+            retries: defaults.retry_budget,
+        }
+    }
+}
+
+/// Options of the `chaos` subcommand (the self-checking fault-injection
+/// drill; see docs/RELIABILITY.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOptions {
+    /// Seed of the fault plan's firing decisions (same seed, same faults).
+    pub seed: u64,
+    /// Requests fired serially at the in-process server.
+    pub requests: usize,
+    /// Distinct scenario specs rotated through.
+    pub spec_pool: usize,
+    /// Targets of the base spec.
+    pub targets: usize,
+    /// Mules of the base spec.
+    pub mules: usize,
+    /// Planner of the base spec.
+    pub planner: PlannerChoice,
+    /// Fault plan override (`point=kind[@prob][#limit],...`); the default
+    /// mixes panics, delays, evictions and connection faults.
+    pub fault_plan: Option<String>,
+    /// Per-request compute deadline of the drilled server, milliseconds.
+    pub deadline_ms: u64,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            seed: 7,
+            requests: 40,
+            spec_pool: 4,
+            targets: 10,
+            mules: 4,
+            planner: PlannerChoice::BTctp,
+            fault_plan: None,
+            deadline_ms: 800,
         }
     }
 }
@@ -486,6 +546,11 @@ pub enum CliCommand {
     /// Fire concurrent requests at a running server and optionally write
     /// the tracked `BENCH_server.json` artefact.
     Loadgen(LoadgenOptions),
+    /// Run the self-checking fault-injection drill: boot an in-process
+    /// server with an armed fault plan and verify every degraded response
+    /// is well-formed, every success byte-identical, and the firing
+    /// sequence reproducible.
+    Chaos(ChaosOptions),
 }
 
 /// Errors produced by the argument parser.
@@ -541,7 +606,7 @@ pub const USAGE: &str = "\
 patrolctl — data-mule patrolling toolkit (B-TCTP / W-TCTP / RW-TCTP)
 
 USAGE:
-    patrolctl <render|plan|simulate|compare|dynamics|sweep|bench-tours|bench-routes|serve|loadgen|help> [flags]
+    patrolctl <render|plan|simulate|compare|dynamics|sweep|bench-tours|bench-routes|serve|loadgen|chaos|help> [flags]
 
 FLAGS (scenario subcommands):
     --targets N        number of targets               [default: 10]
@@ -589,6 +654,16 @@ FLAGS (serve only — the planning-service daemon, see docs/SERVER.md):
     --queue-depth N      concurrent connections before 503  [default: 64]
     --slow-ms MS         log requests slower than MS ms to stderr
                          (with trace id + span breakdown; off by default)
+    --deadline-ms MS     per-request read/compute deadline (504 beyond it)
+    --breaker K          open a route after K consecutive compute
+                         panics/timeouts (fast 503 until the probe closes it)
+    --breaker-cooldown-ms MS   cooldown before the half-open probe [default: 1000]
+    --degraded           serve last-good (stale) bytes instead of 5xx
+                         where possible (X-Cache: stale)
+    --fault-plan SPEC    arm a fault plan: point=kind[@prob][#limit],...
+                         (kinds: delay:MS | panic | io | evict; see
+                         docs/RELIABILITY.md for the fault-point registry)
+    --fault-seed S       seed of the plan's firing decisions [default: 7]
 
 FLAGS (loadgen only — the tracked server load benchmark):
     --addr HOST:PORT     server to fire at              [default: 127.0.0.1:7878]
@@ -599,6 +674,17 @@ FLAGS (loadgen only — the tracked server load benchmark):
     --json FILE          write the report as JSON (BENCH_server.json)
     --max-p99 MS         fail when p99 latency exceeds MS milliseconds
     --min-rps R          fail when throughput falls below R req/s
+    --retries N          retry budget per request on 503 (seeded jittered
+                         backoff honouring Retry-After) [default: 3]
+
+FLAGS (chaos only — the self-checking fault-injection drill):
+    --seed S             fault-plan seed: same seed, same firing sequence
+                         [default: 7]
+    --requests N         serial requests against the drilled server [default: 40]
+    --spec-pool K        distinct specs rotated through [default: 4]
+    --targets/--mules/--planner   base spec (as above)
+    --fault-plan SPEC    override the default mixed fault plan
+    --deadline-ms MS     compute deadline of the drilled server [default: 800]
 
 FLAGS (bench-tours only — the tracked tour-engine benchmark):
     --sizes LIST         instance sizes                 [default: 50,200,1000,5000]
@@ -633,8 +719,10 @@ EXAMPLES:
     patrolctl bench-routes --sizes 1000,10000 --json BENCH_routes.json \\
         --min-speedup 3.0
     patrolctl serve --addr 127.0.0.1:7878 --workers 4 --cache-size 128
+    patrolctl serve --deadline-ms 500 --breaker 3 --degraded
     patrolctl loadgen --requests 1000 --connections 4 \\
         --json BENCH_server.json --max-p99 250 --min-rps 50
+    patrolctl chaos --seed 7 --requests 40
 ";
 
 fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
@@ -739,11 +827,53 @@ fn parse_serve(args: &[String]) -> Result<CliCommand, CliError> {
                 options.queue_depth = parse_flag::<usize>(flag, &take_value()?)?.max(1)
             }
             "--slow-ms" => options.slow_ms = Some(parse_flag(flag, &take_value()?)?),
+            "--deadline-ms" => {
+                options.deadline_ms = Some(parse_flag::<u64>(flag, &take_value()?)?.max(1))
+            }
+            "--breaker" => {
+                options.breaker_threshold = Some(parse_flag::<usize>(flag, &take_value()?)?.max(1))
+            }
+            "--breaker-cooldown-ms" => {
+                options.breaker_cooldown_ms = parse_flag::<u64>(flag, &take_value()?)?.max(1)
+            }
+            "--degraded" => options.degraded = true,
+            "--fault-plan" => options.fault_plan = Some(take_value()?),
+            "--fault-seed" => options.fault_seed = parse_flag(flag, &take_value()?)?,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
         i += 1;
     }
     Ok(CliCommand::Serve(options))
+}
+
+/// Parses the flags of `chaos`.
+fn parse_chaos(args: &[String]) -> Result<CliCommand, CliError> {
+    let mut options = ChaosOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+        };
+        match flag {
+            "--seed" => options.seed = parse_flag(flag, &take_value()?)?,
+            "--requests" => options.requests = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--spec-pool" => options.spec_pool = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--targets" => options.targets = parse_flag(flag, &take_value()?)?,
+            "--mules" => options.mules = parse_flag(flag, &take_value()?)?,
+            "--planner" => options.planner = PlannerChoice::parse(&take_value()?)?,
+            "--fault-plan" => options.fault_plan = Some(take_value()?),
+            "--deadline-ms" => {
+                options.deadline_ms = parse_flag::<u64>(flag, &take_value()?)?.max(1)
+            }
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+        i += 1;
+    }
+    Ok(CliCommand::Chaos(options))
 }
 
 /// Parses the flags of `loadgen`.
@@ -772,6 +902,7 @@ fn parse_loadgen(args: &[String]) -> Result<CliCommand, CliError> {
             "--json" => options.json_path = Some(take_value()?),
             "--max-p99" => options.max_p99_ms = Some(parse_flag(flag, &take_value()?)?),
             "--min-rps" => options.min_rps = Some(parse_flag(flag, &take_value()?)?),
+            "--retries" => options.retries = parse_flag(flag, &take_value()?)?,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
         i += 1;
@@ -796,6 +927,9 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
     }
     if command == "loadgen" {
         return parse_loadgen(&args[1..]);
+    }
+    if command == "chaos" {
+        return parse_chaos(&args[1..]);
     }
     let is_dynamics = command == "dynamics";
     let is_sweep = command == "sweep";
@@ -1421,6 +1555,79 @@ mod tests {
     }
 
     #[test]
+    fn serve_degradation_flags_parse_and_default_off() {
+        // Everything off by default: the hardened paths must be opt-in so
+        // the golden server bytes stay untouched.
+        let defaults = ServeOptions::default();
+        assert!(defaults.deadline_ms.is_none());
+        assert!(defaults.breaker_threshold.is_none());
+        assert!(!defaults.degraded);
+        assert!(defaults.fault_plan.is_none());
+
+        let cmd = parse_args(&argv(
+            "serve --deadline-ms 500 --breaker 3 --breaker-cooldown-ms 250 --degraded \
+             --fault-plan serve.plan=panic@0.2 --fault-seed 99",
+        ))
+        .unwrap();
+        let CliCommand::Serve(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.deadline_ms, Some(500));
+        assert_eq!(opts.breaker_threshold, Some(3));
+        assert_eq!(opts.breaker_cooldown_ms, 250);
+        assert!(opts.degraded);
+        assert_eq!(opts.fault_plan.as_deref(), Some("serve.plan=panic@0.2"));
+        assert_eq!(opts.fault_seed, 99);
+
+        // Floors: zero deadlines/thresholds/cooldowns make no sense.
+        let CliCommand::Serve(opts) = parse_args(&argv(
+            "serve --deadline-ms 0 --breaker 0 --breaker-cooldown-ms 0",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.deadline_ms, Some(1));
+        assert_eq!(opts.breaker_threshold, Some(1));
+        assert_eq!(opts.breaker_cooldown_ms, 1);
+        assert!(USAGE.contains("--fault-plan"));
+        assert!(USAGE.contains("--breaker"));
+        assert!(USAGE.contains("--degraded"));
+    }
+
+    #[test]
+    fn chaos_defaults_and_flags() {
+        let CliCommand::Chaos(opts) = parse_args(&argv("chaos")).unwrap() else {
+            panic!("expected chaos");
+        };
+        assert_eq!(opts, ChaosOptions::default());
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.requests, 40);
+
+        let cmd = parse_args(&argv(
+            "chaos --seed 11 --requests 80 --spec-pool 2 --targets 8 --mules 3 \
+             --planner chb --fault-plan serve.plan=panic#2 --deadline-ms 300",
+        ))
+        .unwrap();
+        let CliCommand::Chaos(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.seed, 11);
+        assert_eq!(opts.requests, 80);
+        assert_eq!(opts.spec_pool, 2);
+        assert_eq!(opts.targets, 8);
+        assert_eq!(opts.mules, 3);
+        assert_eq!(opts.planner, PlannerChoice::Chb);
+        assert_eq!(opts.fault_plan.as_deref(), Some("serve.plan=panic#2"));
+        assert_eq!(opts.deadline_ms, 300);
+
+        assert!(matches!(
+            parse_args(&argv("chaos --addr 127.0.0.1:1")).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+        assert!(USAGE.contains("chaos"));
+    }
+
+    #[test]
     fn loadgen_defaults_flags_and_gates() {
         let CliCommand::Loadgen(opts) = parse_args(&argv("loadgen")).unwrap() else {
             panic!("expected loadgen");
@@ -1450,6 +1657,12 @@ mod tests {
         assert_eq!(opts.json_path.as_deref(), Some("BENCH_server.json"));
         assert_eq!(opts.max_p99_ms, Some(250.0));
         assert_eq!(opts.min_rps, Some(50.0));
+
+        let CliCommand::Loadgen(opts) = parse_args(&argv("loadgen --retries 0")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.retries, 0, "--retries 0 disables retrying");
+        assert_eq!(LoadgenOptions::default().retries, 3);
 
         assert!(matches!(
             parse_args(&argv("loadgen --svg x.svg")).unwrap_err(),

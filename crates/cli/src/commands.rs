@@ -4,8 +4,9 @@
 //! written) instead of printing directly, so the logic is unit-testable.
 
 use crate::args::{
-    BenchRoutesOptions, BenchToursOptions, CliCommand, CliError, CliOptions, DisruptionPreset,
-    DynamicsOptions, LoadgenOptions, PlannerChoice, ServeOptions, SweepOptions, USAGE,
+    BenchRoutesOptions, BenchToursOptions, ChaosOptions, CliCommand, CliError, CliOptions,
+    DisruptionPreset, DynamicsOptions, LoadgenOptions, PlannerChoice, ServeOptions, SweepOptions,
+    USAGE,
 };
 use mule_bench::routebench::{run_route_bench, RouteBenchParams};
 use mule_bench::tourbench::{run_tour_bench, tracing_overhead_ratio, TourBenchParams};
@@ -592,12 +593,22 @@ fn run_plan(options: &CliOptions) -> Result<CommandOutput, CommandError> {
 /// killed; the listening line goes to stderr so stdout stays clean for
 /// tooling.
 fn run_serve(options: &ServeOptions) -> Result<CommandOutput, CommandError> {
+    if let Some(spec) = &options.fault_plan {
+        let plan = mule_fault::FaultPlan::parse(options.fault_seed, spec)
+            .map_err(|e| CommandError::Check(format!("--fault-plan: {e}")))?;
+        eprintln!("mule-fault armed: {plan}");
+        mule_fault::arm(plan);
+    }
     let config = mule_serve::ServerConfig {
         addr: options.addr.clone(),
         workers: options.workers,
         cache_capacity: options.cache_size,
         queue_depth: options.queue_depth,
         slow_request_ms: options.slow_ms,
+        deadline: options.deadline_ms.map(std::time::Duration::from_millis),
+        breaker_threshold: options.breaker_threshold,
+        breaker_cooldown: std::time::Duration::from_millis(options.breaker_cooldown_ms),
+        degraded: options.degraded,
         ..mule_serve::ServerConfig::default()
     };
     let server = mule_serve::start(config)?;
@@ -626,6 +637,7 @@ fn run_loadgen(options: &LoadgenOptions) -> Result<CommandOutput, CommandError> 
         connections: options.connections,
         spec_pool: options.spec_pool,
         base,
+        retry_budget: options.retries,
         ..mule_serve::LoadgenParams::default()
     };
     let report = mule_serve::run_loadgen(&params);
@@ -660,6 +672,308 @@ fn run_loadgen(options: &LoadgenOptions) -> Result<CommandOutput, CommandError> 
         }
     }
     Ok(output)
+}
+
+/// The default `chaos` fault plan: every fault kind across the serve
+/// registry. The delay is armed once (`#1`), longer than any drill, so
+/// its key stays in-flight for the rest of the run — which keeps the
+/// firing sequence independent of wall-clock timing (see
+/// docs/RELIABILITY.md).
+const DEFAULT_CHAOS_PLAN: &str = "serve.plan=delay:60000@1#1,serve.plan=panic@0.12,\
+     serve.cache=evict@0.25,serve.conn.read=io@0.06,serve.conn.write=io@0.06";
+
+/// Installs a panic hook that swallows injected-fault panics (they are
+/// caught and recovered by design; their default-hook backtraces would
+/// bury the chaos report) while delegating everything else.
+fn silence_injected_panics() {
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied());
+            if message.is_some_and(|m| m.starts_with(mule_fault::INJECTED_PANIC_PREFIX)) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Client-observed tallies plus server-side accounting of one chaos
+/// drill.
+#[derive(Debug, Default)]
+struct DrillOutcome {
+    ok_fresh: usize,
+    stale: usize,
+    gateway_timeout_504: usize,
+    unavailable_503: usize,
+    server_error_500: usize,
+    dropped: usize,
+    firings: Vec<mule_fault::Firing>,
+}
+
+/// Sums every sample of a counter family in a Prometheus exposition.
+fn prom_sum(text: &str, family: &str) -> u64 {
+    text.lines()
+        .filter(|line| {
+            line.strip_prefix(family)
+                .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .filter_map(|line| line.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum()
+}
+
+/// Sends one request on a fresh connection; `None` means the exchange
+/// died at the transport level (the connection was dropped). The request
+/// carries `Connection: close` so the server visits each connection
+/// fault point exactly once per request — a keep-alive continuation
+/// would visit `serve.conn.read` again after the response, letting a
+/// fault fire where no client request is pending and skewing the
+/// drill's accounting.
+fn chaos_request(
+    addr: &std::net::SocketAddr,
+    body: &[u8],
+) -> Option<mule_serve::http::ClientResponse> {
+    use std::io::Write;
+    let stream = std::net::TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok()?;
+    stream.set_nodelay(true).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = std::io::BufReader::new(stream);
+    let head = format!(
+        "POST /v1/plan HTTP/1.1\r\nHost: mule-serve\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes()).ok()?;
+    writer.write_all(body).ok()?;
+    writer.flush().ok()?;
+    mule_serve::http::read_response(&mut reader).ok()
+}
+
+/// Boots a degraded-mode server (optionally with `plan` armed), fires the
+/// request schedule serially, and verifies the headline invariant: every
+/// response is either byte-identical to the fault-free golden bytes or a
+/// well-formed degraded answer attributable to a fired fault. Violations
+/// are collected, not panicked, so one drill reports them all.
+fn run_chaos_drill(
+    options: &ChaosOptions,
+    plan: Option<mule_fault::FaultPlan>,
+    bodies: &[Vec<u8>],
+    expected: &[Vec<u8>],
+    violations: &mut Vec<String>,
+) -> Result<DrillOutcome, CommandError> {
+    let armed = plan.is_some();
+    if let Some(plan) = plan {
+        mule_fault::arm(plan);
+    }
+    let config = mule_serve::ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        deadline: Some(std::time::Duration::from_millis(options.deadline_ms)),
+        degraded: true,
+        ..mule_serve::ServerConfig::default()
+    };
+    let server = mule_serve::start(config)?;
+    let addr = server.addr();
+
+    let mut out = DrillOutcome::default();
+    for i in 0..options.requests {
+        let k = i % bodies.len();
+        match chaos_request(&addr, &bodies[k]) {
+            None => out.dropped += 1,
+            Some(response) => match response.status {
+                200 => {
+                    if response.body != expected[k] {
+                        violations.push(format!(
+                            "request {i}: 200 body diverged from the golden bytes \
+                             (spec {k}, X-Cache: {})",
+                            response.header("x-cache").unwrap_or("?"),
+                        ));
+                    }
+                    if response.header("x-cache") == Some("stale") {
+                        out.stale += 1;
+                    } else {
+                        out.ok_fresh += 1;
+                    }
+                }
+                504 => out.gateway_timeout_504 += 1,
+                503 => out.unavailable_503 += 1,
+                500 => {
+                    out.server_error_500 += 1;
+                    if !response.body_text().contains("injected panic") {
+                        violations.push(format!(
+                            "request {i}: unplanned 500: {}",
+                            response.body_text()
+                        ));
+                    }
+                }
+                status => violations.push(format!("request {i}: unexpected status {status}")),
+            },
+        }
+    }
+
+    let prometheus = server.metrics_prometheus();
+    server.shutdown();
+    out.firings = mule_fault::firing_log();
+    if armed {
+        mule_fault::disarm();
+    }
+
+    let fired = |point: &str, kind: &str| -> usize {
+        out.firings
+            .iter()
+            .filter(|f| f.point == point && f.kind == kind)
+            .count()
+    };
+    let read_io = fired("serve.conn.read", "io");
+    let write_io = fired("serve.conn.write", "io");
+    let delays = fired("serve.plan", "delay");
+    let panics = fired("serve.plan", "panic");
+    if out.dropped != read_io + write_io {
+        violations.push(format!(
+            "{} dropped exchanges vs {} injected connection faults",
+            out.dropped,
+            read_io + write_io
+        ));
+    }
+    if out.gateway_timeout_504 > 0 && delays == 0 {
+        violations.push(format!(
+            "{} unplanned 504s (no delay fault fired)",
+            out.gateway_timeout_504
+        ));
+    }
+    if out.unavailable_503 > 0 {
+        violations.push(format!(
+            "{} unplanned 503s (no breaker, no backpressure expected)",
+            out.unavailable_503
+        ));
+    }
+    if out.server_error_500 > panics {
+        violations.push(format!(
+            "{} 500s exceed {} injected panics",
+            out.server_error_500, panics
+        ));
+    }
+    // Accounting: the server parses every request except the ones a
+    // `serve.conn.read` fault dropped before reading, and records exactly
+    // one root `request` span per parsed request.
+    let requests_total = prom_sum(&prometheus, "mule_requests_total");
+    let span_requests = prom_sum(&prometheus, "mule_span_total{span=\"request\"}");
+    let parsed = (options.requests - read_io) as u64;
+    if requests_total != parsed {
+        violations.push(format!(
+            "request accounting: server counted {requests_total}, expected {parsed} \
+             ({} sent − {read_io} read-faulted)",
+            options.requests
+        ));
+    }
+    if span_requests != requests_total {
+        violations.push(format!(
+            "span accounting: {span_requests} request spans vs {requests_total} counted requests"
+        ));
+    }
+    Ok(out)
+}
+
+/// `patrolctl chaos`: the self-checking fault-injection drill. Runs the
+/// same seeded fault plan twice (the firing sequences must be identical),
+/// then once disarmed (every response must be byte-identical to the
+/// golden bytes), and fails with `CommandError::Check` on any violation.
+fn run_chaos(options: &ChaosOptions) -> Result<CommandOutput, CommandError> {
+    silence_injected_panics();
+    let plan_spec = options
+        .fault_plan
+        .clone()
+        .unwrap_or_else(|| DEFAULT_CHAOS_PLAN.to_string());
+    let plan = mule_fault::FaultPlan::parse(options.seed, &plan_spec)
+        .map_err(|e| CommandError::Check(format!("--fault-plan: {e}")))?;
+
+    // The golden bytes, computed offline: what every spec in the pool
+    // must answer when a request for it succeeds, faults or not.
+    let mut bodies = Vec::new();
+    let mut expected = Vec::new();
+    for k in 0..options.spec_pool {
+        let spec = ScenarioSpec {
+            targets: options.targets,
+            mules: options.mules,
+            seed: 1 + k as u64,
+            planner: options.planner.canonical_name().to_string(),
+            ..ScenarioSpec::default()
+        };
+        expected.push(
+            mule_serve::plan_response_json(&spec)
+                .map_err(api_error)?
+                .into_bytes(),
+        );
+        bodies.push(
+            mule_serve::api::spec_to_json(&spec)
+                .to_json_string()
+                .into_bytes(),
+        );
+    }
+
+    let mut violations = Vec::new();
+    let first = run_chaos_drill(
+        options,
+        Some(plan.clone()),
+        &bodies,
+        &expected,
+        &mut violations,
+    )?;
+    let second = run_chaos_drill(options, Some(plan), &bodies, &expected, &mut violations)?;
+    if first.firings != second.firings {
+        violations.push(format!(
+            "firing sequence not reproducible: run 1 fired {} faults, run 2 fired {}",
+            first.firings.len(),
+            second.firings.len()
+        ));
+    }
+
+    let calm = run_chaos_drill(options, None, &bodies, &expected, &mut violations)?;
+    if !calm.firings.is_empty() {
+        violations.push(format!("disarmed run fired {} faults", calm.firings.len()));
+    }
+    if calm.ok_fresh != options.requests {
+        violations.push(format!(
+            "disarmed run degraded: {} of {} requests answered 200 fresh",
+            calm.ok_fresh, options.requests
+        ));
+    }
+
+    let mut text = format!(
+        "chaos drill: {} requests, seed {}, plan {plan_spec}\n\
+         armed:    {} ok, {} stale, {} x504, {} x503, {} x500, {} dropped \
+         ({} faults fired)\n\
+         rerun:    firing sequence identical ({} firings)\n\
+         disarmed: {} ok, 0 faults — byte-identical to the golden bytes\n",
+        options.requests,
+        options.seed,
+        first.ok_fresh,
+        first.stale,
+        first.gateway_timeout_504,
+        first.unavailable_503,
+        first.server_error_500,
+        first.dropped,
+        first.firings.len(),
+        second.firings.len(),
+        calm.ok_fresh,
+    );
+    if violations.is_empty() {
+        text.push_str("chaos: OK — every response fault-free-identical or well-formed degraded\n");
+        Ok(CommandOutput::text_only(text))
+    } else {
+        Err(CommandError::Check(format!(
+            "chaos violations:\n  {}",
+            violations.join("\n  ")
+        )))
+    }
 }
 
 /// Runs `f` under a captured trace when `--trace-out` / `--profile` was
@@ -728,6 +1042,7 @@ pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> 
         CliCommand::BenchRoutes(options) => run_bench_routes(options),
         CliCommand::Serve(options) => run_serve(options),
         CliCommand::Loadgen(options) => run_loadgen(options),
+        CliCommand::Chaos(options) => run_chaos(options),
     }
 }
 

@@ -25,7 +25,8 @@ pub struct SweepCellSummary {
     pub cell: SweepCell,
     /// Successful replicas aggregated here.
     pub replicas: usize,
-    /// Replicas whose planning failed.
+    /// Replicas that produced no outcome: planning errors plus any
+    /// quarantined (panicked) replicas.
     pub failures: usize,
     /// Total replans across the cell's replicas.
     pub replans: usize,
@@ -59,7 +60,7 @@ impl SweepReport {
                 SweepCellSummary {
                     cell: c.cell.clone(),
                     replicas: c.outcomes.len(),
-                    failures: c.failures.len(),
+                    failures: c.failures.len() + c.quarantined.len(),
                     replans: c.replans,
                     max_interval_s: SummaryStatistics::from_samples(&samples(&|o| {
                         IntervalReport::from_outcome(o).max_interval()

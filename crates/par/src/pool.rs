@@ -148,7 +148,14 @@ fn worker_loop(shared: &Shared) {
                 state = shared.available.wait(state).expect("pool mutex poisoned");
             }
         };
-        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+        // The `par.job` fault point sits inside the panic guard, so an
+        // injected panic at job dispatch exercises exactly the recovery
+        // path a buggy job would: counted, worker survives.
+        let guarded = catch_unwind(AssertUnwindSafe(|| {
+            let _ = mule_fault::point("par.job");
+            job();
+        }));
+        if guarded.is_err() {
             shared.panics.fetch_add(1, Ordering::Relaxed);
         }
     }

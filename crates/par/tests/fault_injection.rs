@@ -1,0 +1,62 @@
+//! Fault-injection coverage for the task pool. This lives in its own
+//! integration-test binary (not in the pool's unit tests) because an
+//! armed fault plan is process-global: arming `par.job` next to
+//! unrelated pool tests in the lib test binary would fire into their
+//! jobs too.
+
+use mule_fault::FaultPlan;
+use mule_par::TaskPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn injected_dispatch_panic_is_caught_and_the_worker_survives() {
+    // The first job dispatch fires an injected panic; later jobs run.
+    mule_fault::arm(FaultPlan::parse(7, "par.job=panic#1").unwrap());
+
+    let pool = TaskPool::new(1);
+    let ran = Arc::new(AtomicUsize::new(0));
+    for _ in 0..3 {
+        let ran = Arc::clone(&ran);
+        pool.spawn(move || {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // With one worker and FIFO dispatch, the injected panic eats exactly
+    // the first job; the surviving worker must still run the other two.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while ran.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(ran.load(Ordering::SeqCst), 2, "jobs after the fault ran");
+    assert_eq!(pool.panic_count(), 1, "the injected panic was counted");
+
+    let log = mule_fault::firing_log();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].point, "par.job");
+    assert_eq!(log[0].kind, "panic");
+
+    mule_fault::disarm();
+    drop(pool);
+}
+
+#[test]
+fn disarmed_pool_dispatch_is_unaffected() {
+    // Runs after/before the armed test in the same binary; the guard is
+    // that this test never observes a fault when it holds no plan. Rust
+    // test threads may interleave, so use a distinct point-free check:
+    // a pool with no armed plan must complete every job.
+    let pool = TaskPool::new(2);
+    let ran = Arc::new(AtomicUsize::new(0));
+    for _ in 0..16 {
+        let ran = Arc::clone(&ran);
+        pool.spawn(move || {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    drop(pool);
+    assert_eq!(ran.load(Ordering::SeqCst), 16);
+    assert_eq!(mule_fault::firings_total(), 0);
+}

@@ -16,6 +16,13 @@
 //!   stored ([`CacheOutcome::Coalesced`]). Failed computes are not
 //!   cached: one waiter is woken to retry, so an error does not poison
 //!   the key.
+//! * **Last-good retention.** Every successful compute also records its
+//!   bytes in a bounded side store that survives LRU eviction and
+//!   explicit [`PlanCache::evict`]ion. [`PlanCache::stale_get`] reads it;
+//!   the server's `--degraded` stale-on-error mode serves those bytes
+//!   (with `X-Cache: stale`) when a fresh compute fails. Because plan
+//!   bytes are a pure function of the spec, "stale" bytes are in fact
+//!   byte-identical to what a successful compute would have produced.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -55,6 +62,12 @@ struct CacheState {
     /// entries participate in recency/eviction; in-flight slots cannot be
     /// evicted (their computer will insert them on completion).
     recency: Vec<u64>,
+    /// Last good bytes per key, most recently written first — the
+    /// stale-on-error store. Bounded by the same capacity as the main
+    /// cache but evicted independently, so a key's last good response
+    /// outlives its main-cache entry.
+    stale: HashMap<u64, Arc<Vec<u8>>>,
+    stale_recency: Vec<u64>,
 }
 
 /// A bounded byte cache keyed by spec fingerprint. See module docs.
@@ -83,6 +96,8 @@ impl PlanCache {
             state: Mutex::new(CacheState {
                 slots: HashMap::new(),
                 recency: Vec::new(),
+                stale: HashMap::new(),
+                stale_recency: Vec::new(),
             }),
             ready: Condvar::new(),
         }
@@ -161,6 +176,12 @@ impl PlanCache {
                     let evicted = state.recency.pop().expect("non-empty recency");
                     state.slots.remove(&evicted);
                 }
+                state.stale.insert(key, Arc::clone(&bytes));
+                touch(&mut state.stale_recency, key);
+                while state.stale_recency.len() > self.capacity {
+                    let evicted = state.stale_recency.pop().expect("non-empty stale recency");
+                    state.stale.remove(&evicted);
+                }
                 drop(state);
                 self.ready.notify_all();
                 Ok((bytes, CacheOutcome::Miss))
@@ -171,6 +192,26 @@ impl PlanCache {
                 self.ready.notify_all();
                 Err(e)
             }
+        }
+    }
+
+    /// The last good bytes recorded for `key`, if any — the stale-on-error
+    /// read path. Does not touch recency (stale reads are exceptional and
+    /// must not keep a failing key's entry warm forever).
+    pub fn stale_get(&self, key: u64) -> Option<Arc<Vec<u8>>> {
+        let state = self.state.lock().expect("cache mutex poisoned");
+        state.stale.get(&key).map(Arc::clone)
+    }
+
+    /// Drops the ready entry for `key` (if any), forcing the next lookup
+    /// to recompute. In-flight markers and the last-good store are left
+    /// alone. Used by fault injection (`serve.cache` evict faults) and
+    /// exercised by the chaos suite.
+    pub fn evict(&self, key: u64) {
+        let mut state = self.state.lock().expect("cache mutex poisoned");
+        if matches!(state.slots.get(&key), Some(Slot::Ready(_))) {
+            state.slots.remove(&key);
+            state.recency.retain(|&k| k != key);
         }
     }
 }
@@ -367,6 +408,73 @@ mod tests {
         let (bytes, o) = cache.get_or_compute(3, || ok_bytes("ok")).unwrap();
         assert_eq!(o, CacheOutcome::Miss);
         assert_eq!(bytes.as_slice(), b"ok");
+    }
+
+    #[test]
+    fn stale_store_retains_last_good_bytes_past_eviction() {
+        let cache = PlanCache::new(2);
+        cache.get_or_compute(1, || ok_bytes("one")).unwrap();
+        cache.get_or_compute(2, || ok_bytes("two")).unwrap();
+        cache.get_or_compute(3, || ok_bytes("three")).unwrap();
+        // Key 1 fell off the main LRU …
+        let (_, o) = cache.get_or_compute(1, || ok_bytes("one'")).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        // … but the stale store (same capacity, independent LRU) also
+        // rolled: at capacity 2, only the two most recently written keys
+        // keep last-good bytes.
+        assert!(cache.stale_get(3).is_some());
+        assert!(cache.stale_get(1).is_some(), "rewritten above");
+        assert_eq!(cache.stale_get(2), None, "oldest stale entry rolled off");
+    }
+
+    #[test]
+    fn explicit_evict_forces_recompute_but_keeps_stale_bytes() {
+        let cache = PlanCache::new(4);
+        cache.get_or_compute(7, || ok_bytes("good")).unwrap();
+        cache.evict(7);
+        assert_eq!(cache.len(), 0);
+        let stale = cache
+            .stale_get(7)
+            .expect("last good bytes survive eviction");
+        assert_eq!(stale.as_slice(), b"good");
+        // A failing recompute leaves the stale bytes in place …
+        let err: Result<(Arc<Vec<u8>>, CacheOutcome), String> =
+            cache.get_or_compute(7, || Err("planner broke".into()));
+        assert!(err.is_err());
+        assert_eq!(cache.stale_get(7).unwrap().as_slice(), b"good");
+        // … and a succeeding one refreshes them.
+        cache.get_or_compute(7, || ok_bytes("fresh")).unwrap();
+        assert_eq!(cache.stale_get(7).unwrap().as_slice(), b"fresh");
+    }
+
+    #[test]
+    fn evicting_unknown_or_inflight_keys_is_harmless() {
+        let cache = PlanCache::new(2);
+        cache.evict(99); // no entry: no-op
+        let barrier = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let computer = scope.spawn(|| {
+                barrier.wait();
+                cache.get_or_compute(5, || {
+                    std::thread::sleep(Duration::from_millis(40));
+                    ok_bytes("slow")
+                })
+            });
+            barrier.wait();
+            std::thread::sleep(Duration::from_millis(10));
+            // Evicting mid-flight must not remove the in-flight marker.
+            cache.evict(5);
+            computer.join().unwrap().unwrap();
+        });
+        let (_, o) = cache.get_or_compute(5, || ok_bytes("no")).unwrap();
+        assert_eq!(o, CacheOutcome::Hit, "in-flight compute still landed");
+    }
+
+    #[test]
+    fn zero_capacity_has_no_stale_store() {
+        let cache = PlanCache::new(0);
+        cache.get_or_compute(1, || ok_bytes("x")).unwrap();
+        assert_eq!(cache.stale_get(1), None);
     }
 
     #[test]

@@ -270,6 +270,7 @@ pub fn status_reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -487,7 +488,7 @@ mod tests {
 
     #[test]
     fn status_reasons_cover_the_emitted_codes() {
-        for code in [200, 400, 404, 405, 411, 413, 422, 431, 500, 503] {
+        for code in [200, 400, 404, 405, 411, 413, 422, 431, 500, 503, 504] {
             assert_ne!(status_reason(code), "Unknown", "{code}");
         }
         assert_eq!(status_reason(599), "Unknown");

@@ -17,8 +17,11 @@
 //! * [`cache`] — a deterministic LRU over response **bytes**, keyed by
 //!   the spec's canonical-form fingerprint, with single-flight
 //!   coalescing: concurrent identical requests compute once and share
-//!   the result.
+//!   the result — plus a last-good side store backing stale-on-error.
 //! * [`http`] — minimal HTTP/1.1 framing with hard size limits.
+//! * [`breaker`] — per-route circuit breakers: K consecutive compute
+//!   panics/timeouts open a route (fast 503) until a half-open probe
+//!   succeeds.
 //! * [`server`] — the daemon: bounded admission (`503` + `Retry-After`
 //!   beyond `queue_depth`), connection handlers on a long-lived
 //!   [`mule_par::TaskPool`], `/healthz`, `/metrics`, `/v1/plan` and
@@ -28,12 +31,15 @@
 //!   the tracked `BENCH_server.json`.
 //!
 //! `patrolctl serve` and `patrolctl loadgen` drive the two ends;
-//! `docs/SERVER.md` is the API reference and ops guide.
+//! `docs/SERVER.md` is the API reference and ops guide,
+//! `docs/RELIABILITY.md` covers fault injection and graceful
+//! degradation (deadlines, breakers, stale-on-error).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod api;
+pub mod breaker;
 pub mod cache;
 pub mod http;
 pub mod json;
@@ -41,6 +47,7 @@ pub mod loadgen;
 pub mod server;
 
 pub use api::{plan_response_json, ApiError};
+pub use breaker::{BreakerSnapshot, BreakerState, CircuitBreaker};
 pub use cache::{CacheOutcome, PlanCache};
 pub use json::{JsonError, JsonValue};
 pub use loadgen::{run_loadgen, LoadReport, LoadgenParams};

@@ -14,6 +14,14 @@
 //! and the cache path (every repeat). The cache outcome of every request
 //! is taken from the server's `X-Cache` header, making the reported hit
 //! rate an end-to-end observation rather than a server-side claim.
+//!
+//! `503` responses (backpressure, open circuit breaker) are retried with
+//! a **seeded, jittered exponential backoff** honouring the server's
+//! `Retry-After` header, up to a bounded per-request retry budget. The
+//! jitter is a pure function of `(retry_seed, connection, request,
+//! attempt)`, so two runs with the same parameters sleep the same
+//! schedule — load tests stay reproducible even when they hit the
+//! degraded paths.
 
 use crate::api::spec_to_json;
 use crate::http::{read_response, write_request, ClientResponse, HttpError};
@@ -40,6 +48,10 @@ pub struct LoadgenParams {
     pub base: ScenarioSpec,
     /// Per-request response timeout.
     pub timeout: Duration,
+    /// Maximum retries per request after a `503` (0 disables retrying).
+    pub retry_budget: u32,
+    /// Seed of the deterministic backoff jitter.
+    pub retry_seed: u64,
 }
 
 impl Default for LoadgenParams {
@@ -51,6 +63,8 @@ impl Default for LoadgenParams {
             spec_pool: 4,
             base: ScenarioSpec::default(),
             timeout: Duration::from_secs(30),
+            retry_budget: 3,
+            retry_seed: 7,
         }
     }
 }
@@ -81,6 +95,10 @@ pub struct LoadReport {
     /// Requests coalesced onto a concurrent compute
     /// (`X-Cache: coalesced`).
     pub coalesced: usize,
+    /// Retry attempts performed after `503` responses.
+    pub retries: usize,
+    /// Requests that ultimately succeeded only thanks to a retry.
+    pub retried_ok: usize,
 }
 
 impl LoadReport {
@@ -100,6 +118,16 @@ impl LoadReport {
         self.latency.p99() * 1e3
     }
 
+    /// Fraction of requests that ultimately succeeded — after retries, so
+    /// a run that absorbs every `503` with its retry budget reports full
+    /// availability.
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / self.requests as f64
+    }
+
     /// Renders the tracked `BENCH_server.json` document.
     pub fn to_json(&self) -> String {
         let doc = JsonValue::object(vec![
@@ -109,6 +137,9 @@ impl LoadReport {
             ("spec_pool", self.spec_pool.into()),
             ("ok", self.ok.into()),
             ("errors", self.errors.into()),
+            ("retries", self.retries.into()),
+            ("retried_ok", self.retried_ok.into()),
+            ("availability", self.availability().into()),
             ("duration_s", self.duration_s.into()),
             ("throughput_rps", self.rps.into()),
             (
@@ -138,7 +169,8 @@ impl LoadReport {
     pub fn render(&self) -> String {
         format!(
             "loadgen: {} requests over {} connections ({} distinct specs)\n\
-             ok: {}  errors: {}  duration: {:.2} s  throughput: {:.0} req/s\n\
+             ok: {}  errors: {}  retries: {} ({} rescued)  availability: {:.1} %\n\
+             duration: {:.2} s  throughput: {:.0} req/s\n\
              latency: mean {:.2} ms  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  max {:.2} ms\n\
              cache: {} hits, {} misses, {} coalesced  hit rate: {:.1} %\n",
             self.requests,
@@ -146,6 +178,9 @@ impl LoadReport {
             self.spec_pool,
             self.ok,
             self.errors,
+            self.retries,
+            self.retried_ok,
+            self.availability() * 100.0,
             self.duration_s,
             self.rps,
             self.latency.mean_s() * 1e3,
@@ -169,7 +204,42 @@ struct ConnectionStats {
     hits: usize,
     misses: usize,
     coalesced: usize,
+    retries: usize,
+    retried_ok: usize,
     latency: LatencyHistogram,
+}
+
+/// Cap of one backoff sleep, milliseconds (a `Retry-After` larger than
+/// this is clamped — a load test should not stall for minutes).
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// The backoff before retry `attempt` (1-based) of request `request` on
+/// connection `connection`, in milliseconds. Pure: the base doubles per
+/// attempt from the server's `Retry-After` (milliseconds, when present)
+/// or 25 ms, and the ±50 % jitter is a hash of the four arguments — the
+/// same run sleeps the same schedule every time.
+pub fn backoff_delay_ms(
+    seed: u64,
+    connection: usize,
+    request: usize,
+    attempt: u32,
+    retry_after_ms: Option<u64>,
+) -> u64 {
+    let base = retry_after_ms.unwrap_or(25).max(1);
+    let exp = base.saturating_mul(1u64 << (attempt.saturating_sub(1)).min(16));
+    let capped = exp.min(BACKOFF_CAP_MS);
+    // SplitMix64 over the identifying tuple: full-period, well mixed, and
+    // dependency-free. Jitter spreads retries over [capped/2, capped].
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((connection as u64) << 32)
+        .wrapping_add(request as u64)
+        .wrapping_add((attempt as u64) << 48);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let half = capped / 2;
+    half + z % (capped - half + 1)
 }
 
 /// The spec request `index` (0-based, global across connections) sends:
@@ -196,22 +266,33 @@ fn one_request(
     read_response(reader)
 }
 
+/// Opens a fresh connection to the server.
+fn connect(params: &LoadgenParams) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(&params.addr)?;
+    stream.set_read_timeout(Some(params.timeout))?;
+    stream.set_nodelay(true)?;
+    let writer = stream.try_clone()?;
+    Ok((writer, BufReader::new(stream)))
+}
+
 /// Runs one connection's share of the load. Infallible by design: a
 /// transport error (failed connect, mid-run disconnect, timeout) counts
 /// the affected — and only the affected — requests as errors, while the
-/// statistics of the requests that already succeeded are kept.
-fn run_connection(params: &LoadgenParams, first_index: usize, count: usize) -> ConnectionStats {
+/// statistics of the requests that already succeeded are kept. `503`
+/// responses are retried on a fresh connection (the server may have
+/// closed the rejected one) after a deterministic jittered backoff that
+/// honours `Retry-After`, up to `retry_budget` attempts per request.
+fn run_connection(
+    params: &LoadgenParams,
+    connection: usize,
+    first_index: usize,
+    count: usize,
+) -> ConnectionStats {
     let mut stats = ConnectionStats {
         latency: LatencyHistogram::new(),
         ..ConnectionStats::default()
     };
-    let connected = TcpStream::connect(&params.addr).and_then(|stream| {
-        stream.set_read_timeout(Some(params.timeout))?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok((writer, BufReader::new(stream)))
-    });
-    let (mut writer, mut reader) = match connected {
+    let (mut writer, mut reader) = match connect(params) {
         Ok(pair) => pair,
         Err(_) => {
             stats.errors = count;
@@ -219,23 +300,55 @@ fn run_connection(params: &LoadgenParams, first_index: usize, count: usize) -> C
         }
     };
     for i in 0..count {
-        let started = Instant::now();
-        match one_request(params, first_index + i, &mut writer, &mut reader) {
-            Ok(response) if response.status == 200 => {
-                stats.ok += 1;
-                stats.latency.record_duration(started.elapsed());
-                match response.header("x-cache") {
-                    Some("hit") => stats.hits += 1,
-                    Some("coalesced") => stats.coalesced += 1,
-                    _ => stats.misses += 1,
+        let index = first_index + i;
+        let mut attempt = 0u32;
+        loop {
+            let started = Instant::now();
+            match one_request(params, index, &mut writer, &mut reader) {
+                Ok(response) if response.status == 200 => {
+                    stats.ok += 1;
+                    if attempt > 0 {
+                        stats.retried_ok += 1;
+                    }
+                    stats.latency.record_duration(started.elapsed());
+                    match response.header("x-cache") {
+                        Some("hit") => stats.hits += 1,
+                        Some("coalesced") => stats.coalesced += 1,
+                        _ => stats.misses += 1,
+                    }
+                    break;
                 }
-            }
-            Ok(_) => stats.errors += 1,
-            Err(_) => {
-                // The connection is gone; everything not yet attempted
-                // fails with it, but the completed requests stand.
-                stats.errors += count - i;
-                break;
+                Ok(response) if response.status == 503 && attempt < params.retry_budget => {
+                    attempt += 1;
+                    stats.retries += 1;
+                    let retry_after_ms = response
+                        .header("retry-after")
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .map(|s| s.saturating_mul(1_000));
+                    std::thread::sleep(Duration::from_millis(backoff_delay_ms(
+                        params.retry_seed,
+                        connection,
+                        index,
+                        attempt,
+                        retry_after_ms,
+                    )));
+                    // The server closes rejected connections; retry on a
+                    // fresh one. A failed reconnect burns the remaining
+                    // budget naturally via the transport-error arm below.
+                    if let Ok(pair) = connect(params) {
+                        (writer, reader) = pair;
+                    }
+                }
+                Ok(_) => {
+                    stats.errors += 1;
+                    break;
+                }
+                Err(_) => {
+                    // The connection is gone; everything not yet attempted
+                    // fails with it, but the completed requests stand.
+                    stats.errors += count - i;
+                    return stats;
+                }
             }
         }
     }
@@ -263,7 +376,7 @@ pub fn run_loadgen(params: &LoadgenParams) -> LoadReport {
             let count = per + usize::from(c < extra);
             let start = first_index;
             first_index += count;
-            handles.push(scope.spawn(move || run_connection(params, start, count)));
+            handles.push(scope.spawn(move || run_connection(params, c, start, count)));
         }
         handles
             .into_iter()
@@ -284,6 +397,8 @@ pub fn run_loadgen(params: &LoadgenParams) -> LoadReport {
         hits: 0,
         misses: 0,
         coalesced: 0,
+        retries: 0,
+        retried_ok: 0,
     };
     for stats in results {
         report.ok += stats.ok;
@@ -291,6 +406,8 @@ pub fn run_loadgen(params: &LoadgenParams) -> LoadReport {
         report.hits += stats.hits;
         report.misses += stats.misses;
         report.coalesced += stats.coalesced;
+        report.retries += stats.retries;
+        report.retried_ok += stats.retried_ok;
         report.latency.merge(&stats.latency);
     }
     report.rps = if duration_s > 0.0 {
@@ -386,6 +503,108 @@ mod tests {
     }
 
     #[test]
+    fn backoff_is_deterministic_bounded_and_honours_retry_after() {
+        // Pure function: same arguments, same delay.
+        let a = backoff_delay_ms(7, 0, 3, 1, None);
+        let b = backoff_delay_ms(7, 0, 3, 1, None);
+        assert_eq!(a, b);
+        // Different attempts jitter differently.
+        assert_ne!(
+            backoff_delay_ms(7, 0, 3, 1, None),
+            backoff_delay_ms(7, 0, 3, 2, None)
+        );
+        // Attempt 1 without Retry-After: within [base/2, base] of 25 ms.
+        assert!((12..=25).contains(&a), "{a}");
+        // Retry-After raises the base (1 s here) and doubling + cap hold.
+        let ra = backoff_delay_ms(7, 1, 0, 1, Some(1_000));
+        assert!((500..=1_000).contains(&ra), "{ra}");
+        for attempt in 1..=40 {
+            let d = backoff_delay_ms(9, 2, 5, attempt, Some(10_000));
+            assert!(d <= BACKOFF_CAP_MS, "attempt {attempt}: {d}");
+            assert!(d >= BACKOFF_CAP_MS / 2, "attempt {attempt}: {d}");
+        }
+    }
+
+    #[test]
+    fn a_503_is_retried_on_a_fresh_connection_and_rescued() {
+        // First connection: answer 503 and close. Second: answer 200.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            crate::http::read_request(&mut reader).unwrap().unwrap();
+            crate::http::Response::error(503, "busy")
+                .write_to(&mut writer, false)
+                .unwrap();
+            drop((writer, reader));
+
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            crate::http::read_request(&mut reader).unwrap().unwrap();
+            crate::http::Response::json(200, "{}")
+                .with_header("X-Cache", "miss")
+                .write_to(&mut writer, true)
+                .unwrap();
+        });
+
+        let params = LoadgenParams {
+            addr: addr.to_string(),
+            requests: 1,
+            connections: 1,
+            timeout: Duration::from_secs(5),
+            retry_budget: 2,
+            ..LoadgenParams::default()
+        };
+        let report = run_loadgen(&params);
+        server.join().unwrap();
+
+        assert_eq!(report.ok, 1);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.retried_ok, 1);
+        assert!((report.availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn an_exhausted_retry_budget_counts_one_error() {
+        // The server always answers 503; the client has budget for one
+        // retry, so it attempts twice, then gives up.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                crate::http::read_request(&mut reader).unwrap().unwrap();
+                crate::http::Response::error(503, "busy")
+                    .write_to(&mut writer, false)
+                    .unwrap();
+            }
+        });
+
+        let params = LoadgenParams {
+            addr: addr.to_string(),
+            requests: 1,
+            connections: 1,
+            timeout: Duration::from_secs(5),
+            retry_budget: 1,
+            ..LoadgenParams::default()
+        };
+        let report = run_loadgen(&params);
+        server.join().unwrap();
+
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.retried_ok, 0);
+        assert_eq!(report.availability(), 0.0);
+    }
+
+    #[test]
     fn report_json_is_parseable_and_complete() {
         let report = LoadReport {
             requests: 100,
@@ -404,6 +623,8 @@ mod tests {
             hits: 90,
             misses: 4,
             coalesced: 5,
+            retries: 3,
+            retried_ok: 2,
         };
         let json = report.to_json();
         let doc = crate::json::parse(&json).unwrap();
@@ -419,6 +640,11 @@ mod tests {
                 "{key}"
             );
         }
+        assert_eq!(doc.get("retries").and_then(JsonValue::as_usize), Some(3));
+        assert_eq!(doc.get("retried_ok").and_then(JsonValue::as_usize), Some(2));
+        assert!(
+            (doc.get("availability").and_then(JsonValue::as_f64).unwrap() - 0.99).abs() < 1e-12
+        );
         let cache = doc.get("cache").unwrap();
         assert_eq!(cache.get("hits").and_then(JsonValue::as_usize), Some(90));
         assert!(

@@ -16,6 +16,29 @@
 //!    the bytes are identical (see `docs/DETERMINISM.md`). The `X-Cache`
 //!    response header reports which path served the request.
 //!
+//! ## Graceful degradation
+//!
+//! Three opt-in mechanisms keep the daemon answering well-formed
+//! responses when computes misbehave (see `docs/RELIABILITY.md`):
+//!
+//! * **Deadlines** ([`ServerConfig::deadline`]): bounds both the total
+//!   header+body read time of a request (closing the slow-loris hole a
+//!   per-read idle timeout leaves open) and the compute time of
+//!   `/v1/plan` / `/v1/simulate`; exceeding either answers `504`.
+//! * **Circuit breakers** ([`ServerConfig::breaker_threshold`]): after K
+//!   consecutive compute panics/timeouts a route fails fast with `503`
+//!   until a half-open probe succeeds (see [`crate::breaker`]).
+//! * **Stale-on-error** ([`ServerConfig::degraded`]): when a plan
+//!   compute fails and the cache still holds last-good bytes for the
+//!   fingerprint, they are served with `X-Cache: stale` and a `Warning`
+//!   header instead of the 5xx.
+//!
+//! Compute panics are caught at the request level in all cases, so a
+//! panicking planner produces a well-formed 500 (or a stale 200) instead
+//! of a dropped connection. The `mule-fault` points in this file
+//! (`serve.plan`, `serve.cache`, `serve.conn.read`, `serve.conn.write`)
+//! exist to prove exactly that under `patrolctl chaos`.
+//!
 //! ## Shutdown
 //!
 //! [`ServerHandle::shutdown`] (also run on drop) flips the shutdown flag,
@@ -25,13 +48,15 @@
 //! keep-alive peer can delay this).
 
 use crate::api;
+use crate::breaker::{BreakerSnapshot, CircuitBreaker};
 use crate::cache::{CacheOutcome, PlanCache};
 use crate::http::{read_request, HttpError, Request, Response};
 use mule_metrics::LatencyHistogram;
 use mule_obs::FlatProfile;
 use mule_par::TaskPool;
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -59,6 +84,26 @@ pub struct ServerConfig {
     /// milliseconds are logged to stderr with their trace id and a
     /// per-span self-time breakdown. `None` (the default) logs nothing.
     pub slow_request_ms: Option<f64>,
+    /// Opt-in per-request deadline (`patrolctl serve --deadline-ms`). It
+    /// bounds (a) the total time a peer may take to deliver one request's
+    /// header + body once its first byte arrived — the per-read
+    /// `idle_timeout` alone lets a slow-loris peer trickle one byte per
+    /// timeout forever — and (b) the compute time of a plan/simulate
+    /// request, which is moved onto a helper thread so the worker can
+    /// answer `504 Gateway Timeout` while an overrunning compute finishes
+    /// in the background. `None` (the default) disables both.
+    pub deadline: Option<Duration>,
+    /// Opt-in per-route circuit breaker (`patrolctl serve --breaker K`):
+    /// after this many consecutive compute panics/timeouts the route
+    /// fails fast with `503` until a half-open probe succeeds. `None`
+    /// disables breaking.
+    pub breaker_threshold: Option<usize>,
+    /// How long an open breaker waits before admitting a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Stale-on-error mode (`patrolctl serve --degraded`): serve last
+    /// good cached bytes (`X-Cache: stale` + `Warning`) when a plan
+    /// compute fails, instead of the 5xx.
+    pub degraded: bool,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +116,10 @@ impl Default for ServerConfig {
             sim_workers: None,
             idle_timeout: Duration::from_secs(5),
             slow_request_ms: None,
+            deadline: None,
+            breaker_threshold: None,
+            breaker_cooldown: Duration::from_secs(1),
+            degraded: false,
         }
     }
 }
@@ -99,6 +148,14 @@ struct MetricsInner {
     cache_hits: u64,
     cache_misses: u64,
     cache_coalesced: u64,
+    /// Requests whose header+body read overran the deadline (504 before
+    /// any request was parsed).
+    deadline_read: u64,
+    /// Computes cut off by the deadline (504 after admission).
+    deadline_compute: u64,
+    /// Failed computes answered from the last-good store (`X-Cache:
+    /// stale`).
+    stale_served: u64,
     latency: LatencyHistogram,
     /// Per-request span profiles merged under the same lock as the route
     /// counters, so `mule_span_total{span="request"}` always equals the
@@ -163,9 +220,31 @@ impl ServerMetrics {
         self.lock().rejected_503 += 1;
     }
 
+    /// Records one request whose header+body read overran the deadline.
+    fn observe_deadline_read(&self) {
+        self.lock().deadline_read += 1;
+    }
+
+    /// Records one compute cut off by the deadline.
+    fn observe_deadline_compute(&self) {
+        self.lock().deadline_compute += 1;
+    }
+
+    /// Records one stale-on-error serve.
+    fn observe_stale_served(&self) {
+        self.lock().stale_served += 1;
+    }
+
     /// Renders the `/metrics` document. Cache hit rate counts coalesced
     /// requests as served-from-cache: they did not recompute.
     pub fn to_json(&self) -> String {
+        self.to_json_with(&[])
+    }
+
+    /// [`ServerMetrics::to_json`] extended with per-route breaker
+    /// snapshots (the server passes its live breakers; `&[]` omits the
+    /// section's routes).
+    pub fn to_json_with(&self, breakers: &[(&str, BreakerSnapshot)]) -> String {
         use crate::json::JsonValue;
         let inner = self.lock();
         let total = inner.healthz + inner.metrics + inner.plan + inner.simulate + inner.other;
@@ -217,6 +296,38 @@ impl ServerMetrics {
                     ("hit_rate", hit_rate.into()),
                 ]),
             ),
+            (
+                "degraded",
+                JsonValue::object(vec![
+                    ("deadline_read_504", inner.deadline_read.into()),
+                    ("deadline_compute_504", inner.deadline_compute.into()),
+                    ("stale_served", inner.stale_served.into()),
+                ]),
+            ),
+            (
+                "breakers",
+                JsonValue::object(
+                    breakers
+                        .iter()
+                        .map(|(route, snap)| {
+                            (
+                                *route,
+                                JsonValue::object(vec![
+                                    ("state", snap.state.label().into()),
+                                    (
+                                        "consecutive_failures",
+                                        (snap.consecutive_failures as u64).into(),
+                                    ),
+                                    ("opened", snap.opened.into()),
+                                    ("half_opened", snap.half_opened.into()),
+                                    ("closed", snap.closed.into()),
+                                    ("fast_failed", snap.fast_failed.into()),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
         ]);
         doc.to_pretty_string()
     }
@@ -226,6 +337,17 @@ impl ServerMetrics {
     /// cache outcomes, the latency histogram (`_bucket`/`_sum`/`_count`)
     /// and per-span-name totals from the merged request profiles.
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_with(&[], &[])
+    }
+
+    /// [`ServerMetrics::to_prometheus`] extended with per-route breaker
+    /// gauges/counters and the `mule_fault_injected_total{point,kind}`
+    /// rows of the armed fault plan (both empty on a plain scrape).
+    pub fn to_prometheus_with(
+        &self,
+        breakers: &[(&str, BreakerSnapshot)],
+        faults: &[(String, &'static str, u64)],
+    ) -> String {
         use mule_obs::prom::PromText;
         let inner = self.lock();
         let mut p = PromText::new();
@@ -276,6 +398,77 @@ impl ServerMetrics {
             ("coalesced", inner.cache_coalesced),
         ] {
             p.sample_u64("mule_cache_events_total", &[("event", event)], count);
+        }
+
+        p.family(
+            "mule_deadline_exceeded_total",
+            "counter",
+            "Requests answered 504, by which deadline was overrun.",
+        );
+        for (stage, count) in [
+            ("read", inner.deadline_read),
+            ("compute", inner.deadline_compute),
+        ] {
+            p.sample_u64("mule_deadline_exceeded_total", &[("stage", stage)], count);
+        }
+
+        p.family(
+            "mule_stale_served_total",
+            "counter",
+            "Failed computes answered from the last-good store (X-Cache: stale).",
+        );
+        p.sample_u64("mule_stale_served_total", &[], inner.stale_served);
+
+        p.family(
+            "mule_breaker_state",
+            "gauge",
+            "Circuit breaker state, by route (0 closed, 1 open, 2 half-open).",
+        );
+        for (route, snap) in breakers {
+            p.sample_u64("mule_breaker_state", &[("route", route)], snap.state.code());
+        }
+        p.family(
+            "mule_breaker_transitions_total",
+            "counter",
+            "Circuit breaker transitions, by route and target state.",
+        );
+        for (route, snap) in breakers {
+            for (to, count) in [
+                ("open", snap.opened),
+                ("half_open", snap.half_opened),
+                ("closed", snap.closed),
+            ] {
+                p.sample_u64(
+                    "mule_breaker_transitions_total",
+                    &[("route", route), ("to", to)],
+                    count,
+                );
+            }
+        }
+        p.family(
+            "mule_breaker_fast_fail_total",
+            "counter",
+            "Requests rejected fast (503) by an open breaker, by route.",
+        );
+        for (route, snap) in breakers {
+            p.sample_u64(
+                "mule_breaker_fast_fail_total",
+                &[("route", route)],
+                snap.fast_failed,
+            );
+        }
+
+        p.family(
+            "mule_fault_injected_total",
+            "counter",
+            "Faults fired by the armed mule-fault plan, by point and kind.",
+        );
+        for (point, kind, count) in faults {
+            p.sample_u64(
+                "mule_fault_injected_total",
+                &[("point", point), ("kind", kind)],
+                *count,
+            );
         }
 
         // Log-linear histogram buckets carry inclusive upper bounds in
@@ -330,7 +523,29 @@ struct Shared {
     shutdown: AtomicBool,
     /// Monotonic request sequence feeding [`trace_id`].
     trace_seq: AtomicU64,
+    /// Per-route circuit breakers (disabled unless
+    /// [`ServerConfig::breaker_threshold`] is set).
+    breaker_plan: CircuitBreaker,
+    breaker_simulate: CircuitBreaker,
     config: ServerConfig,
+}
+
+impl Shared {
+    fn breaker_rows(&self) -> Vec<(&'static str, BreakerSnapshot)> {
+        vec![
+            ("plan", self.breaker_plan.snapshot()),
+            ("simulate", self.breaker_simulate.snapshot()),
+        ]
+    }
+
+    fn render_prometheus(&self) -> String {
+        self.metrics
+            .to_prometheus_with(&self.breaker_rows(), &mule_fault::injection_counts())
+    }
+
+    fn render_json(&self) -> String {
+        self.metrics.to_json_with(&self.breaker_rows())
+    }
 }
 
 /// Renders the `X-Trace-Id` token for the `seq`-th request. The splitmix64
@@ -370,12 +585,12 @@ impl ServerHandle {
 
     /// The current `/metrics.json` document (for embedding servers).
     pub fn metrics_json(&self) -> String {
-        self.shared.metrics.to_json()
+        self.shared.render_json()
     }
 
     /// The current Prometheus text exposition (the `/metrics` document).
     pub fn metrics_prometheus(&self) -> String {
-        self.shared.metrics.to_prometheus()
+        self.shared.render_prometheus()
     }
 
     /// Stops accepting, drains the in-flight connections and joins every
@@ -407,12 +622,15 @@ impl Drop for ServerHandle {
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let breaker_threshold = config.breaker_threshold.unwrap_or(0);
     let shared = Arc::new(Shared {
         cache: PlanCache::new(config.cache_capacity),
         metrics: ServerMetrics::default(),
         admitted: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
         trace_seq: AtomicU64::new(0),
+        breaker_plan: CircuitBreaker::new(breaker_threshold, config.breaker_cooldown),
+        breaker_simulate: CircuitBreaker::new(breaker_threshold, config.breaker_cooldown),
         config: config.clone(),
     });
     let pool = TaskPool::new(config.workers);
@@ -513,15 +731,116 @@ fn accept_loop(
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+/// A [`TcpStream`] reader enforcing two timescales: the per-read idle
+/// timeout (how long a keep-alive peer may stay silent between requests)
+/// and, when a deadline is configured, a **total** budget for delivering
+/// one request's header + body, armed at its first byte. The per-read
+/// timeout alone leaves the classic slow-loris hole — a peer trickling
+/// one byte per timeout holds a worker forever; the total budget closes
+/// it.
+struct TimedStream {
+    stream: TcpStream,
+    idle: Duration,
+    read_deadline: Option<Duration>,
+    /// Set at the first byte of a request, cleared between requests.
+    request_started: Option<Instant>,
+    /// Set when a read failed because the total budget ran out (vs. the
+    /// peer merely idling), so the connection handler can answer 504.
+    deadline_hit: bool,
+    /// Last timeout passed to `set_read_timeout`, to skip the syscall
+    /// when unchanged (the common case: no deadline configured).
+    last_timeout: Option<Duration>,
+}
+
+impl TimedStream {
+    fn new(stream: TcpStream, idle: Duration, read_deadline: Option<Duration>) -> Self {
+        TimedStream {
+            stream,
+            idle,
+            read_deadline,
+            request_started: None,
+            deadline_hit: false,
+            last_timeout: None,
+        }
+    }
+
+    /// Re-opens the timing window between requests: the next read waits
+    /// under the idle timeout alone until a first byte arrives.
+    fn begin_request_window(&mut self) {
+        self.request_started = None;
+        self.deadline_hit = false;
+    }
+
+    fn set_timeout(&mut self, timeout: Duration) -> std::io::Result<()> {
+        let timeout = timeout.max(Duration::from_millis(1));
+        if self.last_timeout != Some(timeout) {
+            self.stream.set_read_timeout(Some(timeout))?;
+            self.last_timeout = Some(timeout);
+        }
+        Ok(())
+    }
+}
+
+impl Read for TimedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let timeout = match (self.read_deadline, self.request_started) {
+            (Some(total), Some(started)) => {
+                let elapsed = started.elapsed();
+                if elapsed >= total {
+                    self.deadline_hit = true;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "request read deadline exceeded",
+                    ));
+                }
+                (total - elapsed).min(self.idle)
+            }
+            _ => self.idle,
+        };
+        self.set_timeout(timeout)?;
+        match self.stream.read(buf) {
+            Ok(n) => {
+                if n > 0 && self.read_deadline.is_some() && self.request_started.is_none() {
+                    self.request_started = Some(Instant::now());
+                }
+                Ok(n)
+            }
+            Err(e) => {
+                // A per-read timeout surfacing exactly as the total budget
+                // runs out is a deadline hit too.
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) {
+                    if let (Some(total), Some(started)) = (self.read_deadline, self.request_started)
+                    {
+                        if started.elapsed() >= total {
+                            self.deadline_hit = true;
+                        }
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(TimedStream::new(
+        stream,
+        shared.config.idle_timeout,
+        shared.config.deadline,
+    ));
     loop {
+        reader.get_mut().begin_request_window();
+        if mule_fault::io_error("serve.conn.read").is_some() {
+            return; // injected transport failure: drop the connection
+        }
         match read_request(&mut reader) {
             Ok(None) => return, // clean close between requests
             Ok(Some(request)) => {
@@ -555,12 +874,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     }
                 }
                 let response = response.with_header("X-Trace-Id", id);
+                if mule_fault::io_error("serve.conn.write").is_some() {
+                    return; // injected transport failure: drop before writing
+                }
                 if response.write_to(&mut writer, keep_alive).is_err() {
                     return;
                 }
                 if !keep_alive || shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+            }
+            Err(HttpError::Io(_)) if reader.get_ref().deadline_hit => {
+                // The peer failed to deliver header+body within the
+                // deadline (slow-loris or a stalled upload): answer 504
+                // and close. No request was parsed, so — like
+                // backpressure 503s — this is counted outside the
+                // per-route counters.
+                shared.metrics.observe_deadline_read();
+                let _ = Response::error(504, "request read deadline exceeded")
+                    .write_to(&mut writer, false);
+                return;
             }
             Err(HttpError::Io(_)) | Err(HttpError::Closed) => return, // timeout / peer went away
             Err(e) => {
@@ -595,7 +928,10 @@ fn slow_breakdown(profile: &FlatProfile) -> String {
     out
 }
 
-fn route_request(request: &Request, shared: &Shared) -> (Route, Option<CacheOutcome>, Response) {
+fn route_request(
+    request: &Request,
+    shared: &Arc<Shared>,
+) -> (Route, Option<CacheOutcome>, Response) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             let doc = crate::json::JsonValue::object(vec![
@@ -614,13 +950,13 @@ fn route_request(request: &Request, shared: &Shared) -> (Route, Option<CacheOutc
             Response::text(
                 200,
                 mule_obs::prom::CONTENT_TYPE,
-                shared.metrics.to_prometheus(),
+                shared.render_prometheus(),
             ),
         ),
         ("GET", "/metrics.json") => (
             Route::Metrics,
             None,
-            Response::json(200, shared.metrics.to_json()),
+            Response::json(200, shared.render_json()),
         ),
         ("POST", "/v1/plan") => {
             let (cache, response) = handle_plan(&request.body, shared);
@@ -651,7 +987,73 @@ fn api_error_response(e: &api::ApiError) -> Response {
     }
 }
 
-fn handle_plan(body: &[u8], shared: &Shared) -> (Option<CacheOutcome>, Response) {
+/// Why a guarded compute produced no bytes.
+enum ComputeFailure {
+    /// The request itself is bad (4xx; never trips the breaker).
+    Api(api::ApiError),
+    /// The compute panicked (caught; 500 or stale).
+    Panicked(String),
+    /// The compute overran the configured deadline (504 or stale).
+    DeadlineExceeded,
+}
+
+/// Renders a panic payload for error documents and logs.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs `f` under the optional deadline. With none, `f` runs inline on
+/// the connection worker. With one, `f` runs on a helper thread and this
+/// call waits at most `deadline`; on overrun the worker walks away with
+/// `Err(())` (answering 504) while the helper finishes in the background
+/// — its result still lands in the cache for the next request, and any
+/// coalesced waiters are still woken.
+fn with_deadline<T: Send + 'static>(
+    deadline: Option<Duration>,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, ()> {
+    match deadline {
+        None => Ok(f()),
+        Some(limit) => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let _ = tx.send(f());
+            });
+            rx.recv_timeout(limit).map_err(|_| ())
+        }
+    }
+}
+
+/// The fail-fast 503 an open breaker answers with.
+fn breaker_response() -> Response {
+    Response::error(503, "circuit breaker open, retry later")
+        .with_header("Retry-After", RETRY_AFTER_S.to_string())
+        .with_header("X-Breaker", "open")
+}
+
+/// The stale-on-error answer, if degraded mode is on and last-good bytes
+/// exist for the fingerprint.
+fn stale_response(shared: &Shared, key: u64) -> Option<Response> {
+    if !shared.config.degraded {
+        return None;
+    }
+    let bytes = shared.cache.stale_get(key)?;
+    shared.metrics.observe_stale_served();
+    Some(
+        Response::json(200, bytes.as_slice().to_vec())
+            .with_header("X-Cache", "stale")
+            .with_header("Warning", "110 mule-serve \"stale-on-error\"")
+            .with_header("X-Fingerprint", format!("{key:016x}")),
+    )
+}
+
+fn handle_plan(body: &[u8], shared: &Arc<Shared>) -> (Option<CacheOutcome>, Response) {
     let parsed = {
         let _s = mule_obs::span("request.parse");
         api::spec_from_body(body)
@@ -664,28 +1066,64 @@ fn handle_plan(body: &[u8], shared: &Shared) -> (Option<CacheOutcome>, Response)
         let _s = mule_obs::span("request.fingerprint");
         spec.fingerprint()
     };
+    if !shared.breaker_plan.admit() {
+        return (None, breaker_response());
+    }
+    if mule_fault::point("serve.cache") == Some(mule_fault::Injected::Evict) {
+        shared.cache.evict(key);
+    }
     let looked_up = {
         let _s = mule_obs::span("request.cache_lookup");
-        shared.cache.get_or_compute(key, || plan_bytes(&spec))
+        // The compute is panic-guarded so a planner bug (or injected
+        // `serve.plan` panic) surfaces as a typed failure: the cache
+        // wakes one coalesced waiter to retry, the breaker counts it,
+        // and the client gets a well-formed response. Under a deadline
+        // the whole lookup (including any coalesced wait) moves onto a
+        // helper thread; the clones exist so that thread owns its data.
+        let cache_shared = Arc::clone(shared);
+        let compute_spec = spec.clone();
+        with_deadline(shared.config.deadline, move || {
+            cache_shared.cache.get_or_compute(key, move || {
+                catch_unwind(AssertUnwindSafe(|| plan_bytes(&compute_spec)))
+                    .map_err(|p| ComputeFailure::Panicked(panic_message(p)))?
+                    .map_err(ComputeFailure::Api)
+            })
+        })
+        .unwrap_or(Err(ComputeFailure::DeadlineExceeded))
     };
     match looked_up {
         Ok((bytes, outcome)) => {
+            shared.breaker_plan.on_success();
             let _s = mule_obs::span("request.serialize");
             let response = Response::json(200, bytes.as_slice().to_vec())
                 .with_header("X-Cache", outcome.label())
                 .with_header("X-Fingerprint", format!("{key:016x}"));
             (Some(outcome), response)
         }
-        Err(e) => (None, api_error_response(&e)),
+        Err(ComputeFailure::Api(e)) => (None, api_error_response(&e)),
+        Err(ComputeFailure::Panicked(msg)) => {
+            shared.breaker_plan.on_failure();
+            let response = stale_response(shared, key)
+                .unwrap_or_else(|| Response::error(500, &format!("planner panicked: {msg}")));
+            (None, response)
+        }
+        Err(ComputeFailure::DeadlineExceeded) => {
+            shared.breaker_plan.on_failure();
+            shared.metrics.observe_deadline_compute();
+            let response = stale_response(shared, key)
+                .unwrap_or_else(|| Response::error(504, "plan compute deadline exceeded"));
+            (None, response)
+        }
     }
 }
 
 fn plan_bytes(spec: &mule_workload::ScenarioSpec) -> Result<Vec<u8>, api::ApiError> {
     let _s = mule_obs::span("request.plan");
+    let _ = mule_fault::point("serve.plan");
     api::plan_response_json(spec).map(String::into_bytes)
 }
 
-fn handle_simulate(body: &[u8], shared: &Shared) -> Response {
+fn handle_simulate(body: &[u8], shared: &Arc<Shared>) -> Response {
     let parsed = {
         let _s = mule_obs::span("request.parse");
         api::simulate_request_from_body(body)
@@ -694,9 +1132,33 @@ fn handle_simulate(body: &[u8], shared: &Shared) -> Response {
         Ok(request) => request,
         Err(e) => return api_error_response(&e),
     };
+    if !shared.breaker_simulate.admit() {
+        return breaker_response();
+    }
     let _s = mule_obs::span("request.simulate");
-    match api::simulate_response_json(&request, shared.config.sim_workers) {
-        Ok(doc) => Response::json(200, doc),
-        Err(e) => api_error_response(&e),
+    let sim_workers = shared.config.sim_workers;
+    let computed = with_deadline(shared.config.deadline, move || {
+        catch_unwind(AssertUnwindSafe(|| {
+            api::simulate_response_json(&request, sim_workers)
+        }))
+    });
+    match computed {
+        Ok(Ok(Ok(doc))) => {
+            shared.breaker_simulate.on_success();
+            Response::json(200, doc)
+        }
+        Ok(Ok(Err(e))) => api_error_response(&e),
+        Ok(Err(panic_payload)) => {
+            shared.breaker_simulate.on_failure();
+            Response::error(
+                500,
+                &format!("simulation panicked: {}", panic_message(panic_payload)),
+            )
+        }
+        Err(()) => {
+            shared.breaker_simulate.on_failure();
+            shared.metrics.observe_deadline_compute();
+            Response::error(504, "simulate compute deadline exceeded")
+        }
     }
 }

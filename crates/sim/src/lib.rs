@@ -54,7 +54,9 @@ pub mod trace;
 pub use config::SimulationConfig;
 pub use dynamics::{DynamicOutcome, DynamicSimulation, TimelineEntry};
 pub use engine::Simulation;
-pub use montecarlo::{run_replicated, run_sweep, ReplicatedOutcome, SweepCellOutcome};
+pub use montecarlo::{
+    run_replicated, run_sweep, ReplicatedOutcome, SweepCellError, SweepCellOutcome,
+};
 pub use mule::{MuleReport, MuleStatus};
 pub use outcome::{SimulationOutcome, VisitRecord};
 pub use trace::{mules_to_csv, visits_to_csv, write_csv_files};

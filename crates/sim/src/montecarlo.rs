@@ -20,6 +20,7 @@ use crate::outcome::SimulationOutcome;
 use mule_workload::{seed_fan, DisruptionPlan, ReplicationPlan, SweepCell, SweepSpec};
 use patrol_core::{PatrolPlan, PlanError, Planner, ReplanWithPlanner};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The outcomes of all replicas of one (planner, configuration) cell.
 #[derive(Debug, Clone)]
@@ -91,6 +92,23 @@ pub fn run_replicated<P: patrol_core::Planner + Sync + ?Sized>(
     ReplicatedOutcome { outcomes, failures }
 }
 
+/// A replica that **panicked** mid-simulation (as opposed to returning a
+/// [`PlanError`]) and was quarantined: the panic was caught on the worker,
+/// the rest of the grid completed, and enough context is kept here to
+/// reproduce the crash as a single sequential run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCellError {
+    /// Grid index of the owning cell ([`SweepCell::index`]).
+    pub cell_index: usize,
+    /// The exact replica seed (from the cell's [`seed_fan`]), sufficient
+    /// to re-run just this replica deterministically.
+    pub seed: u64,
+    /// Replica index within the cell, `0..spec.replicas`.
+    pub replica: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
 /// The outcomes of one cell of a [`SweepSpec`] grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepCellOutcome {
@@ -100,6 +118,9 @@ pub struct SweepCellOutcome {
     pub outcomes: Vec<SimulationOutcome>,
     /// Replicas whose (initial) planning failed.
     pub failures: Vec<PlanError>,
+    /// Replicas that panicked and were quarantined (caught on the worker;
+    /// the rest of the grid still completes).
+    pub quarantined: Vec<SweepCellError>,
     /// Total replans performed across the cell's replicas (always zero for
     /// static cells).
     pub replans: usize,
@@ -121,6 +142,9 @@ fn run_sweep_replica(
     replica_seed: u64,
     base_config: &SimulationConfig,
 ) -> Result<(SimulationOutcome, usize), PlanError> {
+    // Chaos hook: `sweep.replica=panic` simulates a replica crashing
+    // mid-sweep; the caller quarantines it instead of losing the grid.
+    let _ = mule_fault::point("sweep.replica");
     let mut config = base_config.with_horizon(spec.horizon_s);
     config.energy.speed_m_per_s = cell.speed_m_per_s;
     let scenario_cfg = spec.scenario_config(cell).with_seed(replica_seed);
@@ -191,13 +215,21 @@ where
     // tree is identical for any worker count.
     let tracing = mule_obs::trace_active();
     type ReplicaResult = Result<(SimulationOutcome, usize), PlanError>;
-    let results: Vec<(ReplicaResult, Option<mule_obs::Trace>)> =
+    // Outer `Err` = the replica panicked; it is caught *on the worker*
+    // (inside the trace capture, so a partial trace still grafts back)
+    // and quarantined during regrouping instead of poisoning the pool.
+    type GuardedResult = Result<ReplicaResult, String>;
+    let results: Vec<(GuardedResult, Option<mule_obs::Trace>)> =
         mule_par::parallel_map_indexed_with(mule_par::resolve_workers(workers), total, |i| {
             let cell = &cells[i / replicas];
             let replica_seed = fans[i / replicas][i % replicas];
             let planner = planner_factory();
-            let task =
-                || run_sweep_replica(planner.as_ref(), spec, cell, replica_seed, base_config);
+            let task = || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    run_sweep_replica(planner.as_ref(), spec, cell, replica_seed, base_config)
+                }))
+                .map_err(|payload| panic_message(payload.as_ref()))
+            };
             if tracing {
                 let (result, trace) = mule_obs::capture(task);
                 (result, Some(trace))
@@ -212,6 +244,7 @@ where
             cell,
             outcomes: Vec::new(),
             failures: Vec::new(),
+            quarantined: Vec::new(),
             replans: 0,
         })
         .collect();
@@ -219,20 +252,38 @@ where
     for (c, group) in grouped.iter_mut().enumerate() {
         let _cell_span = mule_obs::span("sweep.cell");
         mule_obs::add("cell", c as u64);
-        for (result, trace) in results.by_ref().take(replicas) {
+        for (r, (result, trace)) in results.by_ref().take(replicas).enumerate() {
             if let Some(t) = trace {
                 mule_obs::graft(t);
             }
             match result {
-                Ok((outcome, replans)) => {
+                Ok(Ok((outcome, replans))) => {
                     group.outcomes.push(outcome);
                     group.replans += replans;
                 }
-                Err(e) => group.failures.push(e),
+                Ok(Err(e)) => group.failures.push(e),
+                Err(message) => group.quarantined.push(SweepCellError {
+                    cell_index: c,
+                    seed: fans[c][r],
+                    replica: r,
+                    message,
+                }),
             }
         }
     }
     grouped
+}
+
+/// Best-effort extraction of a panic payload's message (panics almost
+/// always carry `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "replica panicked with a non-string payload".to_string()
+    }
 }
 
 #[cfg(test)]

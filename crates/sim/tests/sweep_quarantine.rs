@@ -1,0 +1,88 @@
+//! Quarantine semantics for `run_sweep`: a panicking replica must not
+//! take down the grid. Lives in its own test binary because arming a
+//! fault plan is process-global and would fire into the montecarlo unit
+//! tests' sweeps if they shared a process.
+
+use mule_fault::FaultPlan;
+use mule_sim::{run_sweep, SimulationConfig};
+use mule_workload::{seed_fan, ScenarioConfig, SweepSpec};
+use patrol_core::{BTctp, Planner};
+use std::sync::Mutex;
+
+/// Serialises the tests in this binary: armed plans are process-global,
+/// so a disarmed-control test running concurrently with an armed one
+/// would otherwise race for the same fault budget.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn factory() -> Box<dyn Planner> {
+    Box::new(BTctp::new())
+}
+
+fn small_spec() -> SweepSpec {
+    SweepSpec::new(ScenarioConfig::paper_default().with_targets(6))
+        .with_seeds(vec![1, 2])
+        .with_replicas(2)
+        .with_horizon(5_000.0)
+}
+
+#[test]
+fn panicking_replica_is_quarantined_and_the_grid_completes() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    // Limit 1 + a forced single worker: the very first (cell, replica)
+    // task — cell 0, replica 0 — panics, everything else runs clean.
+    mule_fault::arm(FaultPlan::parse(11, "sweep.replica=panic#1").unwrap());
+    let spec = small_spec();
+    let groups = run_sweep(&factory, &spec, &SimulationConfig::timing_only(), Some(1));
+    mule_fault::disarm();
+
+    assert_eq!(groups.len(), 2);
+    let g0 = &groups[0];
+    assert_eq!(g0.quarantined.len(), 1, "exactly one replica quarantined");
+    let q = &g0.quarantined[0];
+    assert_eq!(q.cell_index, 0);
+    assert_eq!(q.replica, 0);
+    assert_eq!(q.seed, seed_fan(g0.cell.seed, spec.replicas)[0]);
+    assert!(
+        q.message.starts_with(mule_fault::INJECTED_PANIC_PREFIX),
+        "payload captured: {}",
+        q.message
+    );
+    // The owning cell keeps its surviving replica; the other cell is
+    // untouched. No panic escaped to this thread, no planner error was
+    // fabricated from the panic.
+    assert_eq!(g0.outcomes.len(), 1);
+    assert!(g0.failures.is_empty());
+    assert_eq!(groups[1].outcomes.len(), 2);
+    assert!(groups[1].quarantined.is_empty());
+}
+
+#[test]
+fn quarantined_replicas_do_not_disturb_the_surviving_results() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    let spec = small_spec();
+    let clean = run_sweep(&factory, &spec, &SimulationConfig::timing_only(), Some(1));
+
+    mule_fault::arm(FaultPlan::parse(11, "sweep.replica=panic#1").unwrap());
+    let faulted = run_sweep(&factory, &spec, &SimulationConfig::timing_only(), Some(1));
+    mule_fault::disarm();
+
+    // Replicas are independent pure functions of their seeds, so every
+    // replica that survived the fault run is byte-for-byte the outcome
+    // the clean run produced for the same (cell, replica) slot.
+    assert_eq!(faulted[0].outcomes.as_slice(), &clean[0].outcomes[1..]);
+    assert_eq!(faulted[1].outcomes, clean[1].outcomes);
+}
+
+#[test]
+fn disarmed_sweeps_have_no_quarantine_and_no_firings() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    mule_fault::disarm();
+    let groups = run_sweep(
+        &factory,
+        &small_spec(),
+        &SimulationConfig::timing_only(),
+        None,
+    );
+    assert!(groups.iter().all(|g| g.quarantined.is_empty()));
+    assert_eq!(mule_fault::firings_total(), 0);
+}
