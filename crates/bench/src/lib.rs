@@ -15,6 +15,7 @@
 //! | [`pathlen`] | §V text claim: path-length comparison | `cargo run -p mule-bench --bin table_pathlen` |
 //! | [`ablations`] | RW-TCTP recharge behaviour, start-point spreading | `cargo run -p mule-bench --bin ablation_recharge`, `ablation_spread` |
 //! | [`tourbench`] | tour-engine scaling (exact vs. candidate lists) | `patrolctl bench-tours` |
+//! | [`scalebench`] | memory-scale construction (matrix-free vs. matrix-backed) | `patrolctl bench-scale` |
 //!
 //! Every sweep averages over a seeded replication fan (the paper uses 20
 //! random topologies per point); the replica count is a parameter so the
@@ -41,6 +42,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod pathlen;
 pub mod routebench;
+pub mod scalebench;
 pub mod tourbench;
 
 use mule_sim::{run_replicated, ReplicatedOutcome, SimulationConfig};

@@ -67,6 +67,13 @@ pub struct TourBenchRow {
     /// Local-search time (2-opt + Or-opt passes) of the same traced run,
     /// milliseconds.
     pub phase_local_search_ms: f64,
+    /// Peak resident set size after the traced candidates run, kB
+    /// (`None` off-Linux). Never pinned by a gate: RSS depends on the
+    /// allocator and the platform.
+    pub peak_rss_kb: Option<u64>,
+    /// Bytes allocated by one candidates construction, measured with the
+    /// counting allocator armed around the traced run.
+    pub alloc_bytes: u64,
 }
 
 impl TourBenchRow {
@@ -122,6 +129,8 @@ impl TourBenchReport {
             "length ratio",
             "constr (ms)",
             "search (ms)",
+            "alloc (MB)",
+            "peak RSS (MB)",
         ]);
         let na = "-".to_string();
         for row in &self.rows {
@@ -139,15 +148,21 @@ impl TourBenchReport {
                     .unwrap_or_else(|| na.clone()),
                 format!("{:.2}", row.phase_construction_ms),
                 format!("{:.2}", row.phase_local_search_ms),
+                format!("{:.1}", row.alloc_bytes as f64 / (1024.0 * 1024.0)),
+                row.peak_rss_kb
+                    .map(|kb| format!("{:.1}", kb as f64 / 1024.0))
+                    .unwrap_or_else(|| na.clone()),
             ]);
         }
         table
     }
 
     /// Serialises the report as the tracked `BENCH_tours.json` document.
+    /// Schema `v2` appends `alloc_bytes` and `peak_rss_kb` per row; every
+    /// `v1` field is unchanged.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"bench-tours/v1\",\n");
+        out.push_str("  \"schema\": \"bench-tours/v2\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.params.seed));
         out.push_str(&format!("  \"k\": {},\n", self.params.k));
         out.push_str(&format!("  \"exact_cap\": {},\n", self.params.exact_cap));
@@ -172,6 +187,13 @@ impl TourBenchReport {
             out.push_str(&format!(
                 ", \"phase_local_search_ms\": {:.3}",
                 row.phase_local_search_ms
+            ));
+            out.push_str(&format!(", \"alloc_bytes\": {}", row.alloc_bytes));
+            out.push_str(&format!(
+                ", \"peak_rss_kb\": {}",
+                row.peak_rss_kb
+                    .map(|kb| kb.to_string())
+                    .unwrap_or_else(|| "null".to_string())
             ));
             out.push('}');
             if i + 1 < self.rows.len() {
@@ -227,10 +249,20 @@ pub fn run_tour_bench(params: &TourBenchParams) -> TourBenchReport {
                 (None, None)
             };
             // One extra traced run — after the timed samples — yields the
-            // per-phase breakdown without touching the timed numbers.
+            // per-phase breakdown without touching the timed numbers. The
+            // counting allocator is armed around it so the same run also
+            // yields the memory columns (thread-local tallies, so other
+            // threads cannot pollute the delta).
+            mule_obs::alloc::reset_rss_peak();
+            let before = mule_obs::alloc::thread_stats();
+            mule_obs::alloc::arm();
             let (_, trace) = mule_obs::capture(|| {
                 construct_circuit_with(&points, &fast_config);
             });
+            mule_obs::alloc::disarm();
+            let after = mule_obs::alloc::thread_stats();
+            let alloc_bytes = after.allocated_bytes - before.allocated_bytes;
+            let peak_rss_kb = mule_obs::alloc::rss_peak_kb();
             let profile = mule_obs::FlatProfile::of(&trace);
             let phase_construction_ms = profile.total_ms_where(|name| {
                 matches!(
@@ -252,6 +284,8 @@ pub fn run_tour_bench(params: &TourBenchParams) -> TourBenchReport {
                 candidates_len,
                 phase_construction_ms,
                 phase_local_search_ms,
+                peak_rss_kb,
+                alloc_bytes,
             }
         })
         .collect();
@@ -262,10 +296,12 @@ pub fn run_tour_bench(params: &TourBenchParams) -> TourBenchReport {
     }
 }
 
-/// Measures the wall-clock overhead of span collection on the candidates
-/// pipeline at the largest configured size: `min(traced) / min(untraced)`.
-/// The CI gate (`bench-tours --overhead-gate 1.05`) pins this ratio —
-/// tracing must stay cheap enough to leave on in production paths.
+/// Measures the wall-clock overhead of span collection *plus the armed
+/// counting allocator* on the candidates pipeline at the largest
+/// configured size: `min(traced+armed) / min(plain)`. The CI gate
+/// (`bench-tours --overhead-gate 1.05`) pins this ratio — both tracing
+/// and allocation accounting must stay cheap enough to leave on in
+/// production paths.
 pub fn tracing_overhead_ratio(params: &TourBenchParams) -> f64 {
     let n = params.sizes.iter().copied().max().unwrap_or(200);
     let points = bench_layout(params.seed, n);
@@ -277,11 +313,13 @@ pub fn tracing_overhead_ratio(params: &TourBenchParams) -> f64 {
         construct_circuit_with(&points, &config).length(&points)
     });
     let mut traced_ms = f64::INFINITY;
+    mule_obs::alloc::arm();
     for _ in 0..samples {
         let start = Instant::now();
         let _ = mule_obs::capture(|| construct_circuit_with(&points, &config).length(&points));
         traced_ms = traced_ms.min(start.elapsed().as_secs_f64() * 1000.0);
     }
+    mule_obs::alloc::disarm();
     if plain_ms > 0.0 {
         traced_ms / plain_ms
     } else {
@@ -333,7 +371,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema\": \"bench-tours/v1\""));
+        assert!(json.contains("\"schema\": \"bench-tours/v2\""));
         assert!(json.contains("\"n\": 30"));
         assert!(json.contains("\"exact_ms\": null"), "cap row is explicit");
         // Balanced braces/brackets — a cheap structural sanity check that
@@ -358,6 +396,24 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"phase_construction_ms\""));
         assert!(json.contains("\"phase_local_search_ms\""));
+    }
+
+    #[test]
+    fn memory_columns_are_measured_and_serialised() {
+        let report = run_tour_bench(&quick_params());
+        for row in &report.rows {
+            assert!(
+                row.alloc_bytes > 0,
+                "armed traced run allocates at n={}",
+                row.n
+            );
+            if cfg!(target_os = "linux") {
+                assert!(row.peak_rss_kb.is_some(), "procfs RSS available on Linux");
+            }
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"alloc_bytes\""));
+        assert!(json.contains("\"peak_rss_kb\""));
     }
 
     #[test]

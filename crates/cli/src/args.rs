@@ -265,6 +265,47 @@ impl Default for BenchRoutesOptions {
     }
 }
 
+/// Options of the `bench-scale` subcommand (the tracked memory-scale
+/// benchmark; see `docs/PERFORMANCE.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchScaleOptions {
+    /// Instance sizes to bench.
+    pub sizes: Vec<usize>,
+    /// Topology seed.
+    pub seed: u64,
+    /// Candidate-list width.
+    pub k: usize,
+    /// Largest size at which the `O(n²)` matrix-backed flavour still runs.
+    pub matrix_cap: usize,
+    /// Timed repetitions per measurement (minimum is reported).
+    pub samples: usize,
+    /// Optional path of the JSON artefact to write (`BENCH_scale.json`).
+    pub json_path: Option<String>,
+    /// When set, the command fails if the matrix-free pipeline's peak
+    /// live bytes per target exceed this bound at any size — the CI
+    /// regression gate for the million-target memory budget.
+    pub max_bytes_per_target: Option<f64>,
+    /// When set, the command fails if any measured tour-length ratio
+    /// (matrix-free / matrix-backed) exceeds this bound.
+    pub max_ratio: Option<f64>,
+}
+
+impl Default for BenchScaleOptions {
+    fn default() -> Self {
+        let defaults = mule_bench::scalebench::ScaleBenchParams::default();
+        BenchScaleOptions {
+            sizes: defaults.sizes,
+            seed: defaults.seed,
+            k: defaults.k,
+            matrix_cap: defaults.matrix_cap,
+            samples: defaults.samples,
+            json_path: None,
+            max_bytes_per_target: None,
+            max_ratio: None,
+        }
+    }
+}
+
 /// Disruption knobs of the `dynamics` subcommand, on top of the shared
 /// scenario options.
 #[derive(Debug, Clone, PartialEq)]
@@ -541,6 +582,10 @@ pub enum CliCommand {
     /// Benchmark road routing (Dijkstra vs. A* vs. ALT) and optionally
     /// write the tracked `BENCH_routes.json` artefact.
     BenchRoutes(BenchRoutesOptions),
+    /// Benchmark construction memory at scale (matrix-free vs.
+    /// matrix-backed) and optionally write the tracked `BENCH_scale.json`
+    /// artefact.
+    BenchScale(BenchScaleOptions),
     /// Run the planning service daemon (blocks forever).
     Serve(ServeOptions),
     /// Fire concurrent requests at a running server and optionally write
@@ -606,7 +651,7 @@ pub const USAGE: &str = "\
 patrolctl — data-mule patrolling toolkit (B-TCTP / W-TCTP / RW-TCTP)
 
 USAGE:
-    patrolctl <render|plan|simulate|compare|dynamics|sweep|bench-tours|bench-routes|serve|loadgen|chaos|help> [flags]
+    patrolctl <render|plan|simulate|compare|dynamics|sweep|bench-tours|bench-routes|bench-scale|serve|loadgen|chaos|help> [flags]
 
 FLAGS (scenario subcommands):
     --targets N        number of targets               [default: 10]
@@ -708,6 +753,20 @@ FLAGS (bench-routes only — the tracked road-routing benchmark):
     --min-speedup R      fail when ALT speedup over Dijkstra falls below R
                          at the largest network size
 
+FLAGS (bench-scale only — the tracked memory-scale benchmark):
+    --sizes LIST         instance sizes                 [default: 10000,100000]
+    --seed S             topology seed                  [default: 42]
+    --knn K              candidate-list width           [default: 10]
+    --matrix-cap N       largest size running the O(n²) matrix-backed
+                         flavour (8·n² bytes)           [default: 10000]
+    --samples N          timed repetitions (min is kept) [default: 3]
+    --json FILE          write the benchmark report as JSON (BENCH_scale.json)
+    --max-bytes-per-target B   fail when matrix-free peak live bytes per
+                         target exceed B at any size
+    --max-ratio R        fail when matrix-free/matrix-backed tour length
+                         exceeds R where both ran
+    (gates fail *after* the artefact is written, like bench-tours)
+
 EXAMPLES:
     patrolctl dynamics --targets 12 --mules 4 --seed 7 \\
         --fail-targets 1 --breakdowns 1 --recover-after 8000
@@ -718,6 +777,8 @@ EXAMPLES:
     patrolctl plan --targets 12 --mules 3 --metric road
     patrolctl bench-routes --sizes 1000,10000 --json BENCH_routes.json \\
         --min-speedup 3.0
+    patrolctl bench-scale --sizes 10000,100000 --json BENCH_scale.json \\
+        --max-bytes-per-target 4096 --max-ratio 1.05
     patrolctl serve --addr 127.0.0.1:7878 --workers 4 --cache-size 128
     patrolctl serve --deadline-ms 500 --breaker 3 --degraded
     patrolctl loadgen --requests 1000 --connections 4 \\
@@ -805,6 +866,37 @@ fn parse_bench_routes(args: &[String]) -> Result<CliCommand, CliError> {
         i += 1;
     }
     Ok(CliCommand::BenchRoutes(options))
+}
+
+/// Parses the flags of `bench-scale`, which shares no scenario flags
+/// with the other subcommands.
+fn parse_bench_scale(args: &[String]) -> Result<CliCommand, CliError> {
+    let mut options = BenchScaleOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = || -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+        };
+        match flag {
+            "--sizes" => options.sizes = parse_list(flag, &take_value()?)?,
+            "--seed" => options.seed = parse_flag(flag, &take_value()?)?,
+            "--knn" => options.k = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--matrix-cap" => options.matrix_cap = parse_flag(flag, &take_value()?)?,
+            "--samples" => options.samples = parse_flag::<usize>(flag, &take_value()?)?.max(1),
+            "--json" => options.json_path = Some(take_value()?),
+            "--max-bytes-per-target" => {
+                options.max_bytes_per_target = Some(parse_flag(flag, &take_value()?)?)
+            }
+            "--max-ratio" => options.max_ratio = Some(parse_flag(flag, &take_value()?)?),
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+        i += 1;
+    }
+    Ok(CliCommand::BenchScale(options))
 }
 
 /// Parses the flags of `serve`.
@@ -921,6 +1013,9 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, CliError> {
     }
     if command == "bench-routes" {
         return parse_bench_routes(&args[1..]);
+    }
+    if command == "bench-scale" {
+        return parse_bench_scale(&args[1..]);
     }
     if command == "serve" {
         return parse_serve(&args[1..]);
@@ -1408,6 +1503,57 @@ mod tests {
         ));
         assert!(USAGE.contains("bench-tours"));
         assert!(USAGE.contains("--max-ratio"));
+    }
+
+    #[test]
+    fn bench_scale_defaults_and_flags() {
+        let CliCommand::BenchScale(opts) = parse_args(&argv("bench-scale")).unwrap() else {
+            panic!("expected bench-scale");
+        };
+        assert_eq!(opts, BenchScaleOptions::default());
+        assert_eq!(opts.sizes, vec![10_000, 100_000]);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.matrix_cap, 10_000);
+        assert!(opts.json_path.is_none());
+        assert!(opts.max_bytes_per_target.is_none());
+        assert!(opts.max_ratio.is_none());
+
+        let cmd = parse_args(&argv(
+            "bench-scale --sizes 2000,5000 --seed 9 --knn 8 --matrix-cap 3000 \
+             --samples 2 --json BENCH_scale.json --max-bytes-per-target 4096 \
+             --max-ratio 1.05",
+        ))
+        .unwrap();
+        let CliCommand::BenchScale(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.sizes, vec![2000, 5000]);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.k, 8);
+        assert_eq!(opts.matrix_cap, 3000);
+        assert_eq!(opts.samples, 2);
+        assert_eq!(opts.json_path.as_deref(), Some("BENCH_scale.json"));
+        assert_eq!(opts.max_bytes_per_target, Some(4096.0));
+        assert_eq!(opts.max_ratio, Some(1.05));
+    }
+
+    #[test]
+    fn bench_scale_rejects_scenario_flags_and_bad_values() {
+        assert!(matches!(
+            parse_args(&argv("bench-scale --targets 10")).unwrap_err(),
+            CliError::UnknownFlag(f) if f == "--targets"
+        ));
+        assert!(matches!(
+            parse_args(&argv("bench-scale --sizes 50,x")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--sizes"
+        ));
+        assert!(matches!(
+            parse_args(&argv("bench-scale --max-bytes-per-target")).unwrap_err(),
+            CliError::MissingValue(_)
+        ));
+        assert!(USAGE.contains("bench-scale"));
+        assert!(USAGE.contains("--max-bytes-per-target"));
+        assert!(USAGE.contains("--matrix-cap"));
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! written) instead of printing directly, so the logic is unit-testable.
 
 use crate::args::{
-    BenchRoutesOptions, BenchToursOptions, ChaosOptions, CliCommand, CliError, CliOptions,
-    DisruptionPreset, DynamicsOptions, LoadgenOptions, PlannerChoice, ServeOptions, SweepOptions,
-    USAGE,
+    BenchRoutesOptions, BenchScaleOptions, BenchToursOptions, ChaosOptions, CliCommand, CliError,
+    CliOptions, DisruptionPreset, DynamicsOptions, LoadgenOptions, PlannerChoice, ServeOptions,
+    SweepOptions, USAGE,
 };
 use mule_bench::routebench::{run_route_bench, RouteBenchParams};
+use mule_bench::scalebench::{run_scale_bench, ScaleBenchParams};
 use mule_bench::tourbench::{run_tour_bench, tracing_overhead_ratio, TourBenchParams};
 use mule_graph::ChbConfig;
 use mule_metrics::{
@@ -495,9 +496,11 @@ fn run_bench_tours(options: &BenchToursOptions) -> Result<CommandOutput, Command
         let points = mule_workload::layout::bench_layout(params.seed, n);
         let config =
             ChbConfig::default().with_search(mule_graph::SearchMode::Candidates(params.k.max(1)));
+        mule_obs::alloc::arm();
         let (_, trace) = mule_obs::capture(|| {
             mule_graph::construct_circuit_with(&points, &config);
         });
+        mule_obs::alloc::disarm();
         if options.profile {
             output
                 .text
@@ -565,6 +568,51 @@ fn run_bench_routes(options: &BenchRoutesOptions) -> Result<CommandOutput, Comma
             if speedup < bound {
                 return Err(CommandError::Check(format!(
                     "ALT speedup {speedup:.2}× below --min-speedup {bound} at the largest size"
+                )));
+            }
+        }
+    }
+    Ok(output)
+}
+
+fn run_bench_scale(options: &BenchScaleOptions) -> Result<CommandOutput, CommandError> {
+    let params = ScaleBenchParams {
+        sizes: options.sizes.clone(),
+        seed: options.seed,
+        k: options.k,
+        matrix_cap: options.matrix_cap,
+        samples: options.samples,
+    };
+    let report = run_scale_bench(&params);
+
+    let mut text = format!(
+        "memory-scale benchmark: seed {}  k {}  matrix cap {}  samples {}\n\n",
+        params.seed, params.k, params.matrix_cap, params.samples
+    );
+    text.push_str(&report.to_table().render());
+
+    let mut output = CommandOutput::text_only(text);
+    if let Some(path) = &options.json_path {
+        std::fs::write(path, report.to_json())?;
+        output.files_written.push(path.clone());
+    }
+
+    // Like `bench-tours`, the gates run *after* the JSON is written so a
+    // failing run still leaves the artefact around for diagnosis.
+    if let Some(bound) = options.max_bytes_per_target {
+        let worst = report.max_bytes_per_target();
+        if worst > bound {
+            return Err(CommandError::Check(format!(
+                "matrix-free footprint {worst:.1} bytes/target exceeds \
+                 --max-bytes-per-target {bound}"
+            )));
+        }
+    }
+    if let Some(bound) = options.max_ratio {
+        if let Some(worst) = report.max_len_ratio() {
+            if worst > bound {
+                return Err(CommandError::Check(format!(
+                    "matrix-free/matrix tour-length ratio {worst:.4} exceeds --max-ratio {bound}"
                 )));
             }
         }
@@ -978,9 +1026,11 @@ fn run_chaos(options: &ChaosOptions) -> Result<CommandOutput, CommandError> {
 
 /// Runs `f` under a captured trace when `--trace-out` / `--profile` was
 /// given, writing the Chrome trace file and/or appending the self-time
-/// profile table to the output. With neither flag the command runs
-/// untraced, so default output stays byte-identical (the golden tests pin
-/// it).
+/// profile table to the output. The counting allocator is armed around
+/// the capture, so the profile's alloc columns are populated and the
+/// Chrome trace carries the `heap_peak_live_bytes` counter track. With
+/// neither flag the command runs untraced and disarmed, so default
+/// output stays byte-identical (the golden tests pin it).
 fn with_tracing(
     trace_out: Option<&str>,
     profile: bool,
@@ -989,7 +1039,9 @@ fn with_tracing(
     if trace_out.is_none() && !profile {
         return f();
     }
+    mule_obs::alloc::arm();
     let (result, trace) = mule_obs::capture(f);
+    mule_obs::alloc::disarm();
     let mut output = result?;
     if profile {
         output.text.push_str("\nself-time profile:\n");
@@ -1040,6 +1092,7 @@ pub fn run_command(command: &CliCommand) -> Result<CommandOutput, CommandError> 
         ),
         CliCommand::BenchTours(options) => run_bench_tours(options),
         CliCommand::BenchRoutes(options) => run_bench_routes(options),
+        CliCommand::BenchScale(options) => run_bench_scale(options),
         CliCommand::Serve(options) => run_serve(options),
         CliCommand::Loadgen(options) => run_loadgen(options),
         CliCommand::Chaos(options) => run_chaos(options),
@@ -1350,7 +1403,7 @@ mod tests {
         let out = run_command(&CliCommand::BenchTours(opts)).unwrap();
         assert_eq!(out.files_written, vec![path.clone()]);
         let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("\"schema\": \"bench-tours/v1\""));
+        assert!(json.contains("\"schema\": \"bench-tours/v2\""));
         assert!(json.contains("\"n\": 20"));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -1397,6 +1450,64 @@ mod tests {
         assert_eq!(out.files_written, vec![path.clone()]);
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"schema\": \"bench-routes/v1\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn bench_scale_options() -> BenchScaleOptions {
+        BenchScaleOptions {
+            sizes: vec![200, 500],
+            seed: 5,
+            k: 8,
+            matrix_cap: 400,
+            samples: 1,
+            json_path: None,
+            max_bytes_per_target: None,
+            max_ratio: None,
+        }
+    }
+
+    #[test]
+    fn bench_scale_reports_memory_and_writes_json() {
+        let out = run_command(&CliCommand::BenchScale(bench_scale_options())).unwrap();
+        assert!(out.text.contains("memory-scale benchmark"));
+        assert!(out.text.contains("bytes/target"));
+        assert!(out.files_written.is_empty());
+
+        let dir = std::env::temp_dir().join("patrolctl_benchscale_test_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut opts = bench_scale_options();
+        let path = dir.join("BENCH_scale.json").to_string_lossy().into_owned();
+        opts.json_path = Some(path.clone());
+        let out = run_command(&CliCommand::BenchScale(opts)).unwrap();
+        assert_eq!(out.files_written, vec![path.clone()]);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"bench-scale/v1\""));
+        // n = 500 sits above the 400-point matrix cap, so its matrix
+        // columns must be explicit nulls.
+        assert!(json.contains("\"matrix_construction_ms\": null"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_scale_gates_pass_and_fail_after_the_artefact_is_written() {
+        // Generous bounds pass …
+        let mut opts = bench_scale_options();
+        opts.max_bytes_per_target = Some(1e12);
+        opts.max_ratio = Some(2.0);
+        assert!(run_command(&CliCommand::BenchScale(opts)).is_ok());
+
+        // … an impossible footprint bound fails with a Check error, and
+        // the artefact is still written before the gate fires.
+        let dir = std::env::temp_dir().join("patrolctl_benchscale_gate_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut opts = bench_scale_options();
+        let path = dir.join("BENCH_scale.json").to_string_lossy().into_owned();
+        opts.json_path = Some(path.clone());
+        opts.max_bytes_per_target = Some(1.0);
+        let err = run_command(&CliCommand::BenchScale(opts)).unwrap_err();
+        assert!(err.to_string().contains("check failed"), "{err}");
+        assert!(err.to_string().contains("--max-bytes-per-target"));
+        assert!(std::fs::metadata(&path).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,55 @@
+//! Pins the *allocation counts* attributed to the span tree of a
+//! paper-sized `patrolctl plan` — the memory half of the determinism
+//! contract (docs/DETERMINISM.md, "Observability"): allocation **counts**
+//! per span are as reproducible as the span shape itself, while byte
+//! figures, peaks, and RSS are environment-dependent and never pinned.
+//!
+//! This lives in its own integration-test binary so arming the counting
+//! allocator cannot interact with the disarmed golden-shape tests in
+//! `golden_trace.rs` (integration tests are separate processes).
+
+use patrol_cli::args::parse_args;
+use patrol_cli::commands::run_command;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+/// Runs `cmdline` under a captured trace with the counting allocator
+/// armed, returning the alloc-annotated shape.
+fn armed_alloc_shape(cmdline: &str) -> String {
+    mule_obs::alloc::arm();
+    let (result, trace) = mule_obs::capture(|| run_command(&parse_args(&argv(cmdline)).unwrap()));
+    mule_obs::alloc::disarm();
+    result.unwrap();
+    trace.alloc_shape()
+}
+
+const PLAN: &str = "plan --targets 12 --mules 3 --seed 7";
+
+#[test]
+fn per_span_allocation_counts_are_identical_run_to_run() {
+    // One warmup run lets lazily-initialised one-time allocations
+    // (runtime statics, thread-local buffers) land outside the compared
+    // window; the contract covers steady-state runs.
+    let _ = armed_alloc_shape(PLAN);
+    let a = armed_alloc_shape(PLAN);
+    let b = armed_alloc_shape(PLAN);
+    assert_eq!(
+        a, b,
+        "per-span allocation counts of `patrolctl {PLAN}` drifted between runs"
+    );
+}
+
+#[test]
+fn alloc_shape_attributes_counts_without_pinning_bytes() {
+    let _ = armed_alloc_shape(PLAN);
+    let shape = armed_alloc_shape(PLAN);
+    // Every line carries a count annotation; byte figures never appear.
+    assert!(shape.contains("planner.B-TCTP"), "{shape}");
+    assert!(shape.contains("allocs="), "{shape}");
+    assert!(!shape.contains("bytes"), "bytes are never pinned: {shape}");
+    // The plan pipeline allocates on its root span.
+    let root = shape.lines().next().unwrap();
+    assert!(root.contains("allocs="), "root span attributed: {root}");
+}

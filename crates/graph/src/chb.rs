@@ -186,49 +186,72 @@ pub fn construct_circuit_metric(
     }
     let dm = DistanceMatrix::from_metric(points, metric);
     match config.search.resolve(points.len()) {
-        SearchMode::Candidates(k) => {
-            let _pipeline = mule_obs::span("chb.matrix_candidates");
-            mule_obs::add("n", points.len() as u64);
-            mule_obs::add("k", k as u64);
-            let mut tour = {
-                let _s = mule_obs::span("chb.nn_seed");
-                nearest_neighbor(points, &dm, 0)
-            };
-            if config.two_opt_passes == 0 && config.or_opt_passes == 0 {
-                return tour;
-            }
-            let candidates = {
-                let _s = mule_obs::span("chb.candidate_lists");
-                CandidateLists::from_matrix(&dm, k.max(1))
-            };
-            if config.two_opt_passes > 0 {
-                let _s = mule_obs::span("chb.two_opt");
-                let moves =
-                    two_opt_candidates_matrix(&mut tour, &dm, &candidates, config.two_opt_passes);
-                mule_obs::add("moves", moves as u64);
-            }
-            if config.or_opt_passes > 0 {
-                {
-                    let _s = mule_obs::span("chb.or_opt");
-                    let moves =
-                        or_opt_candidates_matrix(&mut tour, &dm, &candidates, config.or_opt_passes);
-                    mule_obs::add("moves", moves as u64);
-                }
-                if config.two_opt_passes > 0 {
-                    let _s = mule_obs::span("chb.two_opt");
-                    let moves = two_opt_candidates_matrix(
-                        &mut tour,
-                        &dm,
-                        &candidates,
-                        config.two_opt_passes,
-                    );
-                    mule_obs::add("moves", moves as u64);
-                }
-            }
-            tour
-        }
+        SearchMode::Candidates(k) => construct_circuit_candidates_matrix(points, &dm, config, k),
         _ => construct_circuit_exact(points, &dm, config),
     }
+}
+
+/// Builds the CHB circuit through the **dense-matrix** path at any size:
+/// the full `O(n²)` Euclidean [`DistanceMatrix`] is materialised first,
+/// then the resolved pipeline (exact at or below the threshold,
+/// matrix-backed candidate lists above it) runs against it.
+///
+/// Functionally this mirrors [`construct_circuit_with`] — which never
+/// allocates the matrix in candidate mode — and exists so `patrolctl
+/// bench-scale` can measure the memory cost of the matrix representation
+/// against the matrix-free pipeline at the same instance size (see
+/// `docs/PERFORMANCE.md`). Everything runs under the existing
+/// `graph.distance_matrix` / `chb.matrix_candidates` spans.
+pub fn construct_circuit_matrix_backed(points: &[Point], config: &ChbConfig) -> Tour {
+    let dm = DistanceMatrix::from_points(points);
+    match config.search.resolve(points.len()) {
+        SearchMode::Candidates(k) => construct_circuit_candidates_matrix(points, &dm, config, k),
+        _ => construct_circuit_exact(points, &dm, config),
+    }
+}
+
+/// The matrix-backed candidate pipeline: nearest-neighbour seeding plus
+/// matrix candidate-list local search. Shared by the road-metric path and
+/// [`construct_circuit_matrix_backed`].
+fn construct_circuit_candidates_matrix(
+    points: &[Point],
+    dm: &DistanceMatrix,
+    config: &ChbConfig,
+    k: usize,
+) -> Tour {
+    let _pipeline = mule_obs::span("chb.matrix_candidates");
+    mule_obs::add("n", points.len() as u64);
+    mule_obs::add("k", k as u64);
+    let mut tour = {
+        let _s = mule_obs::span("chb.nn_seed");
+        nearest_neighbor(points, dm, 0)
+    };
+    if config.two_opt_passes == 0 && config.or_opt_passes == 0 {
+        return tour;
+    }
+    let candidates = {
+        let _s = mule_obs::span("chb.candidate_lists");
+        CandidateLists::from_matrix(dm, k.max(1))
+    };
+    if config.two_opt_passes > 0 {
+        let _s = mule_obs::span("chb.two_opt");
+        let moves = two_opt_candidates_matrix(&mut tour, dm, &candidates, config.two_opt_passes);
+        mule_obs::add("moves", moves as u64);
+    }
+    if config.or_opt_passes > 0 {
+        {
+            let _s = mule_obs::span("chb.or_opt");
+            let moves = or_opt_candidates_matrix(&mut tour, dm, &candidates, config.or_opt_passes);
+            mule_obs::add("moves", moves as u64);
+        }
+        if config.two_opt_passes > 0 {
+            let _s = mule_obs::span("chb.two_opt");
+            let moves =
+                two_opt_candidates_matrix(&mut tour, dm, &candidates, config.two_opt_passes);
+            mule_obs::add("moves", moves as u64);
+        }
+    }
+    tour
 }
 
 /// The exact pipeline: all-pairs convex-hull insertion, 2-opt, Or-opt, and
@@ -454,6 +477,26 @@ mod tests {
             &ChbConfig::default().with_search(SearchMode::Candidates(8)),
         );
         assert!(large.is_valid());
+    }
+
+    #[test]
+    fn matrix_backed_pipeline_matches_quality_at_both_regimes() {
+        // Below the threshold the matrix-backed entry point is the exact
+        // pipeline — byte-identical to the default path.
+        let small = pseudo_random_points(40, 99);
+        let a = construct_circuit_matrix_backed(&small, &ChbConfig::default());
+        let b = construct_circuit_with(&small, &ChbConfig::default());
+        assert_eq!(a.order(), b.order());
+        // Above it, the matrix candidate pipeline must stay near the
+        // matrix-free candidate pipeline in quality.
+        let large = pseudo_random_points(200, 99);
+        let config = ChbConfig::default().with_search(SearchMode::Candidates(10));
+        let matrix = construct_circuit_matrix_backed(&large, &config);
+        let free = construct_circuit_with(&large, &config);
+        assert!(matrix.is_valid());
+        assert_eq!(matrix.len(), large.len());
+        let ratio = matrix.length(&large) / free.length(&large);
+        assert!((0.9..=1.1).contains(&ratio), "quality ratio {ratio:.4}");
     }
 
     #[test]

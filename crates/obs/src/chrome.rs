@@ -47,6 +47,12 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         for (name, value) in &span.counters {
             args.push_str(&format!(",\"{}\":{}", escape(name), value));
         }
+        if let Some(alloc) = &span.alloc {
+            args.push_str(&format!(
+                ",\"allocs\":{},\"alloc_bytes\":{}",
+                alloc.allocs, alloc.bytes
+            ));
+        }
         events.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"mule\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
              \"pid\":1,\"tid\":1,\"args\":{{{}}}}}",
@@ -55,6 +61,16 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             micros(span.dur_ns),
             args
         ));
+        // One counter sample per attributed span renders as a heap track
+        // (the span's live-bytes high-water mark) in Perfetto.
+        if let Some(alloc) = &span.alloc {
+            events.push(format!(
+                "{{\"name\":\"heap_peak_live_bytes\",\"ph\":\"C\",\"ts\":{},\
+                 \"pid\":1,\"tid\":1,\"args\":{{\"bytes\":{}}}}}",
+                micros(span.start_ns),
+                alloc.peak_live
+            ));
+        }
     }
     for (name, value) in &trace.gauges {
         events.push(format!(
@@ -85,6 +101,7 @@ mod tests {
                 start_ns: 1_234_567,
                 dur_ns: 89_000,
                 counters: vec![("moves".to_string(), 7)],
+                alloc: None,
             }],
             gauges: vec![("targets".to_string(), 50)],
         };
@@ -97,6 +114,31 @@ mod tests {
         assert!(json.contains("\"moves\":7"));
         assert!(json.contains("\"ph\":\"C\"")); // the gauge counter event
         assert!(json.contains("\"ph\":\"M\"")); // the metadata record
+    }
+
+    #[test]
+    fn attributed_spans_emit_alloc_args_and_a_heap_track() {
+        let trace = Trace {
+            spans: vec![SpanRecord {
+                id: 0,
+                parent: None,
+                name: "chb.candidates".to_string(),
+                start_ns: 5_000,
+                dur_ns: 1_000,
+                counters: Vec::new(),
+                alloc: Some(crate::trace::SpanAlloc {
+                    allocs: 11,
+                    bytes: 4096,
+                    peak_live: 8192,
+                }),
+            }],
+            gauges: Vec::new(),
+        };
+        let json = chrome_trace_json(&trace);
+        assert!(json.contains("\"allocs\":11"));
+        assert!(json.contains("\"alloc_bytes\":4096"));
+        assert!(json.contains("\"name\":\"heap_peak_live_bytes\",\"ph\":\"C\",\"ts\":5.000"));
+        assert!(json.contains("\"args\":{\"bytes\":8192}"));
     }
 
     #[test]

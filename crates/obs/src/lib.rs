@@ -38,10 +38,22 @@
 //!   aggregation, renderable as an aligned text table.
 //! * [`prom::PromText`] — Prometheus text exposition (version 0.0.4)
 //!   writer used by mule-serve's `/metrics`.
+//!
+//! ## Memory
+//!
+//! The crate also installs the workspace-wide counting allocator
+//! ([`alloc::CountingAlloc`]): inert (one relaxed atomic load per
+//! allocator call) until [`alloc::arm`]ed, after which allocation
+//! activity is tallied globally, per thread, and — when a trace is also
+//! active — attributed to the innermost open span ([`SpanAlloc`]).
+//! Allocation *counts* are deterministic and pinned like span shape;
+//! bytes, peaks and RSS are never pinned. See `docs/OBSERVABILITY.md`,
+//! "Memory".
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod alloc;
 pub mod chrome;
 pub mod metric;
 pub mod profile;
@@ -51,7 +63,7 @@ pub mod trace;
 pub use chrome::chrome_trace_json;
 pub use metric::{Counter, Gauge};
 pub use profile::{FlatProfile, ProfileEntry};
-pub use trace::{SpanRecord, Trace};
+pub use trace::{SpanAlloc, SpanRecord, Trace};
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +79,10 @@ struct Collector {
     epoch: Instant,
     spans: Vec<SpanRecord>,
     stack: Vec<u32>,
+    /// Allocation windows, parallel to `stack` (entry `i` belongs to
+    /// span `stack[i]`); `None` when the allocator was disarmed at the
+    /// span's open.
+    alloc_windows: Vec<Option<alloc::SpanWindow>>,
     gauges: Vec<(String, i64)>,
 }
 
@@ -77,7 +93,20 @@ impl Collector {
             epoch: Instant::now(),
             spans: Vec::new(),
             stack: Vec::new(),
+            alloc_windows: Vec::new(),
             gauges: Vec::new(),
+        }
+    }
+
+    /// Closes the allocation windows of every span at stack depth `pos`
+    /// and above, innermost first (windows restore the enclosing
+    /// window's peak, so LIFO order is load-bearing).
+    fn close_windows_from(&mut self, pos: usize) {
+        for i in (pos..self.stack.len()).rev() {
+            if let Some(window) = self.alloc_windows[i].take() {
+                let span = self.stack[i] as usize;
+                self.spans[span].alloc = Some(alloc::close_window(window));
+            }
         }
     }
 
@@ -116,11 +145,13 @@ pub fn trace_end() -> Option<Trace> {
     ACTIVE.with(|a| a.set(false));
     COLLECTOR.with_borrow_mut(|c| c.take()).map(|mut col| {
         let now = col.epoch.elapsed().as_nanos() as u64;
+        col.close_windows_from(0);
         for &id in &col.stack {
             let rec = &mut col.spans[id as usize];
             rec.dur_ns = now.saturating_sub(rec.start_ns);
         }
         col.stack.clear();
+        col.alloc_windows.clear();
         col.into_trace()
     })
 }
@@ -168,8 +199,10 @@ fn open_span(name: String) -> SpanGuard {
             start_ns: col.epoch.elapsed().as_nanos() as u64,
             dur_ns: 0,
             counters: Vec::new(),
+            alloc: None,
         });
         col.stack.push(id);
+        col.alloc_windows.push(alloc::open_window());
         Some((col.token, id))
     });
     SpanGuard { slot }
@@ -183,7 +216,9 @@ fn close_span(token: u64, id: u32) {
             }
             let now = col.epoch.elapsed().as_nanos() as u64;
             if let Some(pos) = col.stack.iter().rposition(|&s| s == id) {
+                col.close_windows_from(pos);
                 col.stack.truncate(pos);
+                col.alloc_windows.truncate(pos);
             }
             let rec = &mut col.spans[id as usize];
             rec.dur_ns = now.saturating_sub(rec.start_ns);
@@ -351,6 +386,78 @@ mod tests {
             let _s = span("fresh");
         });
         assert_eq!(next.spans[0].name, "fresh");
+    }
+
+    #[test]
+    fn disarmed_traces_carry_no_alloc_attribution() {
+        let _guard = alloc::tests::ARM_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let trace = traced(|| {
+            let _s = span("plain");
+            let _v: Vec<u8> = Vec::with_capacity(4096);
+        });
+        assert_eq!(trace.spans[0].alloc, None);
+        assert_eq!(trace.alloc_shape(), "plain\n");
+    }
+
+    #[test]
+    fn armed_traces_attribute_allocation_counts_to_spans() {
+        alloc::tests::armed_section(|| {
+            let trace = traced(|| {
+                let _root = span("root");
+                let outer: Vec<u64> = Vec::with_capacity(1024);
+                {
+                    let _child = span("child");
+                    let inner: Vec<u64> = Vec::with_capacity(512);
+                    drop(inner);
+                }
+                drop(outer);
+            });
+            let root = trace.spans[0].alloc.expect("root span attributed");
+            let child = trace.spans[1].alloc.expect("child span attributed");
+            assert!(child.allocs >= 1, "child saw its Vec allocation");
+            assert!(root.allocs >= child.allocs, "parent includes children");
+            assert!(root.bytes >= child.bytes + 1024 * 8);
+            assert!(child.peak_live >= 512 * 8);
+            assert!(root.peak_live >= child.peak_live);
+            assert!(trace.alloc_shape().contains("child allocs="));
+        });
+    }
+
+    #[test]
+    fn alloc_counts_are_identical_run_to_run() {
+        alloc::tests::armed_section(|| {
+            let run = || {
+                traced(|| {
+                    let _root = span("root");
+                    for _ in 0..3 {
+                        let _child = span("child");
+                        let v: Vec<u64> = (0..200).collect();
+                        drop(v);
+                    }
+                })
+                .alloc_shape()
+            };
+            let first = run();
+            assert_eq!(first, run(), "per-span alloc counts drifted");
+            assert!(first.contains("allocs="));
+        });
+    }
+
+    #[test]
+    fn spans_left_open_at_trace_end_still_get_attribution() {
+        alloc::tests::armed_section(|| {
+            trace_begin();
+            let guard = span("left-open");
+            let v: Vec<u8> = vec![7; 2048];
+            let trace = trace_end().unwrap();
+            drop(guard);
+            drop(v);
+            let alloc = trace.spans[0].alloc.expect("open span finalised");
+            assert!(alloc.allocs >= 1);
+            assert!(alloc.bytes >= 2048);
+        });
     }
 
     #[test]

@@ -16,6 +16,13 @@ pub struct ProfileEntry {
     pub self_ns: u64,
     /// The longest single span of this name, in nanoseconds.
     pub max_ns: u64,
+    /// Allocation events (allocs + reallocs) across those spans, children
+    /// included. Zero unless `mule_obs::alloc` was armed during the trace.
+    pub allocs: u64,
+    /// Bytes allocated across those spans, children included.
+    pub alloc_bytes: u64,
+    /// The largest single-span live-bytes high-water mark.
+    pub peak_live: u64,
 }
 
 /// A flat profile: one [`ProfileEntry`] per distinct span name, sorted by
@@ -40,12 +47,20 @@ impl FlatProfile {
         let mut entries: Vec<ProfileEntry> = Vec::new();
         for span in &trace.spans {
             let self_ns = span.dur_ns.saturating_sub(child_ns[span.id as usize]);
+            let alloc = span.alloc.unwrap_or(crate::trace::SpanAlloc {
+                allocs: 0,
+                bytes: 0,
+                peak_live: 0,
+            });
             match entries.iter_mut().find(|e| e.name == span.name) {
                 Some(e) => {
                     e.count += 1;
                     e.total_ns += span.dur_ns;
                     e.self_ns += self_ns;
                     e.max_ns = e.max_ns.max(span.dur_ns);
+                    e.allocs += alloc.allocs;
+                    e.alloc_bytes += alloc.bytes;
+                    e.peak_live = e.peak_live.max(alloc.peak_live);
                 }
                 None => entries.push(ProfileEntry {
                     name: span.name.clone(),
@@ -53,6 +68,9 @@ impl FlatProfile {
                     total_ns: span.dur_ns,
                     self_ns,
                     max_ns: span.dur_ns,
+                    allocs: alloc.allocs,
+                    alloc_bytes: alloc.bytes,
+                    peak_live: alloc.peak_live,
                 }),
             }
         }
@@ -77,6 +95,9 @@ impl FlatProfile {
                     m.total_ns += e.total_ns;
                     m.self_ns += e.self_ns;
                     m.max_ns = m.max_ns.max(e.max_ns);
+                    m.allocs += e.allocs;
+                    m.alloc_bytes += e.alloc_bytes;
+                    m.peak_live = m.peak_live.max(e.peak_live);
                 }
                 None => self.entries.push(e.clone()),
             }
@@ -110,18 +131,22 @@ impl FlatProfile {
             .max()
             .unwrap_or(4);
         let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+        let kb = |bytes: u64| format!("{:.1}", bytes as f64 / 1024.0);
         let mut out = format!(
-            "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}\n",
-            "span", "count", "total_ms", "self_ms", "max_ms"
+            "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>10}  {:>12}  {:>12}\n",
+            "span", "count", "total_ms", "self_ms", "max_ms", "allocs", "alloc_kb", "peak_live_kb"
         );
         for e in &self.entries {
             out.push_str(&format!(
-                "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}\n",
+                "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>10}  {:>12}  {:>12}\n",
                 e.name,
                 e.count,
                 ms(e.total_ns),
                 ms(e.self_ns),
-                ms(e.max_ns)
+                ms(e.max_ns),
+                e.allocs,
+                kb(e.alloc_bytes),
+                kb(e.peak_live)
             ));
         }
         out
@@ -141,6 +166,7 @@ mod tests {
             start_ns: 0,
             dur_ns,
             counters: Vec::new(),
+            alloc: None,
         }
     }
 
@@ -179,6 +205,38 @@ mod tests {
         let table = a.to_table();
         for name in ["span", "root", "work", "leaf", "self_ms"] {
             assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn alloc_columns_sum_counts_and_max_peaks() {
+        use crate::trace::SpanAlloc;
+        let mut trace = sample_trace();
+        trace.spans[1].alloc = Some(SpanAlloc {
+            allocs: 3,
+            bytes: 1000,
+            peak_live: 500,
+        });
+        trace.spans[2].alloc = Some(SpanAlloc {
+            allocs: 5,
+            bytes: 2000,
+            peak_live: 300,
+        });
+        let mut p = FlatProfile::of(&trace);
+        let work = p.get("work").unwrap();
+        assert_eq!(work.allocs, 8);
+        assert_eq!(work.alloc_bytes, 3000);
+        assert_eq!(work.peak_live, 500);
+        // Disarmed spans contribute zeros.
+        assert_eq!(p.get("root").unwrap().allocs, 0);
+        let other = p.clone();
+        p.merge(&other);
+        let work = p.get("work").unwrap();
+        assert_eq!(work.allocs, 16);
+        assert_eq!(work.peak_live, 500);
+        let table = p.to_table();
+        for col in ["allocs", "alloc_kb", "peak_live_kb"] {
+            assert!(table.contains(col), "missing {col} in:\n{table}");
         }
     }
 

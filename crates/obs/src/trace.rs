@@ -1,5 +1,22 @@
 //! The recorded span-tree model and its deterministic shape rendering.
 
+/// Allocation activity attributed to one span (everything that happened
+/// on the recording thread between the span's open and close, children
+/// included). Only recorded while [`crate::alloc`] is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanAlloc {
+    /// Allocation events (allocs + reallocs) inside the span. A pure
+    /// function of the traced computation — pinned by golden tests via
+    /// [`Trace::alloc_shape`].
+    pub allocs: u64,
+    /// Bytes requested inside the span. Wall-clock-like: carried for
+    /// capacity analysis, **never** pinned.
+    pub bytes: u64,
+    /// High-water mark of thread-live bytes while the span was open.
+    /// Never pinned.
+    pub peak_live: u64,
+}
+
 /// One recorded span. `id` doubles as the monotonic open-order sequence
 /// number; `start_ns` / `dur_ns` are wall-clock and excluded from the
 /// deterministic shape.
@@ -19,6 +36,10 @@ pub struct SpanRecord {
     /// Accumulated integer counters, in first-touch order. Part of the
     /// deterministic shape.
     pub counters: Vec<(String, u64)>,
+    /// Allocation attribution, `None` unless [`crate::alloc`] was armed
+    /// while the span was open. Excluded from [`Trace::shape`] so arming
+    /// elsewhere in the process can never move a pinned shape.
+    pub alloc: Option<SpanAlloc>,
 }
 
 /// A finished trace: the span tree plus trace-level gauges.
@@ -55,6 +76,33 @@ impl Trace {
         }
         for (name, value) in &self.gauges {
             out.push_str(&format!("gauge {name}={value}\n"));
+        }
+        out
+    }
+
+    /// Renders the allocation-count shape: the [`Trace::shape`] tree with
+    /// each armed span's deterministic `allocs` event count appended
+    /// (`name allocs=N`). Bytes, peaks and durations are deliberately
+    /// absent — this is the string the golden allocation tests compare
+    /// run-to-run, and only counts are covered by the determinism
+    /// contract (`docs/DETERMINISM.md`, "Memory").
+    pub fn alloc_shape(&self) -> String {
+        let mut depth = vec![0usize; self.spans.len()];
+        let mut out = String::new();
+        for span in &self.spans {
+            let d = span
+                .parent
+                .map(|p| depth[p as usize] + 1)
+                .unwrap_or_default();
+            depth[span.id as usize] = d;
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+            out.push_str(&span.name);
+            if let Some(alloc) = &span.alloc {
+                out.push_str(&format!(" allocs={}", alloc.allocs));
+            }
+            out.push('\n');
         }
         out
     }
@@ -109,6 +157,7 @@ mod tests {
             start_ns: u64::from(id) * 10,
             dur_ns: 5,
             counters: Vec::new(),
+            alloc: None,
         }
     }
 
@@ -124,6 +173,23 @@ mod tests {
             trace.shape(),
             "root n=12\n  child\n    leaf\ngauge workers=4\n"
         );
+    }
+
+    #[test]
+    fn alloc_shape_appends_counts_only_for_armed_spans() {
+        let mut armed = rec(1, Some(0), "child");
+        armed.alloc = Some(SpanAlloc {
+            allocs: 4,
+            bytes: 4096,
+            peak_live: 9000,
+        });
+        let trace = Trace {
+            spans: vec![rec(0, None, "root"), armed],
+            gauges: vec![("ignored".to_string(), 1)],
+        };
+        // Counts in, bytes/peaks/gauges out; the plain shape is untouched.
+        assert_eq!(trace.alloc_shape(), "root\n  child allocs=4\n");
+        assert_eq!(trace.shape(), "root\n  child\ngauge ignored=1\n");
     }
 
     #[test]

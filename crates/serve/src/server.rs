@@ -238,13 +238,20 @@ impl ServerMetrics {
     /// Renders the `/metrics` document. Cache hit rate counts coalesced
     /// requests as served-from-cache: they did not recompute.
     pub fn to_json(&self) -> String {
-        self.to_json_with(&[])
+        self.to_json_with(&[], &[])
     }
 
     /// [`ServerMetrics::to_json`] extended with per-route breaker
-    /// snapshots (the server passes its live breakers; `&[]` omits the
-    /// section's routes).
-    pub fn to_json_with(&self, breakers: &[(&str, BreakerSnapshot)]) -> String {
+    /// snapshots and the armed fault plan's firing counters (the server
+    /// passes its live breakers and `mule_fault::injection_counts()`;
+    /// `&[]` omits the sections' rows). Carrying the fault rows here
+    /// keeps `/metrics.json` in lockstep with the Prometheus
+    /// `mule_fault_injected_total{point,kind}` family.
+    pub fn to_json_with(
+        &self,
+        breakers: &[(&str, BreakerSnapshot)],
+        faults: &[(String, &'static str, u64)],
+    ) -> String {
         use crate::json::JsonValue;
         let inner = self.lock();
         let total = inner.healthz + inner.metrics + inner.plan + inner.simulate + inner.other;
@@ -254,6 +261,20 @@ impl ServerMetrics {
         } else {
             (inner.cache_hits + inner.cache_coalesced) as f64 / cache_total as f64
         };
+        // Group the sorted (point, kind, count) rows into point → kind →
+        // count, mirroring the Prometheus label pair.
+        let mut fault_rows: Vec<(&str, JsonValue)> = Vec::new();
+        for (point, kind, count) in faults {
+            match fault_rows.iter_mut().find(|(p, _)| *p == point.as_str()) {
+                Some((_, JsonValue::Object(kinds))) => {
+                    kinds.push((kind.to_string(), (*count).into()));
+                }
+                _ => fault_rows.push((
+                    point.as_str(),
+                    JsonValue::object(vec![(kind, (*count).into())]),
+                )),
+            }
+        }
         let doc = JsonValue::object(vec![
             ("schema", "server-metrics/v1".into()),
             (
@@ -328,6 +349,7 @@ impl ServerMetrics {
                         .collect(),
                 ),
             ),
+            ("faults", JsonValue::object(fault_rows)),
         ]);
         doc.to_pretty_string()
     }
@@ -471,6 +493,25 @@ impl ServerMetrics {
             );
         }
 
+        // Process RSS gauges are sampled from /proc at scrape time;
+        // both rows are omitted on platforms without procfs.
+        if let Some(kb) = mule_obs::alloc::rss_now_kb() {
+            p.family(
+                "mule_process_resident_bytes",
+                "gauge",
+                "Resident set size of the serving process, sampled at scrape.",
+            );
+            p.sample_u64("mule_process_resident_bytes", &[], kb * 1024);
+        }
+        if let Some(kb) = mule_obs::alloc::rss_peak_kb() {
+            p.family(
+                "mule_process_peak_resident_bytes",
+                "gauge",
+                "Peak resident set size of the serving process (VmHWM).",
+            );
+            p.sample_u64("mule_process_peak_resident_bytes", &[], kb * 1024);
+        }
+
         // Log-linear histogram buckets carry inclusive upper bounds in
         // nanoseconds; Prometheus `le` is inclusive too, so converting
         // the bound to seconds preserves the semantics exactly.
@@ -544,7 +585,8 @@ impl Shared {
     }
 
     fn render_json(&self) -> String {
-        self.metrics.to_json_with(&self.breaker_rows())
+        self.metrics
+            .to_json_with(&self.breaker_rows(), &mule_fault::injection_counts())
     }
 }
 
@@ -567,6 +609,10 @@ pub struct ServerHandle {
     /// Dropped before the accept thread is joined; its own drop joins the
     /// connection workers.
     pool: Option<TaskPool>,
+    /// True while this handle holds one arm on the counting allocator
+    /// (slow-request logging wants per-request allocation figures);
+    /// released exactly once at shutdown.
+    alloc_armed: bool,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -600,6 +646,9 @@ impl ServerHandle {
     }
 
     fn shutdown_impl(&mut self) {
+        if std::mem::take(&mut self.alloc_armed) {
+            mule_obs::alloc::disarm();
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway loopback connection.
         let _ = TcpStream::connect(self.addr);
@@ -623,6 +672,13 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let breaker_threshold = config.breaker_threshold.unwrap_or(0);
+    // Slow-request logging reports per-request allocation figures, which
+    // only exist while the counting allocator is armed. The arm is a
+    // counter, so holding one here composes with scoped arms elsewhere.
+    let alloc_armed = config.slow_request_ms.is_some();
+    if alloc_armed {
+        mule_obs::alloc::arm();
+    }
     let shared = Arc::new(Shared {
         cache: PlanCache::new(config.cache_capacity),
         metrics: ServerMetrics::default(),
@@ -667,6 +723,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         shared,
         accept_thread: Some(accept_thread),
         pool: Some(pool),
+        alloc_armed,
     })
 }
 
@@ -911,6 +968,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 /// The top self-time spans of a slow request, for the stderr log line.
+/// When the counting allocator is armed (it is whenever slow-request
+/// logging is on), the root `request` span's allocation tally rides
+/// along as `allocs=N alloc_bytes=B`.
 fn slow_breakdown(profile: &FlatProfile) -> String {
     let mut out = String::new();
     for entry in profile
@@ -924,6 +984,14 @@ fn slow_breakdown(profile: &FlatProfile) -> String {
             entry.name,
             entry.self_ns as f64 / 1e6
         ));
+    }
+    if let Some(request) = profile.entries.iter().find(|e| e.name == "request") {
+        if request.allocs > 0 {
+            out.push_str(&format!(
+                " allocs={} alloc_bytes={}",
+                request.allocs, request.alloc_bytes
+            ));
+        }
     }
     out
 }

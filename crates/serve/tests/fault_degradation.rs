@@ -258,3 +258,30 @@ fn a_disarmed_server_shows_zero_injected_faults() {
         .contains("mule_fault_injected_total{"));
     server.shutdown();
 }
+
+#[test]
+fn fault_counters_agree_between_metrics_json_and_prometheus() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = test_server(ServerConfig::default());
+
+    // Fire one delay on the plan compute, then scrape both documents.
+    let _armed = Armed::plan(7, "serve.plan=delay:1#1");
+    let response = post_plan(&server, &spec_body());
+    assert_eq!(response.status, 200);
+
+    let prom = server.metrics_prometheus();
+    assert!(
+        prom.contains("mule_fault_injected_total{point=\"serve.plan\",kind=\"delay\"} 1"),
+        "{prom}"
+    );
+
+    // The JSON document carries the same rows under `faults`, so the two
+    // expositions can be cross-checked sample for sample.
+    let json = server.metrics_json();
+    for (point, kind, count) in mule_fault::injection_counts() {
+        assert!(json.contains(&format!("\"{point}\"")), "{json}");
+        assert!(json.contains(&format!("\"{kind}\": {count}")), "{json}");
+    }
+    assert!(json.contains("\"faults\""), "{json}");
+    server.shutdown();
+}
