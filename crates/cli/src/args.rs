@@ -445,6 +445,15 @@ pub struct ServeOptions {
     pub fault_plan: Option<String>,
     /// Seed of the armed fault plan's firing decisions.
     pub fault_seed: u64,
+    /// Expose the read-only `GET /debug/*` introspection endpoints.
+    pub debug_endpoints: bool,
+    /// Head-based trace sampling rate in `[0, 1]` (slow and 5xx requests
+    /// are tail-promoted regardless).
+    pub trace_sample: f64,
+    /// SLO objectives tracked as burn-rate gauges on `/metrics`.
+    pub slo: Option<mule_obs::SloSpec>,
+    /// Minimum severity of the structured stderr log.
+    pub log_level: mule_obs::log::Severity,
 }
 
 impl Default for ServeOptions {
@@ -462,6 +471,10 @@ impl Default for ServeOptions {
             degraded: defaults.degraded,
             fault_plan: None,
             fault_seed: 7,
+            debug_endpoints: defaults.debug_endpoints,
+            trace_sample: defaults.trace_sample_rate,
+            slo: None,
+            log_level: mule_obs::log::Severity::Info,
         }
     }
 }
@@ -496,6 +509,14 @@ pub struct LoadgenOptions {
     pub min_rps: Option<f64>,
     /// Maximum retries per request after a `503` (0 disables retrying).
     pub retries: u32,
+    /// Run until this many seconds elapse instead of a fixed request
+    /// count (`--requests` is ignored when set).
+    pub duration_s: Option<f64>,
+    /// Leading requests whose latencies are excluded from the histogram
+    /// (warm-up discard; they still count everywhere else).
+    pub warmup: usize,
+    /// SLO objectives the report is graded against.
+    pub slo: Option<mule_obs::SloSpec>,
 }
 
 impl Default for LoadgenOptions {
@@ -514,6 +535,9 @@ impl Default for LoadgenOptions {
             max_p99_ms: None,
             min_rps: None,
             retries: defaults.retry_budget,
+            duration_s: None,
+            warmup: defaults.warmup,
+            slo: None,
         }
     }
 }
@@ -697,8 +721,8 @@ FLAGS (serve only — the planning-service daemon, see docs/SERVER.md):
     --workers N          connection-handler threads     [default: 4]
     --cache-size N       plan-cache entries (0 = off)   [default: 128]
     --queue-depth N      concurrent connections before 503  [default: 64]
-    --slow-ms MS         log requests slower than MS ms to stderr
-                         (with trace id + span breakdown; off by default)
+    --slow-ms MS         emit a serve.slow_request log event for requests
+                         slower than MS ms (trace-id correlated; off by default)
     --deadline-ms MS     per-request read/compute deadline (504 beyond it)
     --breaker K          open a route after K consecutive compute
                          panics/timeouts (fast 503 until the probe closes it)
@@ -709,6 +733,16 @@ FLAGS (serve only — the planning-service daemon, see docs/SERVER.md):
                          (kinds: delay:MS | panic | io | evict; see
                          docs/RELIABILITY.md for the fault-point registry)
     --fault-seed S       seed of the plan's firing decisions [default: 7]
+    --debug-endpoints    expose the read-only GET /debug/* introspection
+                         endpoints (traces, requests, profile, alloc,
+                         events; see docs/SERVER.md)
+    --trace-sample R     keep this fraction of request traces in the debug
+                         ring (0..=1, deterministic head sampling; slow and
+                         5xx requests always kept)  [default: 0.01]
+    --slo SPEC           track SLO burn rates on /metrics:
+                         p99_ms=MS,availability=PCT (either optional)
+    --log-level L        structured-log stderr severity floor:
+                         debug | info | warn | error   [default: info]
 
 FLAGS (loadgen only — the tracked server load benchmark):
     --addr HOST:PORT     server to fire at              [default: 127.0.0.1:7878]
@@ -721,6 +755,13 @@ FLAGS (loadgen only — the tracked server load benchmark):
     --min-rps R          fail when throughput falls below R req/s
     --retries N          retry budget per request on 503 (seeded jittered
                          backoff honouring Retry-After) [default: 3]
+    --duration-s S       run for S seconds instead of a fixed request count
+                         (--requests is ignored)
+    --warmup K           discard the first K requests' latencies from the
+                         histogram (steady-state percentiles) [default: 0]
+    --slo SPEC           grade the report: p99_ms=MS,availability=PCT
+                         (verdicts land in BENCH_server.json; informational,
+                         the hard gates stay --max-p99/--min-rps)
 
 FLAGS (chaos only — the self-checking fault-injection drill):
     --seed S             fault-plan seed: same seed, same firing sequence
@@ -781,8 +822,11 @@ EXAMPLES:
         --max-bytes-per-target 4096 --max-ratio 1.05
     patrolctl serve --addr 127.0.0.1:7878 --workers 4 --cache-size 128
     patrolctl serve --deadline-ms 500 --breaker 3 --degraded
+    patrolctl serve --debug-endpoints --slo p99_ms=250,availability=99.9
     patrolctl loadgen --requests 1000 --connections 4 \\
         --json BENCH_server.json --max-p99 250 --min-rps 50
+    patrolctl loadgen --duration-s 30 --warmup 100 \\
+        --slo p99_ms=250,availability=99 --json BENCH_server.json
     patrolctl chaos --seed 7 --requests 40
 ";
 
@@ -899,6 +943,22 @@ fn parse_bench_scale(args: &[String]) -> Result<CliCommand, CliError> {
     Ok(CliCommand::BenchScale(options))
 }
 
+/// Parses an `--slo` objective spec via [`mule_obs::SloSpec::parse`].
+fn parse_slo(flag: &str, value: &str) -> Result<mule_obs::SloSpec, CliError> {
+    mule_obs::SloSpec::parse(value).map_err(|_| CliError::InvalidValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+    })
+}
+
+/// Parses a `--log-level` severity name.
+fn parse_log_level(flag: &str, value: &str) -> Result<mule_obs::log::Severity, CliError> {
+    mule_obs::log::Severity::parse(value).ok_or_else(|| CliError::InvalidValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+    })
+}
+
 /// Parses the flags of `serve`.
 fn parse_serve(args: &[String]) -> Result<CliCommand, CliError> {
     let mut options = ServeOptions::default();
@@ -931,6 +991,20 @@ fn parse_serve(args: &[String]) -> Result<CliCommand, CliError> {
             "--degraded" => options.degraded = true,
             "--fault-plan" => options.fault_plan = Some(take_value()?),
             "--fault-seed" => options.fault_seed = parse_flag(flag, &take_value()?)?,
+            "--debug-endpoints" => options.debug_endpoints = true,
+            "--trace-sample" => {
+                let value = take_value()?;
+                let rate = parse_flag::<f64>(flag, &value)?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(CliError::InvalidValue {
+                        flag: flag.to_string(),
+                        value,
+                    });
+                }
+                options.trace_sample = rate;
+            }
+            "--slo" => options.slo = Some(parse_slo(flag, &take_value()?)?),
+            "--log-level" => options.log_level = parse_log_level(flag, &take_value()?)?,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
         i += 1;
@@ -995,6 +1069,19 @@ fn parse_loadgen(args: &[String]) -> Result<CliCommand, CliError> {
             "--max-p99" => options.max_p99_ms = Some(parse_flag(flag, &take_value()?)?),
             "--min-rps" => options.min_rps = Some(parse_flag(flag, &take_value()?)?),
             "--retries" => options.retries = parse_flag(flag, &take_value()?)?,
+            "--duration-s" => {
+                let value = take_value()?;
+                let seconds = parse_flag::<f64>(flag, &value)?;
+                if seconds.is_nan() || seconds <= 0.0 {
+                    return Err(CliError::InvalidValue {
+                        flag: flag.to_string(),
+                        value,
+                    });
+                }
+                options.duration_s = Some(seconds);
+            }
+            "--warmup" => options.warmup = parse_flag(flag, &take_value()?)?,
+            "--slo" => options.slo = Some(parse_slo(flag, &take_value()?)?),
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
         i += 1;
@@ -1738,6 +1825,81 @@ mod tests {
         assert!(USAGE.contains("--fault-plan"));
         assert!(USAGE.contains("--breaker"));
         assert!(USAGE.contains("--degraded"));
+    }
+
+    #[test]
+    fn serve_telemetry_flags_parse_and_default_off() {
+        // Telemetry is opt-in: no debug surface, 1 % sampling, no SLO,
+        // info-level logging by default.
+        let defaults = ServeOptions::default();
+        assert!(!defaults.debug_endpoints);
+        assert_eq!(defaults.trace_sample, 0.01);
+        assert!(defaults.slo.is_none());
+        assert_eq!(defaults.log_level, mule_obs::log::Severity::Info);
+
+        let cmd = parse_args(&argv(
+            "serve --debug-endpoints --trace-sample 0.5 \
+             --slo p99_ms=250,availability=99.9 --log-level debug",
+        ))
+        .unwrap();
+        let CliCommand::Serve(opts) = cmd else {
+            panic!()
+        };
+        assert!(opts.debug_endpoints);
+        assert_eq!(opts.trace_sample, 0.5);
+        let slo = opts.slo.unwrap();
+        assert_eq!(slo.p99_ms, Some(250.0));
+        assert_eq!(slo.availability_pct, Some(99.9));
+        assert_eq!(opts.log_level, mule_obs::log::Severity::Debug);
+
+        // Out-of-range sampling rates and malformed specs are rejected.
+        assert!(matches!(
+            parse_args(&argv("serve --trace-sample 1.5")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--trace-sample"
+        ));
+        assert!(matches!(
+            parse_args(&argv("serve --slo p42=1")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--slo"
+        ));
+        assert!(matches!(
+            parse_args(&argv("serve --log-level loud")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--log-level"
+        ));
+        assert!(USAGE.contains("--debug-endpoints"));
+        assert!(USAGE.contains("--trace-sample"));
+        assert!(USAGE.contains("--slo"));
+        assert!(USAGE.contains("--log-level"));
+    }
+
+    #[test]
+    fn loadgen_duration_warmup_and_slo_flags() {
+        let defaults = LoadgenOptions::default();
+        assert!(defaults.duration_s.is_none());
+        assert_eq!(defaults.warmup, 0);
+        assert!(defaults.slo.is_none());
+
+        let cmd = parse_args(&argv(
+            "loadgen --duration-s 30 --warmup 100 --slo p99_ms=250",
+        ))
+        .unwrap();
+        let CliCommand::Loadgen(opts) = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.duration_s, Some(30.0));
+        assert_eq!(opts.warmup, 100);
+        assert_eq!(opts.slo.unwrap().p99_ms, Some(250.0));
+
+        // A non-positive duration would spin forever or not at all.
+        assert!(matches!(
+            parse_args(&argv("loadgen --duration-s 0")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--duration-s"
+        ));
+        assert!(matches!(
+            parse_args(&argv("loadgen --slo availability=250")).unwrap_err(),
+            CliError::InvalidValue { flag, .. } if flag == "--slo"
+        ));
+        assert!(USAGE.contains("--duration-s"));
+        assert!(USAGE.contains("--warmup"));
     }
 
     #[test]

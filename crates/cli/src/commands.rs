@@ -638,13 +638,22 @@ fn run_plan(options: &CliOptions) -> Result<CommandOutput, CommandError> {
 }
 
 /// `patrolctl serve`: run the daemon. Blocks until the process is
-/// killed; the listening line goes to stderr so stdout stays clean for
-/// tooling.
+/// killed. The daemon's stderr carries **structured JSON log lines
+/// only** (see `docs/OBSERVABILITY.md`): startup, fault arming, access
+/// and slow-request records, breaker transitions — every line one JSON
+/// object, so `2>server.log` yields a machine-checkable stream while
+/// stdout stays clean for tooling.
 fn run_serve(options: &ServeOptions) -> Result<CommandOutput, CommandError> {
+    use mule_obs::log::{emit, LogEvent, Severity};
+    mule_obs::log::install_stderr(options.log_level);
     if let Some(spec) = &options.fault_plan {
         let plan = mule_fault::FaultPlan::parse(options.fault_seed, spec)
             .map_err(|e| CommandError::Check(format!("--fault-plan: {e}")))?;
-        eprintln!("mule-fault armed: {plan}");
+        emit(
+            LogEvent::new(Severity::Info, "fault.armed")
+                .field("plan", plan.to_string())
+                .field("seed", options.fault_seed),
+        );
         mule_fault::arm(plan);
     }
     let config = mule_serve::ServerConfig {
@@ -657,12 +666,18 @@ fn run_serve(options: &ServeOptions) -> Result<CommandOutput, CommandError> {
         breaker_threshold: options.breaker_threshold,
         breaker_cooldown: std::time::Duration::from_millis(options.breaker_cooldown_ms),
         degraded: options.degraded,
+        debug_endpoints: options.debug_endpoints,
+        trace_sample_rate: options.trace_sample,
+        slo: options.slo.clone(),
         ..mule_serve::ServerConfig::default()
     };
     let server = mule_serve::start(config)?;
-    eprintln!("mule-serve listening on http://{}", server.addr());
-    eprintln!(
-        "endpoints: GET /healthz  GET /metrics  GET /metrics.json  POST /v1/plan  POST /v1/simulate"
+    emit(
+        LogEvent::new(Severity::Info, "serve.listening")
+            .field("addr", server.addr().to_string())
+            .field("workers", options.workers)
+            .field("debug_endpoints", options.debug_endpoints)
+            .field("slo", options.slo.is_some()),
     );
     loop {
         std::thread::park();
@@ -682,6 +697,9 @@ fn run_loadgen(options: &LoadgenOptions) -> Result<CommandOutput, CommandError> 
     let params = mule_serve::LoadgenParams {
         addr: options.addr.clone(),
         requests: options.requests,
+        duration: options.duration_s.map(std::time::Duration::from_secs_f64),
+        warmup: options.warmup,
+        slo: options.slo.clone(),
         connections: options.connections,
         spec_pool: options.spec_pool,
         base,

@@ -43,6 +43,11 @@ fn loadgen_drives_a_thousand_requests_and_writes_the_benchmark() {
         // failing-gate paths are tested separately below.
         max_p99_ms: Some(60_000.0),
         min_rps: Some(1.0),
+        warmup: 10,
+        slo: Some(mule_obs::SloSpec {
+            p99_ms: Some(60_000.0),
+            availability_pct: Some(99.0),
+        }),
         ..LoadgenOptions::default()
     };
     let out = run_command(&CliCommand::Loadgen(options)).expect("loadgen run");
@@ -63,7 +68,7 @@ fn loadgen_drives_a_thousand_requests_and_writes_the_benchmark() {
     let doc = parse(&json).expect("BENCH_server.json parses");
     assert_eq!(
         doc.get("schema").and_then(JsonValue::as_str),
-        Some("bench-server/v1")
+        Some("bench-server/v2")
     );
     assert_eq!(
         doc.get("requests").and_then(JsonValue::as_usize),
@@ -106,6 +111,16 @@ fn loadgen_drives_a_thousand_requests_and_writes_the_benchmark() {
         (hit_rate - 0.996).abs() < 1e-9,
         "hit rate {hit_rate} should be 996/1000"
     );
+
+    // Warm-up latencies were discarded but the requests still counted,
+    // and the SLO verdict block grades the generous objectives as met.
+    assert_eq!(
+        doc.get("warmup_discarded").and_then(JsonValue::as_usize),
+        Some(10)
+    );
+    let slo = doc.get("slo").expect("slo block present");
+    assert_eq!(slo.get("pass"), Some(&JsonValue::Bool(true)));
+    assert!(out.text.contains("slo verdict: PASS"), "{}", out.text);
 
     // The server observed the same cache traffic.
     let metrics = parse(&server.metrics_json()).unwrap();

@@ -404,8 +404,22 @@ pub fn point(name: &str) -> Option<Injected> {
         .log
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
-        .push(firing);
+        .push(firing.clone());
     mule_obs::add("fault.injected", 1);
+    // Mirror the firing into the structured event log (inert when no
+    // sink is installed — the disarmed/offline byte-identity contract
+    // only concerns disarmed runs, but armed runs without a logger must
+    // not pay for rendering either).
+    if mule_obs::log::enabled_at(mule_obs::log::Severity::Warn) {
+        mule_obs::log::emit(
+            mule_obs::log::LogEvent::new(mule_obs::log::Severity::Warn, "fault.injected")
+                .field("point", firing.point.as_str())
+                .field("kind", firing.kind)
+                .field("rule", firing.rule)
+                .field("hit", firing.hit)
+                .field("sequence", firing.sequence),
+        );
+    }
     match rule.kind {
         FaultKind::Delay { ms } => {
             std::thread::sleep(Duration::from_millis(ms));

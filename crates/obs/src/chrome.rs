@@ -32,15 +32,10 @@ fn micros(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
-/// Serialises a trace as Chrome `trace_event` JSON. Drag the file into
-/// `about:tracing`, or open it at <https://ui.perfetto.dev>.
-pub fn chrome_trace_json(trace: &Trace) -> String {
-    let mut events = Vec::with_capacity(trace.spans.len() + 1);
-    events.push(
-        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
-         \"args\":{\"name\":\"wmdm-patrol\"}}"
-            .to_string(),
-    );
+/// Appends one trace's events (spans, heap tracks, gauges) under the
+/// given Chrome `tid`, so several traces can share one file as separate
+/// tracks.
+fn push_trace_events(events: &mut Vec<String>, trace: &Trace, tid: u32) {
     for span in &trace.spans {
         let mut args = String::new();
         args.push_str(&format!("\"seq\":{}", span.id));
@@ -55,7 +50,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         }
         events.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"mule\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-             \"pid\":1,\"tid\":1,\"args\":{{{}}}}}",
+             \"pid\":1,\"tid\":{tid},\"args\":{{{}}}}}",
             escape(&span.name),
             micros(span.start_ns),
             micros(span.dur_ns),
@@ -66,7 +61,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         if let Some(alloc) = &span.alloc {
             events.push(format!(
                 "{{\"name\":\"heap_peak_live_bytes\",\"ph\":\"C\",\"ts\":{},\
-                 \"pid\":1,\"tid\":1,\"args\":{{\"bytes\":{}}}}}",
+                 \"pid\":1,\"tid\":{tid},\"args\":{{\"bytes\":{}}}}}",
                 micros(span.start_ns),
                 alloc.peak_live
             ));
@@ -74,16 +69,56 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
     }
     for (name, value) in &trace.gauges {
         events.push(format!(
-            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":0.000,\"pid\":1,\"tid\":1,\
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":0.000,\"pid\":1,\"tid\":{tid},\
              \"args\":{{\"value\":{}}}}}",
             escape(name),
             value
         ));
     }
+}
+
+/// Wraps rendered events in the JSON-object trace-file envelope.
+fn envelope(events: Vec<String>) -> String {
     format!(
         "{{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n    {}\n  ]\n}}\n",
         events.join(",\n    ")
     )
+}
+
+/// Serialises a trace as Chrome `trace_event` JSON. Drag the file into
+/// `about:tracing`, or open it at <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut events = Vec::with_capacity(trace.spans.len() + 1);
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"wmdm-patrol\"}}"
+            .to_string(),
+    );
+    push_trace_events(&mut events, trace, 1);
+    envelope(events)
+}
+
+/// Serialises several labelled traces into **one** Chrome trace file,
+/// each trace on its own track (`tid` = position + 1, named by its
+/// label via `thread_name` metadata). mule-serve's `GET /debug/traces`
+/// uses this to ship the recent sampled-trace ring as a single
+/// Perfetto-loadable document.
+pub fn chrome_traces_json<'a>(traces: impl IntoIterator<Item = (&'a str, &'a Trace)>) -> String {
+    let mut events = vec![
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"wmdm-patrol\"}}"
+            .to_string(),
+    ];
+    for (i, (label, trace)) in traces.into_iter().enumerate() {
+        let tid = (i + 1) as u32;
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(label)
+        ));
+        push_trace_events(&mut events, trace, tid);
+    }
+    envelope(events)
 }
 
 #[cfg(test)]
@@ -152,5 +187,39 @@ mod tests {
         assert_eq!(micros(0), "0.000");
         assert_eq!(micros(999), "0.999");
         assert_eq!(micros(1_000_001), "1000.001");
+    }
+
+    #[test]
+    fn multi_trace_export_separates_traces_by_tid() {
+        let trace_for = |name: &str| Trace {
+            spans: vec![SpanRecord {
+                id: 0,
+                parent: None,
+                name: name.to_string(),
+                start_ns: 1_000,
+                dur_ns: 500,
+                counters: Vec::new(),
+                alloc: None,
+            }],
+            gauges: Vec::new(),
+        };
+        let a = trace_for("request");
+        let b = trace_for("request");
+        let json = chrome_traces_json([("trace 9a1f", &a), ("trace 0b2e", &b)]);
+        // Each trace gets its own named track.
+        assert!(json.contains("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1"));
+        assert!(json.contains("\"args\":{\"name\":\"trace 9a1f\"}"));
+        assert!(json.contains("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2"));
+        assert!(json.contains("\"args\":{\"name\":\"trace 0b2e\"}"));
+        // Span events land on their trace's tid.
+        assert!(json.contains("\"ph\":\"X\",\"ts\":1.000,\"dur\":0.500,\"pid\":1,\"tid\":1"));
+        assert!(json.contains("\"ph\":\"X\",\"ts\":1.000,\"dur\":0.500,\"pid\":1,\"tid\":2"));
+    }
+
+    #[test]
+    fn multi_trace_export_of_nothing_is_still_a_valid_trace_file() {
+        let json = chrome_traces_json(std::iter::empty());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"M\""));
     }
 }

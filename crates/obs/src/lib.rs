@@ -32,12 +32,25 @@
 //!
 //! ## Exporters
 //!
-//! * [`chrome_trace_json`] — Chrome `trace_event` JSON, loadable in
-//!   `about:tracing` or <https://ui.perfetto.dev>.
+//! * [`chrome_trace_json`] / [`chrome_traces_json`] — Chrome
+//!   `trace_event` JSON, loadable in `about:tracing` or
+//!   <https://ui.perfetto.dev> (the latter packs several traces into one
+//!   file as separate tracks).
 //! * [`FlatProfile`] — per-span-name count / total / self / max
 //!   aggregation, renderable as an aligned text table.
 //! * [`prom::PromText`] — Prometheus text exposition (version 0.0.4)
 //!   writer used by mule-serve's `/metrics`.
+//!
+//! ## Live telemetry
+//!
+//! * [`sampler::sample_keep`] — deterministic head-based trace sampling:
+//!   keep/drop is a pure SplitMix64 function of `(trace_id, rate)`.
+//! * [`ring::Ring`] — fixed-capacity generation-counted stores backing
+//!   mule-serve's `/debug/*` endpoints.
+//! * [`log`] — process-wide structured JSON-lines event log with
+//!   severity filtering, monotonic sequencing and trace-id correlation.
+//! * [`slo`] — rolling-window SLO burn-rate tracking exposed on
+//!   `/metrics` as `mule_slo_*` gauges.
 //!
 //! ## Memory
 //!
@@ -55,14 +68,21 @@
 
 pub mod alloc;
 pub mod chrome;
+pub mod log;
 pub mod metric;
 pub mod profile;
 pub mod prom;
+pub mod ring;
+pub mod sampler;
+pub mod slo;
 pub mod trace;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_traces_json};
 pub use metric::{Counter, Gauge};
 pub use profile::{FlatProfile, ProfileEntry};
+pub use ring::Ring;
+pub use sampler::sample_keep;
+pub use slo::{SloReport, SloSpec, SloTracker};
 pub use trace::{SpanAlloc, SpanRecord, Trace};
 
 use std::cell::{Cell, RefCell};

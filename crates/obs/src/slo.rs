@@ -1,0 +1,356 @@
+//! Service-level-objective tracking: rolling windows and burn rates.
+//!
+//! An SLO here is up to two objectives parsed from one spec string
+//! (`--slo "p99_ms=1.0,availability=99.9"`):
+//!
+//! * **`p99_ms`** — a latency objective: at least 99% of requests finish
+//!   within the target, i.e. the *error budget* is the 1% of requests
+//!   allowed to be slower. A request "spends budget" when its duration
+//!   exceeds the target.
+//! * **`availability`** — a success-rate objective in percent: the
+//!   budget is `(100 − target)/100` of requests allowed to fail. A
+//!   request spends budget when it is an error (5xx or rejected).
+//!
+//! [`SloTracker`] buckets request outcomes into one-second slots and
+//! reports, per objective, the **burn rate** over several rolling
+//! windows: `bad_fraction / budget_fraction`. A burn rate of 1.0 means
+//! budget is being consumed exactly as fast as the objective allows;
+//! 14.4 is the classic "page now" multi-window threshold. The tracker
+//! takes *caller-supplied* timestamps (seconds), so tests drive it with
+//! synthetic clocks and get deterministic reports — the serve wiring
+//! feeds it monotonic seconds since server start.
+
+/// Parsed `--slo` spec: which objectives are active and their targets.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloSpec {
+    /// Latency objective: 99% of requests must finish within this many
+    /// milliseconds.
+    pub p99_ms: Option<f64>,
+    /// Availability objective in percent (e.g. `99.9`).
+    pub availability_pct: Option<f64>,
+}
+
+impl SloSpec {
+    /// Parses `"p99_ms=1.0,availability=99.9"` (either key optional, at
+    /// least one required). Returns a human-readable error otherwise.
+    pub fn parse(s: &str) -> Result<SloSpec, String> {
+        let mut spec = SloSpec::default();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("SLO objective `{part}` is not key=value"))?;
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("SLO objective `{part}` has a non-numeric target"))?;
+            match key.trim() {
+                "p99_ms" => {
+                    if value.is_nan() || value <= 0.0 {
+                        return Err(format!("p99_ms target must be positive, got {value}"));
+                    }
+                    spec.p99_ms = Some(value);
+                }
+                "availability" => {
+                    if !(value > 0.0 && value < 100.0) {
+                        return Err(format!(
+                            "availability target must be in (0, 100), got {value}"
+                        ));
+                    }
+                    spec.availability_pct = Some(value);
+                }
+                other => {
+                    return Err(format!(
+                        "unknown SLO objective `{other}` (expected p99_ms or availability)"
+                    ))
+                }
+            }
+        }
+        if spec.p99_ms.is_none() && spec.availability_pct.is_none() {
+            return Err("SLO spec is empty; expected p99_ms=… and/or availability=…".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+/// The rolling windows burn rates are reported over, as
+/// `(label, seconds)`. Longest last — budget remaining is measured over
+/// the final entry.
+pub const SLO_WINDOWS: [(&str, u64); 3] = [("1m", 60), ("5m", 300), ("30m", 1800)];
+
+/// One second's worth of request outcomes.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    /// Which absolute second this bucket currently holds; stale buckets
+    /// (lapped by the ring) are skipped on read and reset on write.
+    stamp: u64,
+    total: u64,
+    errors: u64,
+    slow: u64,
+}
+
+/// Rolling-window SLO tracker. See module docs.
+#[derive(Debug)]
+pub struct SloTracker {
+    spec: SloSpec,
+    buckets: std::sync::Mutex<Vec<Bucket>>,
+}
+
+/// Burn rates and budget state for one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloObjectiveReport {
+    /// `"p99_ms"` or `"availability"`.
+    pub objective: &'static str,
+    /// The configured target (milliseconds or percent).
+    pub target: f64,
+    /// The fraction of requests allowed to be bad (0.01 for p99, or
+    /// `(100 − availability)/100`).
+    pub budget_fraction: f64,
+    /// `1 − consumed` over the longest window, clamped to `[0, 1]`;
+    /// `1.0` when no requests were seen.
+    pub budget_remaining: f64,
+    /// Burn rate per window, in [`SLO_WINDOWS`] order:
+    /// `bad_fraction / budget_fraction` (0 when the window is empty).
+    pub windows: Vec<(&'static str, f64)>,
+}
+
+/// Burn rates for every active objective.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloReport {
+    /// One entry per active objective, `p99_ms` first.
+    pub objectives: Vec<SloObjectiveReport>,
+}
+
+impl SloTracker {
+    /// A tracker for the given spec. Capacity covers the longest window
+    /// in [`SLO_WINDOWS`] with headroom.
+    pub fn new(spec: SloSpec) -> Self {
+        let capacity = (SLO_WINDOWS[SLO_WINDOWS.len() - 1].1 * 2) as usize;
+        SloTracker {
+            spec,
+            buckets: std::sync::Mutex::new(vec![Bucket::default(); capacity]),
+        }
+    }
+
+    /// The spec this tracker was built with.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Records one request outcome at absolute second `now_s`.
+    /// `is_error` marks availability-budget spend (5xx / rejected);
+    /// latency-budget spend is derived from `duration_ms` against the
+    /// p99 target.
+    pub fn record(&self, now_s: u64, duration_ms: f64, is_error: bool) {
+        let mut buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let len = buckets.len() as u64;
+        let bucket = &mut buckets[(now_s % len) as usize];
+        if bucket.stamp != now_s {
+            *bucket = Bucket {
+                stamp: now_s,
+                ..Bucket::default()
+            };
+        }
+        bucket.total += 1;
+        if is_error {
+            bucket.errors += 1;
+        }
+        if let Some(target) = self.spec.p99_ms {
+            if duration_ms > target {
+                bucket.slow += 1;
+            }
+        }
+    }
+
+    /// The burn-rate report as of absolute second `now_s`. A window at
+    /// second `now_s` covers `(now_s − window, now_s]`.
+    pub fn report(&self, now_s: u64) -> SloReport {
+        let buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Sum (total, errors, slow) per window in one pass over the ring.
+        let mut sums = [(0u64, 0u64, 0u64); SLO_WINDOWS.len()];
+        for bucket in buckets.iter() {
+            if bucket.total == 0 && bucket.errors == 0 && bucket.slow == 0 {
+                continue;
+            }
+            let age = now_s.saturating_sub(bucket.stamp);
+            if bucket.stamp > now_s || age >= buckets.len() as u64 {
+                continue; // stale or future-stamped slot
+            }
+            for (i, &(_, seconds)) in SLO_WINDOWS.iter().enumerate() {
+                if age < seconds {
+                    sums[i].0 += bucket.total;
+                    sums[i].1 += bucket.errors;
+                    sums[i].2 += bucket.slow;
+                }
+            }
+        }
+        let objective =
+            |name: &'static str, target: f64, budget: f64, pick: fn(&(u64, u64, u64)) -> u64| {
+                let windows: Vec<(&'static str, f64)> = SLO_WINDOWS
+                    .iter()
+                    .zip(sums.iter())
+                    .map(|(&(label, _), sum)| {
+                        let rate = if sum.0 == 0 {
+                            0.0
+                        } else {
+                            (pick(sum) as f64 / sum.0 as f64) / budget
+                        };
+                        (label, rate)
+                    })
+                    .collect();
+                let longest = &sums[SLO_WINDOWS.len() - 1];
+                let remaining = if longest.0 == 0 {
+                    1.0
+                } else {
+                    let consumed = pick(longest) as f64 / (budget * longest.0 as f64);
+                    (1.0 - consumed).clamp(0.0, 1.0)
+                };
+                SloObjectiveReport {
+                    objective: name,
+                    target,
+                    budget_fraction: budget,
+                    budget_remaining: remaining,
+                    windows,
+                }
+            };
+        let mut report = SloReport::default();
+        if let Some(target) = self.spec.p99_ms {
+            report
+                .objectives
+                .push(objective("p99_ms", target, 0.01, |s| s.2));
+        }
+        if let Some(pct) = self.spec.availability_pct {
+            let budget = (100.0 - pct) / 100.0;
+            report
+                .objectives
+                .push(objective("availability", pct, budget, |s| s.1));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_both_objectives_in_any_order() {
+        let spec = SloSpec::parse("p99_ms=1.0,availability=99.9").unwrap();
+        assert_eq!(spec.p99_ms, Some(1.0));
+        assert_eq!(spec.availability_pct, Some(99.9));
+        let spec = SloSpec::parse(" availability=99 , p99_ms=2.5 ").unwrap();
+        assert_eq!(spec.p99_ms, Some(2.5));
+        assert_eq!(spec.availability_pct, Some(99.0));
+        let spec = SloSpec::parse("p99_ms=10").unwrap();
+        assert_eq!(spec.availability_pct, None);
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        assert!(SloSpec::parse("").is_err());
+        assert!(SloSpec::parse("p99_ms").is_err());
+        assert!(SloSpec::parse("p99_ms=fast").is_err());
+        assert!(SloSpec::parse("p99_ms=-1").is_err());
+        assert!(SloSpec::parse("availability=100").is_err());
+        assert!(SloSpec::parse("availability=0").is_err());
+        assert!(SloSpec::parse("p50_ms=1").is_err());
+    }
+
+    #[test]
+    fn burn_rate_one_means_spending_exactly_the_budget() {
+        let tracker = SloTracker::new(SloSpec::parse("availability=99").unwrap());
+        // 1% budget; make exactly 1 in 100 requests fail.
+        for i in 0..1000u64 {
+            tracker.record(10, 0.1, i % 100 == 0);
+        }
+        let report = tracker.report(10);
+        let avail = &report.objectives[0];
+        assert_eq!(avail.objective, "availability");
+        for &(_, rate) in &avail.windows {
+            assert!((rate - 1.0).abs() < 1e-9, "burn {rate}");
+        }
+        assert!((avail.budget_remaining - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_objective_burns_on_slow_requests_only() {
+        let tracker = SloTracker::new(SloSpec::parse("p99_ms=1.0").unwrap());
+        for i in 0..200u64 {
+            // 2% of requests exceed the 1ms target → burn rate 2.0.
+            let duration = if i % 50 == 0 { 5.0 } else { 0.2 };
+            tracker.record(5, duration, false);
+        }
+        let report = tracker.report(5);
+        let p99 = &report.objectives[0];
+        assert_eq!(p99.objective, "p99_ms");
+        assert_eq!(p99.budget_fraction, 0.01);
+        for &(_, rate) in &p99.windows {
+            assert!((rate - 2.0).abs() < 1e-9, "burn {rate}");
+        }
+        assert_eq!(p99.budget_remaining, 0.0);
+    }
+
+    #[test]
+    fn windows_age_out_old_bad_seconds() {
+        let tracker = SloTracker::new(SloSpec::parse("availability=99").unwrap());
+        // A burst of errors at t=0, then clean traffic at t=100.
+        for _ in 0..100 {
+            tracker.record(0, 0.1, true);
+        }
+        for _ in 0..100 {
+            tracker.record(100, 0.1, false);
+        }
+        let report = tracker.report(100);
+        let windows = &report.objectives[0].windows;
+        // 1m window (covers t>40): only the clean burst → burn 0.
+        assert_eq!(windows[0], ("1m", 0.0));
+        // 5m and 30m windows still see the bad burst: 100 of 200 bad.
+        assert!((windows[1].1 - 50.0).abs() < 1e-9);
+        assert!((windows[2].1 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tracker_reports_full_budget_and_zero_burn() {
+        let tracker = SloTracker::new(SloSpec::parse("p99_ms=1.0,availability=99.9").unwrap());
+        let report = tracker.report(500);
+        assert_eq!(report.objectives.len(), 2);
+        for obj in &report.objectives {
+            assert_eq!(obj.budget_remaining, 1.0);
+            assert!(obj.windows.iter().all(|&(_, rate)| rate == 0.0));
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic_for_a_given_outcome_sequence() {
+        let run = || {
+            let tracker = SloTracker::new(SloSpec::parse("p99_ms=1.0,availability=99").unwrap());
+            for i in 0..500u64 {
+                tracker.record(i / 10, (i % 7) as f64 * 0.3, i % 91 == 0);
+            }
+            tracker.report(50)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lapped_buckets_are_reset_not_double_counted() {
+        let tracker = SloTracker::new(SloSpec::parse("availability=99").unwrap());
+        let capacity = 3600u64;
+        tracker.record(5, 0.1, true);
+        // Same ring slot, one full lap later: the stale record must not
+        // leak into the new second's window sums.
+        tracker.record(5 + capacity, 0.1, false);
+        let report = tracker.report(5 + capacity);
+        let windows = &report.objectives[0].windows;
+        assert!(windows.iter().all(|&(_, rate)| rate == 0.0), "{windows:?}");
+    }
+}

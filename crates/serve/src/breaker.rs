@@ -82,6 +82,9 @@ pub struct BreakerSnapshot {
 /// [`CircuitBreaker::admit`] always admits and no state is tracked.
 #[derive(Debug)]
 pub struct CircuitBreaker {
+    /// Route label for `breaker.transition` log events; empty for
+    /// anonymous (test) breakers, which then log nothing.
+    name: &'static str,
     threshold: usize,
     cooldown: Duration,
     inner: Mutex<Inner>,
@@ -91,7 +94,15 @@ impl CircuitBreaker {
     /// A breaker opening after `threshold` consecutive failures, with
     /// half-open probes every `cooldown` while open.
     pub fn new(threshold: usize, cooldown: Duration) -> Self {
+        Self::named("", threshold, cooldown)
+    }
+
+    /// [`CircuitBreaker::new`] with a route name: every state transition
+    /// emits a `breaker.transition` structured-log event carrying it
+    /// (see [`mule_obs::log`]).
+    pub fn named(name: &'static str, threshold: usize, cooldown: Duration) -> Self {
         CircuitBreaker {
+            name,
             threshold,
             cooldown,
             inner: Mutex::new(Inner {
@@ -104,6 +115,22 @@ impl CircuitBreaker {
                 fast_failed: 0,
             }),
         }
+    }
+
+    /// Emits the transition event — called *after* the state lock is
+    /// released, so a slow log sink never extends the breaker's critical
+    /// section.
+    fn log_transition(&self, from: BreakerState, to: BreakerState) {
+        use mule_obs::log::{emit, enabled_at, LogEvent, Severity};
+        if self.name.is_empty() || !enabled_at(Severity::Info) {
+            return;
+        }
+        emit(
+            LogEvent::new(Severity::Info, "breaker.transition")
+                .field("route", self.name)
+                .field("from", from.label())
+                .field("to", to.label()),
+        );
     }
 
     /// Whether the breaker participates at all.
@@ -124,20 +151,25 @@ impl CircuitBreaker {
             return true;
         }
         let mut inner = self.lock();
-        match inner.state {
-            BreakerState::Closed => true,
-            BreakerState::Open | BreakerState::HalfOpen => {
+        let (admitted, transition) = match inner.state {
+            BreakerState::Closed => (true, None),
+            from @ (BreakerState::Open | BreakerState::HalfOpen) => {
                 if inner.since.elapsed() >= self.cooldown {
                     inner.state = BreakerState::HalfOpen;
                     inner.since = Instant::now();
                     inner.half_opened += 1;
-                    true
+                    (true, Some((from, BreakerState::HalfOpen)))
                 } else {
                     inner.fast_failed += 1;
-                    false
+                    (false, None)
                 }
             }
+        };
+        drop(inner);
+        if let Some((from, to)) = transition {
+            self.log_transition(from, to);
         }
+        admitted
     }
 
     /// Reports a successful compute: resets the failure streak and closes
@@ -148,9 +180,17 @@ impl CircuitBreaker {
         }
         let mut inner = self.lock();
         inner.consecutive_failures = 0;
-        if inner.state != BreakerState::Closed {
+        let transition = if inner.state != BreakerState::Closed {
+            let from = inner.state;
             inner.state = BreakerState::Closed;
             inner.closed += 1;
+            Some((from, BreakerState::Closed))
+        } else {
+            None
+        };
+        drop(inner);
+        if let Some((from, to)) = transition {
+            self.log_transition(from, to);
         }
     }
 
@@ -166,10 +206,18 @@ impl CircuitBreaker {
         let should_open = inner.state == BreakerState::HalfOpen
             || (inner.state == BreakerState::Closed
                 && inner.consecutive_failures >= self.threshold);
-        if should_open {
+        let transition = if should_open {
+            let from = inner.state;
             inner.state = BreakerState::Open;
             inner.since = Instant::now();
             inner.opened += 1;
+            Some((from, BreakerState::Open))
+        } else {
+            None
+        };
+        drop(inner);
+        if let Some((from, to)) = transition {
+            self.log_transition(from, to);
         }
     }
 

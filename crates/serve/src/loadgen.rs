@@ -22,11 +22,27 @@
 //! attempt)`, so two runs with the same parameters sleep the same
 //! schedule — load tests stay reproducible even when they hit the
 //! degraded paths.
+//!
+//! Two refinements make the report SLO-grade:
+//!
+//! * **Warm-up discard**: the first [`LoadgenParams::warmup`] requests
+//!   (split across connections like the load itself) still count toward
+//!   throughput, availability and cache statistics, but their latencies
+//!   are **excluded from the histogram** — percentiles measure steady
+//!   state, not cache-cold plan computes and allocator ramp-up.
+//! * **Duration mode**: with [`LoadgenParams::duration`] set, each
+//!   connection fires until the wall-clock deadline instead of a fixed
+//!   request count, which is what an SLO window wants.
+//!
+//! When [`LoadgenParams::slo`] carries a spec, the report grades its
+//! steady-state measurements against each objective and embeds the
+//! verdicts in `BENCH_server.json` (schema `bench-server/v2`).
 
 use crate::api::spec_to_json;
 use crate::http::{read_response, write_request, ClientResponse, HttpError};
 use crate::json::JsonValue;
 use mule_metrics::LatencyHistogram;
+use mule_obs::SloSpec;
 use mule_workload::ScenarioSpec;
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -37,8 +53,17 @@ use std::time::{Duration, Instant};
 pub struct LoadgenParams {
     /// Server address (`host:port`).
     pub addr: String,
-    /// Total requests across all connections.
+    /// Total requests across all connections (ignored when
+    /// [`LoadgenParams::duration`] is set).
     pub requests: usize,
+    /// Run until this wall-clock duration elapses instead of sending a
+    /// fixed number of requests.
+    pub duration: Option<Duration>,
+    /// Number of leading requests whose latencies are discarded from the
+    /// histogram (split across connections like the load itself).
+    pub warmup: usize,
+    /// Objectives to grade the steady-state measurements against.
+    pub slo: Option<SloSpec>,
     /// Concurrent connections (each a thread).
     pub connections: usize,
     /// Number of distinct specs rotated through (≥ 1); the run's expected
@@ -59,6 +84,9 @@ impl Default for LoadgenParams {
         LoadgenParams {
             addr: "127.0.0.1:7878".to_string(),
             requests: 1000,
+            duration: None,
+            warmup: 0,
+            slo: None,
             connections: 4,
             spec_pool: 4,
             base: ScenarioSpec::default(),
@@ -99,6 +127,11 @@ pub struct LoadReport {
     pub retries: usize,
     /// Requests that ultimately succeeded only thanks to a retry.
     pub retried_ok: usize,
+    /// Successful warm-up requests whose latencies were excluded from
+    /// the histogram.
+    pub warmup_discarded: usize,
+    /// The SLO spec the run was graded against, if any.
+    pub slo: Option<SloSpec>,
 }
 
 impl LoadReport {
@@ -128,10 +161,58 @@ impl LoadReport {
         self.ok as f64 / self.requests as f64
     }
 
+    /// Grades the run against the active SLO objectives. Each verdict is
+    /// `(objective, target, measured, pass)`; empty without a spec. The
+    /// measurements are the steady-state ones — warm-up latencies never
+    /// reach the histogram the `p99_ms` objective reads.
+    pub fn slo_verdicts(&self) -> Vec<(&'static str, f64, f64, bool)> {
+        let Some(spec) = &self.slo else {
+            return Vec::new();
+        };
+        let mut verdicts = Vec::new();
+        if let Some(target) = spec.p99_ms {
+            let measured = self.p99_ms();
+            verdicts.push(("p99_ms", target, measured, measured <= target));
+        }
+        if let Some(target) = spec.availability_pct {
+            let measured = self.availability() * 100.0;
+            verdicts.push(("availability", target, measured, measured >= target));
+        }
+        verdicts
+    }
+
+    /// The overall SLO verdict: `Some(true)` when every active objective
+    /// passed, `None` when the run had no SLO to grade against.
+    pub fn slo_pass(&self) -> Option<bool> {
+        self.slo.as_ref()?;
+        Some(self.slo_verdicts().iter().all(|&(_, _, _, pass)| pass))
+    }
+
     /// Renders the tracked `BENCH_server.json` document.
     pub fn to_json(&self) -> String {
+        let slo = match self.slo_pass() {
+            None => JsonValue::Null,
+            Some(pass) => {
+                let verdicts = self
+                    .slo_verdicts()
+                    .into_iter()
+                    .map(|(objective, target, measured, ok)| {
+                        JsonValue::object(vec![
+                            ("objective", objective.into()),
+                            ("target", target.into()),
+                            ("measured", measured.into()),
+                            ("pass", ok.into()),
+                        ])
+                    })
+                    .collect();
+                JsonValue::object(vec![
+                    ("pass", pass.into()),
+                    ("verdicts", JsonValue::Array(verdicts)),
+                ])
+            }
+        };
         let doc = JsonValue::object(vec![
-            ("schema", "bench-server/v1".into()),
+            ("schema", "bench-server/v2".into()),
             ("requests", self.requests.into()),
             ("connections", self.connections.into()),
             ("spec_pool", self.spec_pool.into()),
@@ -139,6 +220,7 @@ impl LoadReport {
             ("errors", self.errors.into()),
             ("retries", self.retries.into()),
             ("retried_ok", self.retried_ok.into()),
+            ("warmup_discarded", self.warmup_discarded.into()),
             ("availability", self.availability().into()),
             ("duration_s", self.duration_s.into()),
             ("throughput_rps", self.rps.into()),
@@ -161,13 +243,14 @@ impl LoadReport {
                     ("hit_rate", self.hit_rate().into()),
                 ]),
             ),
+            ("slo", slo),
         ]);
         doc.to_pretty_string()
     }
 
     /// Renders the human-readable summary.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "loadgen: {} requests over {} connections ({} distinct specs)\n\
              ok: {}  errors: {}  retries: {} ({} rescued)  availability: {:.1} %\n\
              duration: {:.2} s  throughput: {:.0} req/s\n\
@@ -192,13 +275,33 @@ impl LoadReport {
             self.misses,
             self.coalesced,
             self.hit_rate() * 100.0,
-        )
+        );
+        if self.warmup_discarded > 0 {
+            out.push_str(&format!(
+                "warm-up: {} latencies discarded from the histogram\n",
+                self.warmup_discarded
+            ));
+        }
+        if let Some(pass) = self.slo_pass() {
+            for (objective, target, measured, ok) in self.slo_verdicts() {
+                out.push_str(&format!(
+                    "slo {objective}: measured {measured:.3}  target {target:.3}  {}\n",
+                    if ok { "PASS" } else { "FAIL" }
+                ));
+            }
+            out.push_str(&format!(
+                "slo verdict: {}\n",
+                if pass { "PASS" } else { "FAIL" }
+            ));
+        }
+        out
     }
 }
 
 /// Per-connection tallies, merged after the run.
 #[derive(Default)]
 struct ConnectionStats {
+    attempted: usize,
     ok: usize,
     errors: usize,
     hits: usize,
@@ -206,7 +309,19 @@ struct ConnectionStats {
     coalesced: usize,
     retries: usize,
     retried_ok: usize,
+    warmup_discarded: usize,
     latency: LatencyHistogram,
+}
+
+/// How much load one connection drives.
+#[derive(Debug, Clone, Copy)]
+enum ConnectionPlan {
+    /// Exactly `count` requests with global indices from `first_index`.
+    Fixed { first_index: usize, count: usize },
+    /// Requests until the wall-clock deadline; the *i*-th request on
+    /// connection *c* of *C* uses global index `c + i·C`, so the rotating
+    /// spec pool is covered evenly however long the run lasts.
+    Until { deadline: Instant },
 }
 
 /// Cap of one backoff sleep, milliseconds (a `Retry-After` larger than
@@ -282,11 +397,16 @@ fn connect(params: &LoadgenParams) -> std::io::Result<(TcpStream, BufReader<TcpS
 /// responses are retried on a fresh connection (the server may have
 /// closed the rejected one) after a deterministic jittered backoff that
 /// honours `Retry-After`, up to `retry_budget` attempts per request.
+///
+/// The first `warmup` requests count toward every statistic *except* the
+/// latency histogram. In [`ConnectionPlan::Until`] mode a transport error
+/// costs one request and the connection reconnects; only a failed
+/// reconnect ends its run early.
 fn run_connection(
     params: &LoadgenParams,
     connection: usize,
-    first_index: usize,
-    count: usize,
+    plan: ConnectionPlan,
+    warmup: usize,
 ) -> ConnectionStats {
     let mut stats = ConnectionStats {
         latency: LatencyHistogram::new(),
@@ -295,12 +415,32 @@ fn run_connection(
     let (mut writer, mut reader) = match connect(params) {
         Ok(pair) => pair,
         Err(_) => {
-            stats.errors = count;
+            stats.attempted = match plan {
+                ConnectionPlan::Fixed { count, .. } => count,
+                ConnectionPlan::Until { .. } => 1,
+            };
+            stats.errors = stats.attempted;
             return stats;
         }
     };
-    for i in 0..count {
-        let index = first_index + i;
+    let connections = params.connections.max(1);
+    let mut sent = 0usize;
+    loop {
+        let index = match plan {
+            ConnectionPlan::Fixed { first_index, count } => {
+                if sent == count {
+                    break;
+                }
+                first_index + sent
+            }
+            ConnectionPlan::Until { deadline } => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                connection + sent * connections
+            }
+        };
+        stats.attempted += 1;
         let mut attempt = 0u32;
         loop {
             let started = Instant::now();
@@ -310,7 +450,11 @@ fn run_connection(
                     if attempt > 0 {
                         stats.retried_ok += 1;
                     }
-                    stats.latency.record_duration(started.elapsed());
+                    if sent < warmup {
+                        stats.warmup_discarded += 1;
+                    } else {
+                        stats.latency.record_duration(started.elapsed());
+                    }
                     match response.header("x-cache") {
                         Some("hit") => stats.hits += 1,
                         Some("coalesced") => stats.coalesced += 1,
@@ -343,14 +487,31 @@ fn run_connection(
                     stats.errors += 1;
                     break;
                 }
-                Err(_) => {
-                    // The connection is gone; everything not yet attempted
-                    // fails with it, but the completed requests stand.
-                    stats.errors += count - i;
-                    return stats;
-                }
+                Err(_) => match plan {
+                    ConnectionPlan::Fixed { count, .. } => {
+                        // The connection is gone; everything not yet
+                        // attempted fails with it, but the completed
+                        // requests stand.
+                        stats.errors += count - sent;
+                        stats.attempted = count;
+                        return stats;
+                    }
+                    ConnectionPlan::Until { .. } => {
+                        // One request lost; keep driving load until the
+                        // deadline if the server will have us back.
+                        stats.errors += 1;
+                        match connect(params) {
+                            Ok(pair) => {
+                                (writer, reader) = pair;
+                                break;
+                            }
+                            Err(_) => return stats,
+                        }
+                    }
+                },
             }
         }
+        sent += 1;
     }
     stats
 }
@@ -363,20 +524,37 @@ fn run_connection(
 /// rather than a panic.
 pub fn run_loadgen(params: &LoadgenParams) -> LoadReport {
     let connections = params.connections.max(1);
-    let requests = params.requests;
-    // Split requests across connections, front-loading the remainder.
-    let per = requests / connections;
-    let extra = requests % connections;
+    // Split the warm-up across connections, front-loading the remainder
+    // (mirroring the request split, so "first K requests" holds globally).
+    let warmup_per = params.warmup / connections;
+    let warmup_extra = params.warmup % connections;
 
     let started = Instant::now();
     let results: Vec<ConnectionStats> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        let mut first_index = 0;
-        for c in 0..connections {
-            let count = per + usize::from(c < extra);
-            let start = first_index;
-            first_index += count;
-            handles.push(scope.spawn(move || run_connection(params, c, start, count)));
+        match params.duration {
+            Some(duration) => {
+                let deadline = started + duration;
+                for c in 0..connections {
+                    let warmup = warmup_per + usize::from(c < warmup_extra);
+                    let plan = ConnectionPlan::Until { deadline };
+                    handles.push(scope.spawn(move || run_connection(params, c, plan, warmup)));
+                }
+            }
+            None => {
+                // Split requests across connections, front-loading the
+                // remainder.
+                let per = params.requests / connections;
+                let extra = params.requests % connections;
+                let mut first_index = 0;
+                for c in 0..connections {
+                    let count = per + usize::from(c < extra);
+                    let warmup = warmup_per + usize::from(c < warmup_extra);
+                    let plan = ConnectionPlan::Fixed { first_index, count };
+                    first_index += count;
+                    handles.push(scope.spawn(move || run_connection(params, c, plan, warmup)));
+                }
+            }
         }
         handles
             .into_iter()
@@ -386,7 +564,7 @@ pub fn run_loadgen(params: &LoadgenParams) -> LoadReport {
     let duration_s = started.elapsed().as_secs_f64();
 
     let mut report = LoadReport {
-        requests,
+        requests: 0,
         connections,
         spec_pool: params.spec_pool.max(1),
         ok: 0,
@@ -399,8 +577,11 @@ pub fn run_loadgen(params: &LoadgenParams) -> LoadReport {
         coalesced: 0,
         retries: 0,
         retried_ok: 0,
+        warmup_discarded: 0,
+        slo: params.slo.clone(),
     };
     for stats in results {
+        report.requests += stats.attempted;
         report.ok += stats.ok;
         report.errors += stats.errors;
         report.hits += stats.hits;
@@ -408,6 +589,7 @@ pub fn run_loadgen(params: &LoadgenParams) -> LoadReport {
         report.coalesced += stats.coalesced;
         report.retries += stats.retries;
         report.retried_ok += stats.retried_ok;
+        report.warmup_discarded += stats.warmup_discarded;
         report.latency.merge(&stats.latency);
     }
     report.rps = if duration_s > 0.0 {
@@ -604,9 +786,9 @@ mod tests {
         assert_eq!(report.availability(), 0.0);
     }
 
-    #[test]
-    fn report_json_is_parseable_and_complete() {
-        let report = LoadReport {
+    /// A report with plausible numbers, for the rendering tests.
+    fn sample_report() -> LoadReport {
+        LoadReport {
             requests: 100,
             connections: 4,
             spec_pool: 4,
@@ -625,12 +807,19 @@ mod tests {
             coalesced: 5,
             retries: 3,
             retried_ok: 2,
-        };
+            warmup_discarded: 8,
+            slo: None,
+        }
+    }
+
+    #[test]
+    fn report_json_is_parseable_and_complete() {
+        let report = sample_report();
         let json = report.to_json();
         let doc = crate::json::parse(&json).unwrap();
         assert_eq!(
             doc.get("schema").and_then(JsonValue::as_str),
-            Some("bench-server/v1")
+            Some("bench-server/v2")
         );
         assert_eq!(doc.get("ok").and_then(JsonValue::as_usize), Some(99));
         let latency = doc.get("latency_ms").unwrap();
@@ -642,6 +831,10 @@ mod tests {
         }
         assert_eq!(doc.get("retries").and_then(JsonValue::as_usize), Some(3));
         assert_eq!(doc.get("retried_ok").and_then(JsonValue::as_usize), Some(2));
+        assert_eq!(
+            doc.get("warmup_discarded").and_then(JsonValue::as_usize),
+            Some(8)
+        );
         assert!(
             (doc.get("availability").and_then(JsonValue::as_f64).unwrap() - 0.99).abs() < 1e-12
         );
@@ -652,8 +845,130 @@ mod tests {
                 .abs()
                 < 1e-9
         );
+        // Without a spec, the slo block is an explicit null.
+        assert_eq!(doc.get("slo"), Some(&JsonValue::Null));
         let text = report.render();
         assert!(text.contains("p99"));
         assert!(text.contains("hit rate"));
+        assert!(!text.contains("slo verdict"));
+    }
+
+    #[test]
+    fn slo_verdicts_grade_measurements_against_targets() {
+        let mut report = sample_report();
+        assert!(report.slo_verdicts().is_empty());
+        assert_eq!(report.slo_pass(), None);
+
+        // The recorded latencies are 2 ms and 4 ms, so p99 sits well
+        // above a 1 ms target; availability is 99 %, exactly on target.
+        report.slo = Some(SloSpec {
+            p99_ms: Some(1.0),
+            availability_pct: Some(99.0),
+        });
+        let verdicts = report.slo_verdicts();
+        assert_eq!(verdicts.len(), 2);
+        let (objective, target, measured, pass) = verdicts[0];
+        assert_eq!(objective, "p99_ms");
+        assert_eq!(target, 1.0);
+        assert!(measured > 1.0, "{measured}");
+        assert!(!pass);
+        let (objective, target, measured, pass) = verdicts[1];
+        assert_eq!(objective, "availability");
+        assert_eq!(target, 99.0);
+        assert!((measured - 99.0).abs() < 1e-9, "{measured}");
+        assert!(pass);
+        assert_eq!(report.slo_pass(), Some(false));
+
+        let json = report.to_json();
+        let doc = crate::json::parse(&json).unwrap();
+        let slo = doc.get("slo").unwrap();
+        assert_eq!(slo.get("pass"), Some(&JsonValue::Bool(false)));
+        let text = report.render();
+        assert!(text.contains("slo p99_ms"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("slo verdict: FAIL"));
+
+        // Relax the latency target and the run passes overall.
+        report.slo = Some(SloSpec {
+            p99_ms: Some(1_000.0),
+            availability_pct: Some(99.0),
+        });
+        assert_eq!(report.slo_pass(), Some(true));
+        assert!(report.render().contains("slo verdict: PASS"));
+    }
+
+    /// A throwaway server answering every request on every connection
+    /// with `200` + `X-Cache: miss` for as long as clients stay. The
+    /// serving threads are detached; they exit when their clients
+    /// disconnect and the leaked listener dies with the test process.
+    fn obliging_server() -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut writer = stream.try_clone().unwrap();
+                    let mut reader = BufReader::new(stream);
+                    while let Ok(Some(_)) = crate::http::read_request(&mut reader) {
+                        if crate::http::Response::json(200, "{}")
+                            .with_header("X-Cache", "miss")
+                            .write_to(&mut writer, true)
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn warmup_latencies_are_discarded_but_counted_everywhere_else() {
+        let addr = obliging_server();
+        let params = LoadgenParams {
+            addr: addr.to_string(),
+            requests: 10,
+            connections: 2,
+            warmup: 4,
+            timeout: Duration::from_secs(5),
+            ..LoadgenParams::default()
+        };
+        let report = run_loadgen(&params);
+        assert_eq!(report.requests, 10);
+        assert_eq!(report.ok, 10);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.misses, 10, "warm-up still counts cache outcomes");
+        assert_eq!(report.warmup_discarded, 4);
+        assert_eq!(
+            report.latency.count(),
+            6,
+            "histogram holds steady-state latencies only"
+        );
+    }
+
+    #[test]
+    fn duration_mode_runs_until_the_deadline() {
+        let addr = obliging_server();
+        let params = LoadgenParams {
+            addr: addr.to_string(),
+            requests: 1, // ignored in duration mode
+            duration: Some(Duration::from_millis(150)),
+            warmup: 2,
+            connections: 2,
+            timeout: Duration::from_secs(5),
+            ..LoadgenParams::default()
+        };
+        let report = run_loadgen(&params);
+        assert!(report.ok > 2, "deadline mode sent real load: {report:?}");
+        assert_eq!(report.requests, report.ok + report.errors);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.warmup_discarded, 2);
+        assert_eq!(
+            report.latency.count(),
+            (report.ok - report.warmup_discarded) as u64
+        );
+        assert!(report.duration_s >= 0.15);
     }
 }

@@ -104,6 +104,19 @@ pub struct ServerConfig {
     /// good cached bytes (`X-Cache: stale` + `Warning`) when a plan
     /// compute fails, instead of the 5xx.
     pub degraded: bool,
+    /// Expose the read-only `GET /debug/*` introspection endpoints
+    /// (`patrolctl serve --debug-endpoints`) and record the telemetry
+    /// rings backing them: recent sampled traces, recent request records
+    /// and the since-last-scrape profile.
+    pub debug_endpoints: bool,
+    /// Head-based trace sampling rate in `[0, 1]` for the recent-traces
+    /// ring (`--trace-sample`). Keep/drop is a pure function of the
+    /// request's trace token (see [`mule_obs::sample_keep`]); slow and
+    /// 5xx requests are tail-promoted into the ring regardless.
+    pub trace_sample_rate: f64,
+    /// Rolling-window SLO objectives (`--slo "p99_ms=1.0,availability=99.9"`);
+    /// `None` disables burn-rate tracking and the `mule_slo_*` gauges.
+    pub slo: Option<mule_obs::SloSpec>,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +133,9 @@ impl Default for ServerConfig {
             breaker_threshold: None,
             breaker_cooldown: Duration::from_secs(1),
             degraded: false,
+            debug_endpoints: false,
+            trace_sample_rate: 0.01,
+            slo: None,
         }
     }
 }
@@ -140,6 +156,7 @@ struct MetricsInner {
     metrics: u64,
     plan: u64,
     simulate: u64,
+    debug: u64,
     other: u64,
     ok_2xx: u64,
     client_err_4xx: u64,
@@ -170,6 +187,7 @@ enum Route {
     Metrics,
     Plan,
     Simulate,
+    Debug,
     Other,
 }
 
@@ -197,6 +215,7 @@ impl ServerMetrics {
             Route::Metrics => inner.metrics += 1,
             Route::Plan => inner.plan += 1,
             Route::Simulate => inner.simulate += 1,
+            Route::Debug => inner.debug += 1,
             Route::Other => inner.other += 1,
         }
         match status {
@@ -254,7 +273,8 @@ impl ServerMetrics {
     ) -> String {
         use crate::json::JsonValue;
         let inner = self.lock();
-        let total = inner.healthz + inner.metrics + inner.plan + inner.simulate + inner.other;
+        let total =
+            inner.healthz + inner.metrics + inner.plan + inner.simulate + inner.debug + inner.other;
         let cache_total = inner.cache_hits + inner.cache_misses + inner.cache_coalesced;
         let hit_rate = if cache_total == 0 {
             0.0
@@ -285,6 +305,7 @@ impl ServerMetrics {
                     ("metrics", inner.metrics.into()),
                     ("plan", inner.plan.into()),
                     ("simulate", inner.simulate.into()),
+                    ("debug", inner.debug.into()),
                     ("other", inner.other.into()),
                 ]),
             ),
@@ -359,16 +380,19 @@ impl ServerMetrics {
     /// cache outcomes, the latency histogram (`_bucket`/`_sum`/`_count`)
     /// and per-span-name totals from the merged request profiles.
     pub fn to_prometheus(&self) -> String {
-        self.to_prometheus_with(&[], &[])
+        self.to_prometheus_with(&[], &[], None)
     }
 
     /// [`ServerMetrics::to_prometheus`] extended with per-route breaker
-    /// gauges/counters and the `mule_fault_injected_total{point,kind}`
-    /// rows of the armed fault plan (both empty on a plain scrape).
+    /// gauges/counters, the `mule_fault_injected_total{point,kind}` rows
+    /// of the armed fault plan (both empty on a plain scrape), and —
+    /// when SLO tracking is configured — the `mule_slo_*` burn-rate
+    /// gauges rendered from the tracker's current report.
     pub fn to_prometheus_with(
         &self,
         breakers: &[(&str, BreakerSnapshot)],
         faults: &[(String, &'static str, u64)],
+        slo: Option<&mule_obs::SloReport>,
     ) -> String {
         use mule_obs::prom::PromText;
         let inner = self.lock();
@@ -384,6 +408,7 @@ impl ServerMetrics {
             ("metrics", inner.metrics),
             ("plan", inner.plan),
             ("simulate", inner.simulate),
+            ("debug", inner.debug),
             ("other", inner.other),
         ] {
             p.sample_u64("mule_requests_total", &[("route", route)], count);
@@ -493,6 +518,35 @@ impl ServerMetrics {
             );
         }
 
+        if let Some(report) = slo {
+            p.family(
+                "mule_slo_error_budget_remaining",
+                "gauge",
+                "Fraction of the error budget left over the longest SLO window, by objective.",
+            );
+            for obj in &report.objectives {
+                p.sample_f64(
+                    "mule_slo_error_budget_remaining",
+                    &[("objective", obj.objective)],
+                    obj.budget_remaining,
+                );
+            }
+            p.family(
+                "mule_slo_burn_rate",
+                "gauge",
+                "Error-budget burn rate (1.0 = spending exactly the budget), by objective and window.",
+            );
+            for obj in &report.objectives {
+                for &(window, rate) in &obj.windows {
+                    p.sample_f64(
+                        "mule_slo_burn_rate",
+                        &[("objective", obj.objective), ("window", window)],
+                        rate,
+                    );
+                }
+            }
+        }
+
         // Process RSS gauges are sampled from /proc at scrape time;
         // both rows are omitted on platforms without procfs.
         if let Some(kb) = mule_obs::alloc::rss_now_kb() {
@@ -557,6 +611,46 @@ impl ServerMetrics {
     }
 }
 
+/// One handled request's record in the `/debug/requests` ring.
+#[derive(Debug, Clone)]
+struct RequestRecord {
+    trace_id: String,
+    method: String,
+    path: String,
+    status: u16,
+    duration_ms: f64,
+    /// Cache outcome label (`hit` / `miss` / `coalesced`), when the
+    /// request went through the plan cache.
+    cache: Option<&'static str>,
+    /// Root-span allocation tally (zero while the counting allocator is
+    /// disarmed).
+    allocs: u64,
+    alloc_bytes: u64,
+    /// Whether the trace landed in the recent-traces ring (head-sampled
+    /// or tail-promoted).
+    sampled: bool,
+    slow: bool,
+}
+
+/// The in-process stores behind the `/debug/*` endpoints, recorded only
+/// when [`ServerConfig::debug_endpoints`] is on. Ring pushes are
+/// lock-light (one atomic + one slot mutex) and never block the request
+/// path on a reader.
+struct Telemetry {
+    /// Recent sampled traces, `(trace id, trace)`.
+    traces: mule_obs::Ring<(String, mule_obs::Trace)>,
+    /// Recent request records.
+    requests: mule_obs::Ring<RequestRecord>,
+    /// Span profile merged since the last `/debug/profile` scrape (the
+    /// scrape takes it, so consecutive scrapes report disjoint windows).
+    profile: Mutex<FlatProfile>,
+}
+
+/// Capacity of the recent-traces ring.
+const TRACE_RING_CAPACITY: usize = 64;
+/// Capacity of the recent-requests ring.
+const REQUEST_RING_CAPACITY: usize = 512;
+
 struct Shared {
     cache: PlanCache,
     metrics: ServerMetrics,
@@ -568,6 +662,13 @@ struct Shared {
     /// [`ServerConfig::breaker_threshold`] is set).
     breaker_plan: CircuitBreaker,
     breaker_simulate: CircuitBreaker,
+    /// Server start; SLO buckets are stamped in seconds since here.
+    epoch: Instant,
+    /// Burn-rate tracker, present iff [`ServerConfig::slo`] is set.
+    slo: Option<mule_obs::SloTracker>,
+    /// Debug-endpoint stores, present iff
+    /// [`ServerConfig::debug_endpoints`] is on.
+    telemetry: Option<Telemetry>,
     config: ServerConfig,
 }
 
@@ -579,9 +680,18 @@ impl Shared {
         ]
     }
 
+    fn slo_report(&self) -> Option<mule_obs::SloReport> {
+        self.slo
+            .as_ref()
+            .map(|tracker| tracker.report(self.epoch.elapsed().as_secs()))
+    }
+
     fn render_prometheus(&self) -> String {
-        self.metrics
-            .to_prometheus_with(&self.breaker_rows(), &mule_fault::injection_counts())
+        self.metrics.to_prometheus_with(
+            &self.breaker_rows(),
+            &mule_fault::injection_counts(),
+            self.slo_report().as_ref(),
+        )
     }
 
     fn render_json(&self) -> String {
@@ -590,14 +700,17 @@ impl Shared {
     }
 }
 
-/// Renders the `X-Trace-Id` token for the `seq`-th request. The splitmix64
-/// finaliser turns sequential numbers into well-mixed 16-hex tokens while
-/// staying a pure function of admission order.
-fn trace_id(seq: u64) -> String {
+/// The 64-bit trace token for the `seq`-th request; rendered as 16 hex
+/// digits it is the `X-Trace-Id` header value. The splitmix64 finaliser
+/// turns sequential numbers into well-mixed tokens while staying a pure
+/// function of admission order — which is also what the head-based
+/// sampler draws on, so sampling decisions replay identically for a
+/// given admission order.
+fn trace_token(seq: u64) -> u64 {
     let mut z = seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    format!("{:016x}", z ^ (z >> 31))
+    z ^ (z >> 31)
 }
 
 /// A running server. Dropping the handle shuts the server down and joins
@@ -672,10 +785,11 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let breaker_threshold = config.breaker_threshold.unwrap_or(0);
-    // Slow-request logging reports per-request allocation figures, which
-    // only exist while the counting allocator is armed. The arm is a
-    // counter, so holding one here composes with scoped arms elsewhere.
-    let alloc_armed = config.slow_request_ms.is_some();
+    // Slow-request logging and `/debug/alloc` report per-request
+    // allocation figures, which only exist while the counting allocator
+    // is armed. The arm is a counter, so holding one here composes with
+    // scoped arms elsewhere.
+    let alloc_armed = config.slow_request_ms.is_some() || config.debug_endpoints;
     if alloc_armed {
         mule_obs::alloc::arm();
     }
@@ -685,8 +799,19 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         admitted: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
         trace_seq: AtomicU64::new(0),
-        breaker_plan: CircuitBreaker::new(breaker_threshold, config.breaker_cooldown),
-        breaker_simulate: CircuitBreaker::new(breaker_threshold, config.breaker_cooldown),
+        breaker_plan: CircuitBreaker::named("plan", breaker_threshold, config.breaker_cooldown),
+        breaker_simulate: CircuitBreaker::named(
+            "simulate",
+            breaker_threshold,
+            config.breaker_cooldown,
+        ),
+        epoch: Instant::now(),
+        slo: config.slo.clone().map(mule_obs::SloTracker::new),
+        telemetry: config.debug_endpoints.then(|| Telemetry {
+            traces: mule_obs::Ring::new(TRACE_RING_CAPACITY),
+            requests: mule_obs::Ring::new(REQUEST_RING_CAPACITY),
+            profile: Mutex::new(FlatProfile::default()),
+        }),
         config: config.clone(),
     });
     let pool = TaskPool::new(config.workers);
@@ -917,19 +1042,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 shared
                     .metrics
                     .observe(route, response.status, elapsed, cache, &profile);
-                let id = trace_id(seq);
-                if let Some(threshold_ms) = shared.config.slow_request_ms {
-                    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
-                    if elapsed_ms >= threshold_ms {
-                        eprintln!(
-                            "[mule-serve] slow request trace={id} {} {} status={} {elapsed_ms:.1}ms{}",
-                            request.method,
-                            request.path,
-                            response.status,
-                            slow_breakdown(&profile),
-                        );
-                    }
-                }
+                let id = observe_telemetry(
+                    shared, seq, &request, &response, elapsed, cache, &profile, trace,
+                );
                 let response = response.with_header("X-Trace-Id", id);
                 if mule_fault::io_error("serve.conn.write").is_some() {
                     return; // injected transport failure: drop before writing
@@ -967,10 +1082,92 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// The top self-time spans of a slow request, for the stderr log line.
-/// When the counting allocator is armed (it is whenever slow-request
-/// logging is on), the root `request` span's allocation tally rides
-/// along as `allocs=N alloc_bytes=B`.
+/// Post-response telemetry for one handled request: SLO bucket, trace
+/// sampling + tail promotion into the debug rings, the structured access
+/// and slow-request log events. Returns the request's trace id.
+///
+/// The head-sampling decision is [`mule_obs::sample_keep`] on the trace
+/// *token* — a pure function of admission order — so the set of sampled
+/// traces replays identically for a given arrival order. Slow and 5xx
+/// requests are promoted into the ring regardless of the draw.
+#[allow(clippy::too_many_arguments)]
+fn observe_telemetry(
+    shared: &Arc<Shared>,
+    seq: u64,
+    request: &Request,
+    response: &Response,
+    elapsed: Duration,
+    cache: Option<CacheOutcome>,
+    profile: &FlatProfile,
+    trace: mule_obs::Trace,
+) -> String {
+    use mule_obs::log::{self, LogEvent, Severity};
+    let token = trace_token(seq);
+    let id = format!("{token:016x}");
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    let is_error = response.status >= 500;
+    let slow = shared
+        .config
+        .slow_request_ms
+        .is_some_and(|threshold_ms| elapsed_ms >= threshold_ms);
+    if let Some(slo) = &shared.slo {
+        slo.record(shared.epoch.elapsed().as_secs(), elapsed_ms, is_error);
+    }
+    if let Some(telemetry) = &shared.telemetry {
+        let sampled =
+            slow || is_error || mule_obs::sample_keep(token, shared.config.trace_sample_rate);
+        if sampled {
+            telemetry.traces.push((id.clone(), trace));
+        }
+        let request_span = profile.get("request");
+        telemetry.requests.push(RequestRecord {
+            trace_id: id.clone(),
+            method: request.method.clone(),
+            path: request.path.clone(),
+            status: response.status,
+            duration_ms: elapsed_ms,
+            cache: cache.map(|outcome| outcome.label()),
+            allocs: request_span.map_or(0, |e| e.allocs),
+            alloc_bytes: request_span.map_or(0, |e| e.alloc_bytes),
+            sampled,
+            slow,
+        });
+        telemetry
+            .profile
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(profile);
+    }
+    if slow && log::enabled_at(Severity::Warn) {
+        log::emit(
+            LogEvent::new(Severity::Warn, "serve.slow_request")
+                .trace(id.as_str())
+                .field("method", request.method.as_str())
+                .field("path", request.path.as_str())
+                .field("status", u64::from(response.status))
+                .field("duration_ms", elapsed_ms)
+                .field("breakdown", slow_breakdown(profile)),
+        );
+    }
+    if log::enabled_at(Severity::Debug) {
+        let mut event = LogEvent::new(Severity::Debug, "serve.request")
+            .trace(id.as_str())
+            .field("method", request.method.as_str())
+            .field("path", request.path.as_str())
+            .field("status", u64::from(response.status))
+            .field("duration_ms", elapsed_ms);
+        if let Some(outcome) = cache {
+            event = event.field("cache", outcome.label());
+        }
+        log::emit(event);
+    }
+    id
+}
+
+/// The top self-time spans of a slow request, for the slow-request log
+/// event's `breakdown` field. When the counting allocator is armed (it
+/// is whenever slow-request logging is on), the root `request` span's
+/// allocation tally rides along as `allocs=N alloc_bytes=B`.
 fn slow_breakdown(profile: &FlatProfile) -> String {
     let mut out = String::new();
     for entry in profile
@@ -1000,7 +1197,13 @@ fn route_request(
     request: &Request,
     shared: &Arc<Shared>,
 ) -> (Route, Option<CacheOutcome>, Response) {
-    match (request.method.as_str(), request.path.as_str()) {
+    // Split the query string off before matching, so `/debug/requests?limit=5`
+    // routes like `/debug/requests`.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (request.path.as_str(), None),
+    };
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             let doc = crate::json::JsonValue::object(vec![
                 ("status", "ok".into()),
@@ -1035,6 +1238,14 @@ fn route_request(
             None,
             handle_simulate(&request.body, shared),
         ),
+        ("GET", p) if p.starts_with("/debug/") && shared.config.debug_endpoints => {
+            (Route::Debug, None, handle_debug(p, query, shared))
+        }
+        (_, p) if p.starts_with("/debug/") && shared.config.debug_endpoints => (
+            Route::Other,
+            None,
+            Response::error(405, "method not allowed for this path"),
+        ),
         (_, "/healthz" | "/metrics" | "/metrics.json" | "/v1/plan" | "/v1/simulate") => (
             Route::Other,
             None,
@@ -1045,6 +1256,193 @@ fn route_request(
             None,
             Response::error(404, &format!("no such endpoint: {}", request.path)),
         ),
+    }
+}
+
+/// One `key=value` from a query string. No URL-decoding: the debug
+/// parameters are plain identifiers and digits.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?
+        .split('&')
+        .find_map(|pair| match pair.split_once('=') {
+            Some((k, v)) if k == key => Some(v),
+            _ => None,
+        })
+}
+
+/// Parses an optional `limit=N` query parameter, or answers 400.
+fn parse_limit(query: Option<&str>, default: usize) -> Result<usize, Response> {
+    match query_param(query, "limit") {
+        None => Ok(default),
+        Some(value) => value
+            .parse::<usize>()
+            .map_err(|_| Response::error(400, "limit must be a non-negative integer")),
+    }
+}
+
+/// The read-only `GET /debug/*` introspection endpoints (behind
+/// `--debug-endpoints`): recent sampled traces as one Chrome trace file,
+/// the request-record ring, the since-last-scrape profile, an
+/// allocator-and-RSS snapshot, and the recent structured-log events. All
+/// render from the in-process rings — safe to curl on a live server.
+fn handle_debug(path: &str, query: Option<&str>, shared: &Arc<Shared>) -> Response {
+    use crate::json::JsonValue;
+    let Some(telemetry) = &shared.telemetry else {
+        return Response::error(404, "debug endpoints are disabled");
+    };
+    match path {
+        "/debug/traces" => {
+            let snapshot = telemetry.traces.snapshot();
+            let labels: Vec<String> = snapshot
+                .iter()
+                .map(|(_, (id, _))| format!("trace {id}"))
+                .collect();
+            let json = mule_obs::chrome_traces_json(
+                labels
+                    .iter()
+                    .map(String::as_str)
+                    .zip(snapshot.iter().map(|(_, (_, trace))| trace)),
+            );
+            Response::json(200, json)
+        }
+        "/debug/requests" => {
+            let limit = match parse_limit(query, 50) {
+                Ok(limit) => limit,
+                Err(response) => return response,
+            };
+            let snapshot = telemetry.requests.snapshot();
+            let filtered: Vec<&RequestRecord> = match query_param(query, "class") {
+                None => snapshot.iter().map(|(_, record)| record).collect(),
+                Some("slow") => snapshot
+                    .iter()
+                    .map(|(_, record)| record)
+                    .filter(|record| record.slow)
+                    .collect(),
+                Some("error") => snapshot
+                    .iter()
+                    .map(|(_, record)| record)
+                    .filter(|record| record.status >= 500)
+                    .collect(),
+                Some(other) => {
+                    return Response::error(
+                        400,
+                        &format!("unknown request class `{other}` (expected slow or error)"),
+                    )
+                }
+            };
+            let skip = filtered.len().saturating_sub(limit);
+            let rows: Vec<JsonValue> = filtered[skip..]
+                .iter()
+                .map(|record| {
+                    JsonValue::object(vec![
+                        ("trace_id", record.trace_id.as_str().into()),
+                        ("method", record.method.as_str().into()),
+                        ("path", record.path.as_str().into()),
+                        ("status", u64::from(record.status).into()),
+                        ("duration_ms", record.duration_ms.into()),
+                        (
+                            "cache",
+                            record.cache.map_or(JsonValue::Null, JsonValue::from),
+                        ),
+                        ("allocs", record.allocs.into()),
+                        ("alloc_bytes", record.alloc_bytes.into()),
+                        ("sampled", record.sampled.into()),
+                        ("slow", record.slow.into()),
+                    ])
+                })
+                .collect();
+            let doc = JsonValue::object(vec![
+                ("schema", "debug-requests/v1".into()),
+                ("capacity", telemetry.requests.capacity().into()),
+                ("recorded", telemetry.requests.pushed().into()),
+                ("requests", JsonValue::Array(rows)),
+            ]);
+            Response::json(200, doc.to_pretty_string())
+        }
+        "/debug/profile" => {
+            // The scrape *takes* the merged profile, so consecutive
+            // scrapes report disjoint windows (Prometheus-style deltas).
+            let profile = std::mem::take(
+                &mut *telemetry
+                    .profile
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+            let entries: Vec<JsonValue> = profile
+                .entries
+                .iter()
+                .map(|e| {
+                    JsonValue::object(vec![
+                        ("name", e.name.as_str().into()),
+                        ("count", e.count.into()),
+                        ("total_ns", e.total_ns.into()),
+                        ("self_ns", e.self_ns.into()),
+                        ("max_ns", e.max_ns.into()),
+                        ("allocs", e.allocs.into()),
+                        ("alloc_bytes", e.alloc_bytes.into()),
+                        ("peak_live_bytes", e.peak_live.into()),
+                    ])
+                })
+                .collect();
+            let doc = JsonValue::object(vec![
+                ("schema", "debug-profile/v1".into()),
+                ("entries", JsonValue::Array(entries)),
+                ("table", profile.to_table().into()),
+            ]);
+            Response::json(200, doc.to_pretty_string())
+        }
+        "/debug/alloc" => {
+            let stats = mule_obs::alloc::stats();
+            let doc = JsonValue::object(vec![
+                ("schema", "debug-alloc/v1".into()),
+                ("armed", mule_obs::alloc::armed().into()),
+                (
+                    "alloc",
+                    JsonValue::object(vec![
+                        ("alloc_count", stats.alloc_count.into()),
+                        ("realloc_count", stats.realloc_count.into()),
+                        ("dealloc_count", stats.dealloc_count.into()),
+                        ("allocated_bytes", stats.allocated_bytes.into()),
+                        ("freed_bytes", stats.freed_bytes.into()),
+                        ("live_bytes", stats.live_bytes.into()),
+                        ("peak_live_bytes", stats.peak_live_bytes.into()),
+                    ]),
+                ),
+                (
+                    "rss",
+                    JsonValue::object(vec![
+                        (
+                            "now_kb",
+                            mule_obs::alloc::rss_now_kb().map_or(JsonValue::Null, Into::into),
+                        ),
+                        (
+                            "peak_kb",
+                            mule_obs::alloc::rss_peak_kb().map_or(JsonValue::Null, Into::into),
+                        ),
+                    ]),
+                ),
+            ]);
+            Response::json(200, doc.to_pretty_string())
+        }
+        "/debug/events" => {
+            let limit = match parse_limit(query, 100) {
+                Ok(limit) => limit,
+                Err(response) => return response,
+            };
+            // The lines are already rendered JSON objects; splice them
+            // into an array verbatim instead of re-parsing.
+            let lines = mule_obs::log::recent(limit);
+            let events = if lines.is_empty() {
+                String::new()
+            } else {
+                format!("\n    {}\n  ", lines.join(",\n    "))
+            };
+            Response::json(
+                200,
+                format!("{{\n  \"schema\": \"debug-events/v1\",\n  \"events\": [{events}]\n}}\n"),
+            )
+        }
+        _ => Response::error(404, &format!("no such debug endpoint: {path}")),
     }
 }
 
